@@ -1,0 +1,39 @@
+//! E2 (DESIGN.md §5): constant merging, Listing 2 → Listing 3.
+//!
+//! Measures unoptimised vs O1-optimised execution of k-add chains. The
+//! expected shape: optimised time is roughly independent of k (one add
+//! survives), unoptimised grows linearly with k.
+
+use bh_bench::add_chain;
+use bh_opt::{optimize_at, OptLevel};
+use bh_vm::Vm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_constant_merge(c: &mut Criterion) {
+    let n = 1_000_000;
+    let mut group = c.benchmark_group("e2_constant_merge");
+    group.throughput(Throughput::Elements(n as u64));
+    for k in [3usize, 8, 32] {
+        let unopt = add_chain(n, k);
+        let mut opt = unopt.clone();
+        optimize_at(&mut opt, OptLevel::O1);
+        group.bench_with_input(BenchmarkId::new("unoptimised", k), &unopt, |b, p| {
+            b.iter(|| {
+                let mut vm = Vm::new();
+                vm.run_unchecked(p).expect("valid program");
+                vm.stats().kernels
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimised-O1", k), &opt, |b, p| {
+            b.iter(|| {
+                let mut vm = Vm::new();
+                vm.run_unchecked(p).expect("valid program");
+                vm.stats().kernels
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constant_merge);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E3/E4 (DESIGN.md §5): power schedules for x¹⁰ — the `BH_POWER`
+//! intrinsic vs Listing 4 (nine multiplies) vs the paper's Listing 5
+//! (five) vs the optimal constrained chain (four).
+
+use bh_bench::{power_chain, power_intrinsic};
+use bh_opt::chains;
+use bh_vm::Vm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_power_schedules(c: &mut Criterion) {
+    let n = 1_000_000;
+    let mut group = c.benchmark_group("e3_e4_power_x10");
+    group.throughput(Throughput::Elements(n as u64));
+
+    let programs = [
+        ("bh_power_intrinsic", power_intrinsic(n, 10)),
+        (
+            "listing4_naive_9mul",
+            power_chain(n, &chains::naive_chain(10).expect("n >= 2")),
+        ),
+        ("listing5_paper_5mul", power_chain(n, &chains::listing5_chain())),
+        (
+            "optimal_4mul",
+            power_chain(n, &chains::optimal_chain(10).expect("n >= 2")),
+        ),
+    ];
+    for (label, program) in &programs {
+        group.bench_with_input(BenchmarkId::from_parameter(label), program, |b, p| {
+            b.iter(|| {
+                let mut vm = Vm::new();
+                vm.run_unchecked(p).expect("valid program");
+                vm.stats().flops
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_power_schedules);
+criterion_main!(benches);

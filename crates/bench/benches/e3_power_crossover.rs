@@ -1,0 +1,42 @@
+//! E5 (DESIGN.md §5): the §4 claim — "for values close to a power of 2,
+//! multiplying multiple times is faster than doing an actual BH_POWER".
+//!
+//! Sweeps the exponent and measures intrinsic vs optimal expanded chain.
+//! Expected shape: the chain wins everywhere at these exponent sizes, with
+//! the largest margins at exact powers of two (pure squaring schedules).
+
+use bh_bench::{power_chain, power_intrinsic};
+use bh_opt::chains;
+use bh_vm::Vm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_crossover(c: &mut Criterion) {
+    let n = 1_000_000;
+    let mut group = c.benchmark_group("e5_power_crossover");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    for exponent in [2u64, 3, 4, 7, 8, 9, 15, 16, 17, 31, 32] {
+        let intrinsic = power_intrinsic(n, exponent);
+        let chain = power_chain(n, &chains::optimal_chain(exponent).expect("n >= 2"));
+        group.bench_with_input(
+            BenchmarkId::new("bh_power", exponent),
+            &intrinsic,
+            |b, p| {
+                b.iter(|| {
+                    let mut vm = Vm::new();
+                    vm.run_unchecked(p).expect("valid program");
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("chain", exponent), &chain, |b, p| {
+            b.iter(|| {
+                let mut vm = Vm::new();
+                vm.run_unchecked(p).expect("valid program");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

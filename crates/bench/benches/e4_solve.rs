@@ -1,0 +1,55 @@
+//! E6 (DESIGN.md §5): Eq. 2 — solving Ax=B via explicit inverse vs LU.
+//!
+//! Two layers: the raw substrate comparison (`bh-linalg`) and the
+//! byte-code pattern before/after the context-aware rewrite. Expected
+//! shape: LU wins at every size, approaching the ~3× flop ratio for a
+//! single right-hand side.
+
+use bh_bench::{inverse_matmul, well_conditioned};
+use bh_linalg::{solve_lu, solve_via_inverse};
+use bh_opt::optimize;
+use bh_tensor::{random_tensor, DType, Distribution, Shape};
+use bh_vm::Vm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_solve_substrate");
+    group.sample_size(20);
+    for m in [32usize, 64, 128] {
+        let a = well_conditioned(m, 7);
+        let b = random_tensor(DType::Float64, Shape::vector(m), 8, Distribution::Uniform);
+        group.bench_with_input(BenchmarkId::new("via_inverse", m), &m, |bench, _| {
+            bench.iter(|| solve_via_inverse(&a, &b).expect("well-conditioned"))
+        });
+        group.bench_with_input(BenchmarkId::new("via_lu", m), &m, |bench, _| {
+            bench.iter(|| solve_lu(&a, &b).expect("well-conditioned"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bytecode_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_solve_bytecode");
+    group.sample_size(20);
+    for m in [32usize, 64, 128] {
+        let unopt = inverse_matmul(m);
+        let mut opt = unopt.clone();
+        optimize(&mut opt);
+        let a = well_conditioned(m, 7);
+        let b = random_tensor(DType::Float64, Shape::vector(m), 8, Distribution::Uniform);
+        for (label, program) in [("inverse_matmul", &unopt), ("rewritten_solve", &opt)] {
+            group.bench_with_input(BenchmarkId::new(label, m), program, |bench, p| {
+                bench.iter(|| {
+                    let mut vm = Vm::new();
+                    vm.bind_by_name(p, "a", &a).expect("binds");
+                    vm.bind_by_name(p, "b", &b).expect("binds");
+                    vm.run_unchecked(p).expect("valid program");
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate, bench_bytecode_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E7 (DESIGN.md §5): loop-fusion-like contraction of element-wise
+//! byte-code runs.
+//!
+//! Naive engine (one full-array pass per byte-code) vs fusing engine
+//! (one blocked pass per run). Expected shape: fusion's advantage grows
+//! with chain length k, because intermediates stay cache-resident.
+
+use bh_bench::elementwise_chain;
+use bh_vm::{Engine, Vm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_fusion(c: &mut Criterion) {
+    let n = 4_000_000;
+    let mut group = c.benchmark_group("e7_fusion");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(15);
+    for k in [2usize, 4, 8, 16] {
+        let program = elementwise_chain(n, k);
+        group.bench_with_input(BenchmarkId::new("naive", k), &program, |b, p| {
+            b.iter(|| {
+                let mut vm = Vm::with_engine(Engine::Naive);
+                vm.run_unchecked(p).expect("valid program");
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fused", k), &program, |b, p| {
+            b.iter(|| {
+                let mut vm = Vm::with_engine(Engine::Fusing { block: 65536 });
+                vm.run_unchecked(p).expect("valid program");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

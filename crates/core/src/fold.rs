@@ -1,0 +1,145 @@
+//! Compile-time scalar evaluation for constant folding.
+//!
+//! The constant-merging rule of Listing 3 needs `1 + 1 + 1 = 3` evaluated
+//! at transformation time, in the *target dtype's* arithmetic (wrapping
+//! u8 addition must wrap here exactly as it would in the VM).
+
+use bh_ir::Opcode;
+use bh_tensor::{DType, Scalar};
+
+/// Evaluate `a ⊕ b` in `dtype` arithmetic, for the foldable op-codes.
+///
+/// Returns `None` for op-codes the folder does not handle (the caller must
+/// then leave the byte-code untouched).
+pub fn const_eval(op: Opcode, a: Scalar, b: Scalar, dtype: DType) -> Option<Scalar> {
+    if dtype.is_float() {
+        let (x, y) = (a.as_f64(), b.as_f64());
+        let v = match op {
+            Opcode::Add => x + y,
+            Opcode::Subtract => x - y,
+            Opcode::Multiply => x * y,
+            Opcode::Divide => x / y,
+            Opcode::Maximum => x.max(y),
+            Opcode::Minimum => x.min(y),
+            Opcode::Power => x.powf(y),
+            _ => return None,
+        };
+        return Some(Scalar::from_f64(v, dtype));
+    }
+    if dtype == DType::Bool {
+        let (x, y) = (a.as_f64() != 0.0, b.as_f64() != 0.0);
+        let v = match op {
+            Opcode::Add | Opcode::LogicalOr | Opcode::BitwiseOr | Opcode::Maximum => x | y,
+            Opcode::Multiply | Opcode::LogicalAnd | Opcode::BitwiseAnd | Opcode::Minimum => x & y,
+            Opcode::Subtract | Opcode::LogicalXor | Opcode::BitwiseXor => x ^ y,
+            _ => return None,
+        };
+        return Some(Scalar::Bool(v));
+    }
+    // Integer dtypes: compute in i64 then truncate into the dtype, exactly
+    // like the VM's wrapping element ops.
+    let (x, y) = (a.as_integral()?, b.as_integral()?);
+    let bits = dtype.size_of() as u32 * 8;
+    let v = match op {
+        Opcode::Add => x.wrapping_add(y),
+        Opcode::Subtract => x.wrapping_sub(y),
+        Opcode::Multiply => x.wrapping_mul(y),
+        Opcode::Divide => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
+        }
+        Opcode::Maximum => x.max(y),
+        Opcode::Minimum => x.min(y),
+        Opcode::BitwiseAnd => x & y,
+        Opcode::BitwiseOr => x | y,
+        Opcode::BitwiseXor => x ^ y,
+        Opcode::LeftShift => x.wrapping_shl((y as u32) % bits),
+        Opcode::RightShift => x.wrapping_shr((y as u32) % bits),
+        _ => return None,
+    };
+    Some(Scalar::from_i64(v, dtype))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_the_paper_constants() {
+        // 1 + 1 + 1 -> 3, the Listing 2 -> Listing 3 fold.
+        let one = Scalar::F64(1.0);
+        let two = const_eval(Opcode::Add, one, one, DType::Float64).unwrap();
+        let three = const_eval(Opcode::Add, two, one, DType::Float64).unwrap();
+        assert_eq!(three, Scalar::F64(3.0));
+    }
+
+    #[test]
+    fn integer_folding_wraps_like_the_vm() {
+        let a = Scalar::I64(200);
+        let b = Scalar::I64(100);
+        assert_eq!(
+            const_eval(Opcode::Add, a, b, DType::UInt8).unwrap(),
+            Scalar::U8(44) // (200 + 100) mod 256
+        );
+    }
+
+    #[test]
+    fn division_by_zero_folds_to_zero_for_ints() {
+        assert_eq!(
+            const_eval(Opcode::Divide, Scalar::I32(7), Scalar::I32(0), DType::Int32).unwrap(),
+            Scalar::I32(0)
+        );
+    }
+
+    #[test]
+    fn bool_lattice() {
+        let t = Scalar::Bool(true);
+        let f = Scalar::Bool(false);
+        assert_eq!(const_eval(Opcode::Add, t, f, DType::Bool).unwrap(), t);
+        assert_eq!(const_eval(Opcode::Multiply, t, f, DType::Bool).unwrap(), f);
+        assert_eq!(const_eval(Opcode::Subtract, t, t, DType::Bool).unwrap(), f);
+    }
+
+    #[test]
+    fn float_min_max_power() {
+        assert_eq!(
+            const_eval(Opcode::Maximum, Scalar::F64(1.0), Scalar::F64(2.0), DType::Float64),
+            Some(Scalar::F64(2.0))
+        );
+        assert_eq!(
+            const_eval(Opcode::Power, Scalar::F64(2.0), Scalar::F64(10.0), DType::Float64),
+            Some(Scalar::F64(1024.0))
+        );
+    }
+
+    #[test]
+    fn shifts_mask_to_width() {
+        assert_eq!(
+            const_eval(Opcode::LeftShift, Scalar::I64(1), Scalar::I64(9), DType::UInt8).unwrap(),
+            Scalar::U8(2)
+        );
+    }
+
+    #[test]
+    fn unhandled_ops_return_none() {
+        assert_eq!(
+            const_eval(Opcode::Arctan2, Scalar::I32(1), Scalar::I32(1), DType::Int32),
+            None
+        );
+        assert_eq!(
+            const_eval(Opcode::Mod, Scalar::Bool(true), Scalar::Bool(true), DType::Bool),
+            None
+        );
+    }
+
+    #[test]
+    fn non_integral_into_int_dtype_returns_none() {
+        assert_eq!(
+            const_eval(Opcode::Add, Scalar::F64(0.5), Scalar::I64(1), DType::Int32),
+            None
+        );
+    }
+}

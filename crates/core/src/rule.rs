@@ -1,0 +1,148 @@
+//! The rewrite-rule abstraction.
+//!
+//! "A transformation can be thought of as a rewriting of elements from one
+//! set to another" (§2). Each [`RewriteRule`] scans a program and replaces
+//! byte-code sequences with cheaper equivalent ones, leaving `BH_NONE`
+//! placeholders that the pass manager compacts away.
+
+use bh_ir::{Program, ViewRef};
+use bh_tensor::DType;
+
+/// What counts as observable at program exit, for liveness-based rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LiveAtExit {
+    /// Only values a `BH_SYNC` reads are observable (Bohrium's contract:
+    /// the bridge syncs before touching data). Dead-store elimination may
+    /// remove unsynced results.
+    #[default]
+    SyncedOnly,
+    /// Every register is observable at exit; dead-store elimination only
+    /// removes values that are provably overwritten.
+    AllRegisters,
+}
+
+/// Shared configuration handed to every rule application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewriteCtx {
+    /// Permit rewrites that can change floating-point rounding
+    /// (re-association, constant merging, power expansion on floats).
+    /// Bohrium applies these by default — the paper's Listing 3 merges
+    /// f64 constants — so this defaults to `true`; set `false` for strict
+    /// IEEE semantics, which restricts those rules to integer data.
+    pub fast_math: bool,
+    /// Upper bound on the multiply count a `BH_POWER` expansion may emit;
+    /// larger exponents keep the intrinsic.
+    pub max_power_multiplies: usize,
+    /// Observability assumption for dead-code elimination.
+    pub live_at_exit: LiveAtExit,
+}
+
+impl Default for RewriteCtx {
+    fn default() -> RewriteCtx {
+        RewriteCtx {
+            fast_math: true,
+            max_power_multiplies: 16,
+            live_at_exit: LiveAtExit::SyncedOnly,
+        }
+    }
+}
+
+/// One algebraic transformation over byte-code sequences.
+pub trait RewriteRule {
+    /// Stable, human-readable rule name (reported by the pass manager).
+    fn name(&self) -> &'static str;
+
+    /// Scan `program` once and apply every instance of the rewrite found,
+    /// returning how many rewrites were performed. Implementations may
+    /// leave `BH_NONE` placeholders; the pass manager compacts after each
+    /// rule.
+    fn apply(&self, program: &mut Program, ctx: &RewriteCtx) -> usize;
+}
+
+impl std::fmt::Debug for dyn RewriteRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RewriteRule({})", self.name())
+    }
+}
+
+/// True when two view operands address exactly the same elements of the
+/// same register (resolved geometrically, so `a0` and `a0[0:10:1]` over a
+/// 10-element base agree).
+pub fn views_equivalent(program: &Program, a: &ViewRef, b: &ViewRef) -> bool {
+    if a.reg != b.reg {
+        return false;
+    }
+    match (program.resolve_view(a), program.resolve_view(b)) {
+        (Ok(ga), Ok(gb)) => ga == gb,
+        _ => false,
+    }
+}
+
+/// True when the view covers its whole base contiguously.
+pub fn is_full_view(program: &Program, v: &ViewRef) -> bool {
+    match program.resolve_view(v) {
+        Ok(g) => {
+            g.offset() == 0
+                && g.is_contiguous()
+                && g.nelem() == program.base(v.reg).shape.nelem()
+        }
+        Err(_) => false,
+    }
+}
+
+/// True when a float-rounding-sensitive rewrite may fire for `dtype` under
+/// the context's `fast_math` policy (always true for non-float data).
+pub fn reassoc_allowed(ctx: &RewriteCtx, dtype: DType) -> bool {
+    ctx.fast_math || !dtype.is_float()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_tensor::{Shape, Slice};
+
+    #[test]
+    fn defaults_match_bohrium_behaviour() {
+        let ctx = RewriteCtx::default();
+        assert!(ctx.fast_math);
+        assert_eq!(ctx.live_at_exit, LiveAtExit::SyncedOnly);
+        assert!(ctx.max_power_multiplies >= 4); // enough for x^10
+    }
+
+    #[test]
+    fn view_equivalence_resolves_geometry() {
+        let mut p = Program::new();
+        let r = p.declare("a0", DType::Float64, Shape::vector(10));
+        let implicit = ViewRef::full(r);
+        let explicit = ViewRef::sliced(r, vec![Slice::new(Some(0), Some(10), 1)]);
+        let half = ViewRef::sliced(r, vec![Slice::range(0, 5)]);
+        assert!(views_equivalent(&p, &implicit, &explicit));
+        assert!(!views_equivalent(&p, &implicit, &half));
+        let other = p.declare("a1", DType::Float64, Shape::vector(10));
+        assert!(!views_equivalent(&p, &implicit, &ViewRef::full(other)));
+    }
+
+    #[test]
+    fn full_view_detection() {
+        let mut p = Program::new();
+        let r = p.declare("a0", DType::Float64, Shape::vector(10));
+        assert!(is_full_view(&p, &ViewRef::full(r)));
+        assert!(is_full_view(
+            &p,
+            &ViewRef::sliced(r, vec![Slice::new(Some(0), Some(10), 1)])
+        ));
+        assert!(!is_full_view(&p, &ViewRef::sliced(r, vec![Slice::range(1, 10)])));
+        assert!(!is_full_view(
+            &p,
+            &ViewRef::sliced(r, vec![Slice::new(None, None, 2)])
+        ));
+    }
+
+    #[test]
+    fn reassoc_gating() {
+        let strict = RewriteCtx { fast_math: false, ..RewriteCtx::default() };
+        assert!(reassoc_allowed(&strict, DType::Int32));
+        assert!(!reassoc_allowed(&strict, DType::Float64));
+        assert!(reassoc_allowed(&RewriteCtx::default(), DType::Float64));
+    }
+}

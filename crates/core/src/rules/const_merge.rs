@@ -1,0 +1,297 @@
+//! Constant merging: the paper's Listing 2 → Listing 3 transformation.
+//!
+//! ```text
+//! BH_ADD a0 a0 1        BH_ADD a0 a0 3
+//! BH_ADD a0 a0 1   ⇒    (the two other adds removed)
+//! BH_ADD a0 a0 1
+//! ```
+//!
+//! "the constants of the three byte-codes can be merged into one by simply
+//! adding them together" (§3.1). Generalised here to every associative
+//! op-code with a constant operand (`x·c₁·c₂ → x·(c₁c₂)`, min/max chains,
+//! bitwise chains), plus the `Subtract`/`Divide` right-constant chains
+//! (`(x−c₁)−c₂ → x−(c₁+c₂)`).
+
+use crate::fold::const_eval;
+use crate::rule::{reassoc_allowed, views_equivalent, RewriteCtx, RewriteRule};
+use bh_ir::{DefUse, Instruction, Opcode, Operand, Program};
+
+/// See the module documentation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConstantMerge;
+
+impl RewriteRule for ConstantMerge {
+    fn name(&self) -> &'static str {
+        "constant-merge"
+    }
+
+    fn apply(&self, program: &mut Program, ctx: &RewriteCtx) -> usize {
+        let mut applied = 0;
+        loop {
+            let du = DefUse::compute(program);
+            let Some((i, j, merged)) = find_merge(program, &du, ctx) else {
+                break;
+            };
+            // i: r = src ⊕ c1   (dropped)
+            // j: r = r ⊕ c2     (becomes r = src ⊕ merged)
+            let src = program.instrs()[i].inputs()[src_index(&program.instrs()[i])].clone();
+            let instr_j = &mut program.instrs_mut()[j];
+            let const_pos = 1 + instr_j
+                .sole_const_input()
+                .expect("matched pattern has a constant")
+                .0;
+            let view_pos = if const_pos == 1 { 2 } else { 1 };
+            instr_j.operands[view_pos] = src;
+            instr_j.operands[const_pos] = Operand::Const(merged);
+            program.instrs_mut()[i] = Instruction::noop();
+            applied += 1;
+        }
+        applied
+    }
+}
+
+/// Index (within `inputs()`) of the non-constant operand of a matched
+/// first instruction.
+fn src_index(instr: &Instruction) -> usize {
+    let (const_pos, _) = instr.sole_const_input().expect("matched pattern");
+    1 - const_pos
+}
+
+/// Find one mergeable pair `(i, j, folded_constant)`.
+fn find_merge(
+    program: &Program,
+    du: &DefUse,
+    ctx: &RewriteCtx,
+) -> Option<(usize, usize, bh_tensor::Scalar)> {
+    (0..program.instrs().len()).find_map(|j| try_merge_at(program, du, ctx, j))
+}
+
+/// Check whether the instruction at `j` can absorb the constant of the
+/// nearest earlier definition of its register.
+fn try_merge_at(
+    program: &Program,
+    du: &DefUse,
+    ctx: &RewriteCtx,
+    j: usize,
+) -> Option<(usize, usize, bh_tensor::Scalar)> {
+    let instrs = program.instrs();
+    let b = &instrs[j];
+    if !mergeable_shape(b) {
+        return None;
+    }
+    let out_b = b.out_view().expect("binary ops have outputs");
+    let (cb_pos, cb) = b.sole_const_input().expect("mergeable_shape checked");
+    // The non-const input must read the same view the instruction writes
+    // (r = r ⊕ c), anchoring the chain on register r.
+    let vb = b.inputs()[1 - cb_pos].as_view()?;
+    if !views_equivalent(program, out_b, vb) || !const_position_ok(b.op, cb_pos) {
+        return None;
+    }
+    let dtype = program.base(out_b.reg).dtype;
+    if !reassoc_allowed(ctx, dtype) {
+        return None;
+    }
+    // Nearest earlier definition of r.
+    let i = *du.defs(out_b.reg).iter().filter(|&&d| d < j).next_back()?;
+    let a = &instrs[i];
+    if a.op != b.op || !mergeable_shape(a) {
+        return None;
+    }
+    let out_a = a.out_view().expect("binary ops have outputs");
+    if !views_equivalent(program, out_a, out_b) {
+        return None;
+    }
+    let (ca_pos, ca) = a.sole_const_input().expect("mergeable_shape checked");
+    if !const_position_ok(a.op, ca_pos) {
+        return None;
+    }
+    // Nothing may observe r strictly between i and j, and the source
+    // operand of i must not be redefined in between.
+    if du.read_between(out_b.reg, i, j) || du.written_between(out_b.reg, i, j) {
+        return None;
+    }
+    if let Some(src) = a.inputs()[1 - ca_pos].as_view() {
+        if du.written_between(src.reg, i, j) {
+            return None;
+        }
+    }
+    // Fold: for Add/Mul chains the constants combine with the same op; for
+    // Subtract/Divide right-chains they combine with Add/Mul.
+    let fold_op = match a.op {
+        Opcode::Subtract => Opcode::Add,
+        Opcode::Divide => Opcode::Multiply,
+        op => op,
+    };
+    let merged = const_eval(fold_op, ca, cb, dtype)?;
+    Some((i, j, merged))
+}
+
+/// Binary element-wise with exactly one constant input and an associative
+/// (or right-chainable) op.
+fn mergeable_shape(instr: &Instruction) -> bool {
+    let op_ok = instr.op.is_associative()
+        || matches!(instr.op, Opcode::Subtract | Opcode::Divide);
+    op_ok
+        && instr.op.is_elementwise()
+        && instr.op.arity() == 2
+        && instr.sole_const_input().is_some()
+}
+
+/// For non-commutative chain ops the constant must be the right operand.
+fn const_position_ok(op: Opcode, const_input_index: usize) -> bool {
+    if matches!(op, Opcode::Subtract | Opcode::Divide) {
+        const_input_index == 1
+    } else {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::{parse_program, PrintStyle};
+
+    fn optimize_text(text: &str, ctx: &RewriteCtx) -> (Program, usize) {
+        let mut p = parse_program(text).unwrap();
+        let n = ConstantMerge.apply(&mut p, ctx);
+        p.compact();
+        (p, n)
+    }
+
+    const LISTING2: &str = "\
+BH_IDENTITY a0 [0:10:1] 0
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_SYNC a0 [0:10:1]
+";
+
+    #[test]
+    fn listing2_becomes_listing3() {
+        let (p, n) = optimize_text(LISTING2, &RewriteCtx::default());
+        assert_eq!(n, 2);
+        assert_eq!(p.count_op(Opcode::Add), 1);
+        let text = p.to_text(PrintStyle::COMPACT);
+        assert!(text.contains("BH_ADD a0 a0 3"), "{text}");
+    }
+
+    #[test]
+    fn strict_ieee_blocks_float_merge_but_not_int() {
+        let strict = RewriteCtx { fast_math: false, ..RewriteCtx::default() };
+        let (_, n) = optimize_text(LISTING2, &strict); // f64 adds
+        assert_eq!(n, 0);
+        let (p, n) = optimize_text(
+            ".base a0 i64[10]\n\
+             BH_IDENTITY a0 0\nBH_ADD a0 a0 1\nBH_ADD a0 a0 1\nBH_SYNC a0\n",
+            &strict,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(p.count_op(Opcode::Add), 1);
+    }
+
+    #[test]
+    fn multiply_chain_merges() {
+        let (p, n) = optimize_text(
+            "BH_IDENTITY a0 [0:4:1] 1\n\
+             BH_MULTIPLY a0 a0 2\nBH_MULTIPLY a0 a0 3\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 1);
+        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_MULTIPLY a0 a0 6"));
+    }
+
+    #[test]
+    fn subtract_chain_adds_constants() {
+        let (p, _) = optimize_text(
+            "BH_IDENTITY a0 [0:4:1] 10\n\
+             BH_SUBTRACT a0 a0 2\nBH_SUBTRACT a0 a0 3\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_SUBTRACT a0 a0 5"));
+    }
+
+    #[test]
+    fn left_constant_subtract_is_not_merged() {
+        // c - (c - x) is not (c1+c2) - x; the rule must skip it.
+        let (p, n) = optimize_text(
+            "BH_IDENTITY a0 [0:4:1] 1\n\
+             BH_SUBTRACT a0 10 a0\nBH_SUBTRACT a0 20 a0\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 0);
+        assert_eq!(p.count_op(Opcode::Subtract), 2);
+    }
+
+    #[test]
+    fn intervening_read_blocks_merge() {
+        let (p, n) = optimize_text(
+            "BH_IDENTITY a0 [0:4:1] 0\n\
+             BH_IDENTITY b0 [0:4:1] 0\n\
+             BH_ADD a0 a0 1\n\
+             BH_ADD b0 b0 a0\n\
+             BH_ADD a0 a0 1\n\
+             BH_SYNC a0\nBH_SYNC b0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 0);
+        assert_eq!(p.count_op(Opcode::Add), 3);
+    }
+
+    #[test]
+    fn mixed_ops_do_not_merge() {
+        let (p, n) = optimize_text(
+            "BH_IDENTITY a0 [0:4:1] 1\n\
+             BH_ADD a0 a0 1\nBH_MULTIPLY a0 a0 2\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 0);
+        assert_eq!(p.instrs().len(), 4);
+    }
+
+    #[test]
+    fn different_views_do_not_merge() {
+        let (_, n) = optimize_text(
+            "BH_IDENTITY a0 [0:8:1] 0\n\
+             BH_ADD a0 [0:4:1] a0 [0:4:1] 1\n\
+             BH_ADD a0 [4:8:1] a0 [4:8:1] 1\n\
+             BH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn long_chain_folds_completely() {
+        let mut text = String::from("BH_IDENTITY a0 [0:4:1] 0\n");
+        for _ in 0..8 {
+            text.push_str("BH_ADD a0 a0 1\n");
+        }
+        text.push_str("BH_SYNC a0\n");
+        let (p, n) = optimize_text(&text, &RewriteCtx::default());
+        assert_eq!(n, 7);
+        assert_eq!(p.count_op(Opcode::Add), 1);
+        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_ADD a0 a0 8"));
+    }
+
+    #[test]
+    fn commutative_constant_on_either_side() {
+        let (p, n) = optimize_text(
+            "BH_IDENTITY a0 [0:4:1] 0\n\
+             BH_ADD a0 1 a0\nBH_ADD a0 a0 2\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 1);
+        assert_eq!(p.count_op(Opcode::Add), 1);
+        assert!(p.to_text(PrintStyle::COMPACT).contains('3'));
+    }
+
+    #[test]
+    fn uint8_wraps_during_fold() {
+        let (p, _) = optimize_text(
+            ".base a0 u8[4]\n\
+             BH_IDENTITY a0 0\nBH_ADD a0 a0 200\nBH_ADD a0 a0 100\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_ADD a0 a0 44"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Common-subexpression elimination over element-wise byte-codes.
+//!
+//! Two identical pure computations whose inputs are unchanged in between
+//! compute the same tensor; the second becomes a `BH_IDENTITY` copy of the
+//! first result (which copy-propagation and DCE then shrink further).
+
+use crate::rule::{RewriteCtx, RewriteRule};
+use bh_ir::{Instruction, Opcode, Operand, Program, Reg, ViewRef};
+use std::collections::HashMap;
+
+/// See the module documentation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CommonSubexpression;
+
+impl RewriteRule for CommonSubexpression {
+    fn name(&self) -> &'static str {
+        "common-subexpression"
+    }
+
+    fn apply(&self, program: &mut Program, _ctx: &RewriteCtx) -> usize {
+        let mut applied = 0;
+        // expression key -> (defining instruction, its output view)
+        let mut available: HashMap<String, ViewRef> = HashMap::new();
+        // reg -> keys that mention it (for invalidation)
+        let mut mentions: HashMap<Reg, Vec<String>> = HashMap::new();
+
+        for idx in 0..program.instrs().len() {
+            let instr = &program.instrs()[idx];
+
+            // Replace a recomputation with a copy of the available value.
+            let key = expression_key(instr);
+            let mut replaced = false;
+            if let (Some(k), Some(out)) = (&key, instr.out_view()) {
+                if let Some(prev_out) = available.get(k) {
+                    let same_dtype = program.base(out.reg).dtype
+                        == program.base(prev_out.reg).dtype;
+                    // Writing over one of our own inputs would also
+                    // invalidate the availability; requiring a distinct
+                    // output register keeps this simple and sound.
+                    if same_dtype && out.reg != prev_out.reg {
+                        let out = out.clone();
+                        let prev = prev_out.clone();
+                        program.instrs_mut()[idx] =
+                            Instruction::unary(Opcode::Identity, out, Operand::View(prev));
+                        applied += 1;
+                        replaced = true;
+                    }
+                }
+            }
+
+            // Invalidate everything mentioning the written register.
+            let instr = &program.instrs()[idx];
+            if let Some(w) = instr.out_reg() {
+                if let Some(keys) = mentions.remove(&w) {
+                    for k in keys {
+                        available.remove(&k);
+                    }
+                }
+                // Keys whose *result* register is overwritten die too; the
+                // mentions map covers them because the key string embeds
+                // the output register (see expression_key) — but the
+                // available map is keyed on inputs only, so sweep it.
+                available.retain(|_, v| v.reg != w);
+            }
+
+            // Record this computation as available.
+            if !replaced {
+                if let (Some(k), Some(out)) = (expression_key(&program.instrs()[idx]), program.instrs()[idx].out_view())
+                {
+                    let out = out.clone();
+                    for r in program.instrs()[idx].input_regs() {
+                        mentions.entry(r).or_default().push(k.clone());
+                    }
+                    available.insert(k, out);
+                }
+            }
+        }
+        applied
+    }
+}
+
+/// Canonical key of a pure element-wise computation: op + input operands.
+/// `None` for non-elementwise or effectful instructions. Commutative ops
+/// sort their operands so `a+b` and `b+a` share a key.
+fn expression_key(instr: &Instruction) -> Option<String> {
+    if !instr.op.is_elementwise() || instr.op == Opcode::Identity {
+        return None;
+    }
+    // Exclude self-referencing computations (out aliases an input): their
+    // value depends on the pre-instruction content, which the key cannot
+    // capture.
+    let out = instr.out_reg()?;
+    if instr.reads(out) {
+        return None;
+    }
+    let mut parts: Vec<String> = instr.inputs().iter().map(|o| format!("{o}")).collect();
+    if instr.op.is_commutative() {
+        parts.sort();
+    }
+    Some(format!("{} {}", instr.op, parts.join(" ")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::{parse_program, PrintStyle};
+
+    fn run(text: &str) -> (Program, usize) {
+        let mut p = parse_program(text).unwrap();
+        let n = CommonSubexpression.apply(&mut p, &RewriteCtx::default());
+        (p, n)
+    }
+
+    #[test]
+    fn duplicate_computation_becomes_copy() {
+        let (p, n) = run(
+            "BH_IDENTITY a [0:4:1] 3\n\
+             BH_MULTIPLY x [0:4:1] a a\n\
+             BH_MULTIPLY y [0:4:1] a a\n\
+             BH_SYNC x\nBH_SYNC y\n",
+        );
+        assert_eq!(n, 1);
+        let text = p.to_text(PrintStyle::COMPACT);
+        assert!(text.contains("BH_IDENTITY y x"), "{text}");
+    }
+
+    #[test]
+    fn commutative_operands_match_in_either_order() {
+        let (p, n) = run(
+            "BH_IDENTITY a [0:4:1] 3\n\
+             BH_IDENTITY b [0:4:1] 4\n\
+             BH_ADD x [0:4:1] a b\n\
+             BH_ADD y [0:4:1] b a\n\
+             BH_SYNC x\nBH_SYNC y\n",
+        );
+        assert_eq!(n, 1);
+        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_IDENTITY y x"));
+    }
+
+    #[test]
+    fn non_commutative_order_matters() {
+        let (_, n) = run(
+            "BH_IDENTITY a [0:4:1] 3\n\
+             BH_IDENTITY b [0:4:1] 4\n\
+             BH_SUBTRACT x [0:4:1] a b\n\
+             BH_SUBTRACT y [0:4:1] b a\n\
+             BH_SYNC x\nBH_SYNC y\n",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn intervening_write_invalidates() {
+        let (_, n) = run(
+            "BH_IDENTITY a [0:4:1] 3\n\
+             BH_MULTIPLY x [0:4:1] a a\n\
+             BH_ADD a a 1\n\
+             BH_MULTIPLY y [0:4:1] a a\n\
+             BH_SYNC x\nBH_SYNC y\n",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn overwritten_result_invalidates() {
+        let (_, n) = run(
+            "BH_IDENTITY a [0:4:1] 3\n\
+             BH_MULTIPLY x [0:4:1] a a\n\
+             BH_IDENTITY x 0\n\
+             BH_MULTIPLY y [0:4:1] a a\n\
+             BH_SYNC x\nBH_SYNC y\n",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn self_updates_never_keyed() {
+        // a = a + 1 twice is NOT the same value twice.
+        let (_, n) = run(
+            "BH_IDENTITY a [0:4:1] 0\n\
+             BH_ADD a a 1\n\
+             BH_ADD a a 1\n\
+             BH_SYNC a\n",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn constants_participate_in_keys() {
+        let (_, n) = run(
+            "BH_IDENTITY a [0:4:1] 3\n\
+             BH_ADD x [0:4:1] a 1\n\
+             BH_ADD y [0:4:1] a 2\n\
+             BH_SYNC x\nBH_SYNC y\n",
+        );
+        assert_eq!(n, 0); // different constants, different expressions
+    }
+
+    #[test]
+    fn sliced_views_distinguish_expressions() {
+        let (_, n) = run(
+            "BH_IDENTITY a [0:8:1] 3\n\
+             BH_MULTIPLY x [0:4:1] a [0:4:1] a [0:4:1]\n\
+             BH_MULTIPLY y [0:4:1] a [4:8:1] a [4:8:1]\n\
+             BH_SYNC x\nBH_SYNC y\n",
+        );
+        assert_eq!(n, 0);
+    }
+}

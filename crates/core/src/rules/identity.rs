@@ -1,0 +1,240 @@
+//! Algebraic identity and annihilator simplification.
+//!
+//! `x + 0`, `x · 1`, `x¹`, `x ≫ 0`, `x ∨ false` … collapse to a plain copy
+//! (`BH_IDENTITY`), and a self-copy collapses to nothing. `x · 0`,
+//! `x ∧ false`, `x ∨ true` collapse to a constant fill. These are the
+//! smallest of the paper's "loop-fusion-like contractions of byte-codes".
+
+use crate::rule::{reassoc_allowed, views_equivalent, RewriteCtx, RewriteRule};
+use bh_ir::{Instruction, Opcode, Operand, Program};
+
+/// See the module documentation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlgebraicSimplify;
+
+impl RewriteRule for AlgebraicSimplify {
+    fn name(&self) -> &'static str {
+        "algebraic-simplify"
+    }
+
+    fn apply(&self, program: &mut Program, ctx: &RewriteCtx) -> usize {
+        let mut applied = 0;
+        for idx in 0..program.instrs().len() {
+            let instr = &program.instrs()[idx];
+            if !instr.op.is_elementwise() || instr.op.arity() != 2 {
+                continue;
+            }
+            let Some(out) = instr.out_view().cloned() else { continue };
+            let Some((const_pos, c)) = instr.sole_const_input() else { continue };
+            let other = instr.inputs()[1 - const_pos].clone();
+            let dtype = program.base(out.reg).dtype;
+            let c_typed = c.cast(dtype);
+            let op = instr.op;
+
+            // Identity element: x ⊕ e == x. Right-position only for
+            // non-commutative ops.
+            let identity_applies = op
+                .identity_scalar(dtype)
+                .is_some_and(|e| e == c_typed && (op.is_commutative() || const_pos == 1));
+            // `x + 0.0` flips the sign of -0.0; gate float add/sub-zero
+            // behind fast_math. `x · 1`, `x / 1`, `x ^ 1` are IEEE-exact.
+            let identity_exact = !matches!(op, Opcode::Add | Opcode::Subtract)
+                || reassoc_allowed(ctx, dtype);
+            if identity_applies && identity_exact {
+                program.instrs_mut()[idx] = if other
+                    .as_view()
+                    .is_some_and(|v| views_equivalent(program, v, &out))
+                {
+                    Instruction::noop()
+                } else {
+                    Instruction::unary(Opcode::Identity, out, other)
+                };
+                applied += 1;
+                continue;
+            }
+
+            // Annihilator: x ⊕ z == z. Exact for integers/bools; floats
+            // violate it on NaN/Inf (0 · NaN = NaN), so gate on fast_math.
+            let annihilates = op
+                .annihilator_scalar(dtype)
+                .is_some_and(|z| z == c_typed && (op.is_commutative() || const_pos == 1));
+            if annihilates && reassoc_allowed(ctx, dtype) {
+                program.instrs_mut()[idx] =
+                    Instruction::unary(Opcode::Identity, out, Operand::Const(c_typed));
+                applied += 1;
+            }
+        }
+        applied
+    }
+}
+
+/// Fold `BH_IDENTITY x x` (same view) into nothing, and fold
+/// constant-input unary float ops (`BH_SQRT y 4.0` → `BH_IDENTITY y 2.0`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrivialCopyElision;
+
+impl RewriteRule for TrivialCopyElision {
+    fn name(&self) -> &'static str {
+        "trivial-copy-elision"
+    }
+
+    fn apply(&self, program: &mut Program, _ctx: &RewriteCtx) -> usize {
+        let mut applied = 0;
+        for idx in 0..program.instrs().len() {
+            let instr = &program.instrs()[idx];
+            if instr.op != Opcode::Identity {
+                continue;
+            }
+            let Some(out) = instr.out_view() else { continue };
+            if let Some(input) = instr.inputs()[0].as_view() {
+                if views_equivalent(program, input, out)
+                    && program.base(input.reg).dtype == program.base(out.reg).dtype
+                {
+                    program.instrs_mut()[idx] = Instruction::noop();
+                    applied += 1;
+                }
+            }
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::{parse_program, PrintStyle};
+
+    fn apply(text: &str, ctx: &RewriteCtx) -> (Program, usize) {
+        let mut p = parse_program(text).unwrap();
+        let n = AlgebraicSimplify.apply(&mut p, ctx);
+        p.compact();
+        (p, n)
+    }
+
+    #[test]
+    fn add_zero_same_view_vanishes() {
+        let (p, n) = apply(
+            "BH_IDENTITY a0 [0:4:1] 5\nBH_ADD a0 a0 0\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 1);
+        assert_eq!(p.count_op(Opcode::Add), 0);
+        assert_eq!(p.instrs().len(), 2);
+    }
+
+    #[test]
+    fn add_zero_cross_register_becomes_copy() {
+        let (p, n) = apply(
+            "BH_IDENTITY a0 [0:4:1] 5\nBH_ADD b0 [0:4:1] a0 0\nBH_SYNC b0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 1);
+        assert_eq!(p.count_op(Opcode::Add), 0);
+        assert_eq!(p.count_op(Opcode::Identity), 2);
+    }
+
+    #[test]
+    fn multiply_one_and_power_one() {
+        let (p, n) = apply(
+            "BH_IDENTITY a0 [0:4:1] 5\n\
+             BH_MULTIPLY a0 a0 1\n\
+             BH_POWER a0 a0 1\n\
+             BH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 2);
+        assert_eq!(p.instrs().len(), 2);
+    }
+
+    #[test]
+    fn strict_ieee_keeps_add_zero_on_floats() {
+        let strict = RewriteCtx { fast_math: false, ..RewriteCtx::default() };
+        let (_, n) = apply(
+            "BH_IDENTITY a0 [0:4:1] 5\nBH_ADD a0 a0 0\nBH_SYNC a0\n",
+            &strict,
+        );
+        assert_eq!(n, 0);
+        // multiply-by-one is IEEE-exact and still fires
+        let (_, n) = apply(
+            "BH_IDENTITY a0 [0:4:1] 5\nBH_MULTIPLY a0 a0 1\nBH_SYNC a0\n",
+            &strict,
+        );
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn annihilator_multiply_zero() {
+        let (p, n) = apply(
+            ".base a0 i32[4]\n\
+             BH_IDENTITY a0 5\nBH_MULTIPLY a0 a0 0\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 1);
+        assert_eq!(p.count_op(Opcode::Multiply), 0);
+        let text = p.to_text(PrintStyle::COMPACT);
+        assert!(text.contains("BH_IDENTITY a0 0"), "{text}");
+    }
+
+    #[test]
+    fn subtract_zero_right_only() {
+        // x - 0 simplifies; 0 - x does not.
+        let (_, n) = apply(
+            "BH_IDENTITY a0 [0:4:1] 5\nBH_SUBTRACT a0 a0 0\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 1);
+        let (_, n) = apply(
+            "BH_IDENTITY a0 [0:4:1] 5\nBH_SUBTRACT a0 0 a0\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn logical_lattice_identities() {
+        let (p, n) = apply(
+            ".base m bool[4]\n\
+             BH_IDENTITY m true\n\
+             BH_LOGICAL_AND m m true\n\
+             BH_LOGICAL_OR m m true\n\
+             BH_SYNC m\n",
+        &RewriteCtx::default(),
+        );
+        // AND true is an identity (removed); OR true annihilates (fill).
+        assert_eq!(n, 2);
+        assert_eq!(p.count_op(Opcode::LogicalAnd), 0);
+        assert_eq!(p.count_op(Opcode::LogicalOr), 0);
+    }
+
+    #[test]
+    fn shift_by_zero() {
+        let (p, n) = apply(
+            ".base a0 u32[4]\n\
+             BH_IDENTITY a0 5\nBH_LEFT_SHIFT a0 a0 0\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 1);
+        assert_eq!(p.count_op(Opcode::LeftShift), 0);
+    }
+
+    #[test]
+    fn nonidentity_constants_untouched() {
+        let (_, n) = apply(
+            "BH_IDENTITY a0 [0:4:1] 5\nBH_ADD a0 a0 2\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn trivial_copy_elision() {
+        let mut p = parse_program(
+            "BH_IDENTITY a0 [0:4:1] 1\nBH_IDENTITY a0 a0\nBH_SYNC a0\n",
+        )
+        .unwrap();
+        let n = TrivialCopyElision.apply(&mut p, &RewriteCtx::default());
+        p.compact();
+        assert_eq!(n, 1);
+        assert_eq!(p.count_op(Opcode::Identity), 1);
+    }
+}

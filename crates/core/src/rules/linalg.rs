@@ -1,0 +1,234 @@
+//! The context-aware Eq. 2 rewrite: inverse-then-multiply becomes solve.
+//!
+//! ```text
+//! BH_INVERSE t A          BH_NONE
+//! BH_MATMUL  x t B   ⇒    BH_SOLVE x A B
+//! ```
+//!
+//! "Instead one could do a LU-factorization of the same problem, which
+//! would usually be faster to compute. Note that this is of course only
+//! faster, if we do not use the A⁻¹ tensor for anything else in our
+//! computations." (§2). That side condition is exactly what
+//! [`DefUse::read_after`] checks.
+
+use crate::rule::{is_full_view, RewriteCtx, RewriteRule};
+use bh_ir::{DefUse, Instruction, Opcode, Program};
+
+/// See the module documentation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InverseSolveRewrite;
+
+impl RewriteRule for InverseSolveRewrite {
+    fn name(&self) -> &'static str {
+        "inverse-solve"
+    }
+
+    fn apply(&self, program: &mut Program, _ctx: &RewriteCtx) -> usize {
+        let mut applied = 0;
+        loop {
+            let du = DefUse::compute(program);
+            let Some((inv_idx, mm_idx)) = find_pattern(program, &du) else {
+                break;
+            };
+            let a = program.instrs()[inv_idx].inputs()[0].clone();
+            let mm = &mut program.instrs_mut()[mm_idx];
+            mm.op = Opcode::Solve;
+            mm.operands[1] = a;
+            program.instrs_mut()[inv_idx] = Instruction::noop();
+            applied += 1;
+        }
+        applied
+    }
+}
+
+fn find_pattern(program: &Program, du: &DefUse) -> Option<(usize, usize)> {
+    let instrs = program.instrs();
+    for (mm_idx, mm) in instrs.iter().enumerate() {
+        if mm.op != Opcode::MatMul {
+            continue;
+        }
+        // x = t @ B with t the *left* operand (A⁻¹B solves Ax = B; B·A⁻¹
+        // would be the transposed system and is out of scope).
+        let Some(t) = mm.inputs()[0].as_view() else { continue };
+        let Some(b) = mm.inputs()[1].as_view() else { continue };
+        if !is_full_view(program, t) {
+            continue;
+        }
+        // Find the defining BH_INVERSE of t.
+        let Some(&inv_idx) = du.defs(t.reg).iter().filter(|&&d| d < mm_idx).next_back()
+        else {
+            continue;
+        };
+        let inv = &instrs[inv_idx];
+        if inv.op != Opcode::Inverse {
+            continue;
+        }
+        let Some(inv_out) = inv.out_view() else { continue };
+        if !is_full_view(program, inv_out) {
+            continue;
+        }
+        let Some(a) = inv.inputs()[0].as_view() else { continue };
+        // Side condition 1: the inverse is used *only* by this matmul
+        // (later BH_FREEs of t are fine — the value itself is not read).
+        let extra_use = du.uses(t.reg).iter().any(|&u| {
+            u != mm_idx && !matches!(instrs[u].op, Opcode::Free)
+        });
+        if extra_use {
+            continue;
+        }
+        // Side condition 2: t is defined exactly once (no partial updates
+        // blending other data into the "inverse").
+        if du.defs(t.reg).len() != 1 {
+            continue;
+        }
+        // Side condition 3: A and B unchanged between the two sites.
+        if du.written_between(a.reg, inv_idx, mm_idx)
+            || du.written_between(b.reg, inv_idx, mm_idx)
+        {
+            continue;
+        }
+        return Some((inv_idx, mm_idx));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::{parse_program, PrintStyle};
+
+    fn run(text: &str) -> (Program, usize) {
+        let mut p = parse_program(text).unwrap();
+        let n = InverseSolveRewrite.apply(&mut p, &RewriteCtx::default());
+        p.compact();
+        (p, n)
+    }
+
+    const EQ2: &str = "\
+.base a f64[8,8] input
+.base b f64[8] input
+.base t f64[8,8]
+.base x f64[8]
+BH_INVERSE t a
+BH_MATMUL x t b
+BH_SYNC x
+";
+
+    #[test]
+    fn eq2_rewrites_to_solve() {
+        let (p, n) = run(EQ2);
+        assert_eq!(n, 1);
+        assert_eq!(p.count_op(Opcode::Inverse), 0);
+        assert_eq!(p.count_op(Opcode::MatMul), 0);
+        let text = p.to_text(PrintStyle::COMPACT);
+        assert!(text.contains("BH_SOLVE x a b"), "{text}");
+    }
+
+    #[test]
+    fn inverse_with_another_use_is_kept() {
+        // The paper's side condition: A⁻¹ is used for something else.
+        let (p, n) = run(
+            ".base a f64[8,8] input
+.base b f64[8] input
+.base t f64[8,8]
+.base x f64[8]
+.base y f64[8,8]
+BH_INVERSE t a
+BH_MATMUL x t b
+BH_ADD y t t
+BH_SYNC x
+BH_SYNC y
+",
+        );
+        assert_eq!(n, 0);
+        assert_eq!(p.count_op(Opcode::Inverse), 1);
+    }
+
+    #[test]
+    fn freeing_the_inverse_afterwards_is_fine() {
+        let (p, n) = run(
+            ".base a f64[8,8] input
+.base b f64[8] input
+.base t f64[8,8]
+.base x f64[8]
+BH_INVERSE t a
+BH_MATMUL x t b
+BH_FREE t
+BH_SYNC x
+",
+        );
+        assert_eq!(n, 1);
+        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_SOLVE"));
+    }
+
+    #[test]
+    fn right_multiplication_is_out_of_scope() {
+        // x = B @ A⁻¹ solves a transposed system; must not rewrite.
+        let (_, n) = run(
+            ".base a f64[8,8] input
+.base b f64[8,8] input
+.base t f64[8,8]
+.base x f64[8,8]
+BH_INVERSE t a
+BH_MATMUL x b t
+BH_SYNC x
+",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn modified_coefficient_matrix_blocks_rewrite() {
+        let (_, n) = run(
+            ".base a f64[8,8] input
+.base b f64[8] input
+.base t f64[8,8]
+.base x f64[8]
+BH_INVERSE t a
+BH_ADD a a 1
+BH_MATMUL x t b
+BH_SYNC x
+",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn matrix_rhs_also_rewrites() {
+        let (p, n) = run(
+            ".base a f64[8,8] input
+.base b f64[8,3] input
+.base t f64[8,8]
+.base x f64[8,3]
+BH_INVERSE t a
+BH_MATMUL x t b
+BH_SYNC x
+",
+        );
+        assert_eq!(n, 1);
+        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_SOLVE x a b"));
+    }
+
+    #[test]
+    fn repeated_patterns_all_rewrite() {
+        let (p, n) = run(
+            ".base a f64[4,4] input
+.base b f64[4] input
+.base c f64[4,4] input
+.base d f64[4] input
+.base t1 f64[4,4]
+.base t2 f64[4,4]
+.base x f64[4]
+.base y f64[4]
+BH_INVERSE t1 a
+BH_MATMUL x t1 b
+BH_INVERSE t2 c
+BH_MATMUL y t2 d
+BH_SYNC x
+BH_SYNC y
+",
+        );
+        assert_eq!(n, 2);
+        assert_eq!(p.count_op(Opcode::Solve), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! The rule library.
+//!
+//! Every transformation the paper describes (plus the standard clean-up
+//! passes they enable) lives here as an independent [`RewriteRule`]:
+//!
+//! | Rule | Paper artefact |
+//! |------|----------------|
+//! | [`ConstantMerge`] | Listing 2 → Listing 3 constant merging |
+//! | [`PowerExpansion`] | Eq. 1 / Listings 4–5 power expansion |
+//! | [`MultiplyChainReroll`] | Eq. 1 "or vice versa" |
+//! | [`InverseSolveRewrite`] | Eq. 2 context-aware solve |
+//! | [`AlgebraicSimplify`] | identity/annihilator contractions (§2) |
+//! | [`StrengthReduction`] | cheap-op substitutions (§2) |
+//! | [`CopyPropagation`], [`CommonSubexpression`], [`DeadCodeElimination`], [`TrivialCopyElision`] | enabling clean-ups |
+//!
+//! [`RewriteRule`]: crate::rule::RewriteRule
+
+mod const_merge;
+mod copyprop;
+mod cse;
+mod dce;
+mod identity;
+mod linalg;
+mod power;
+mod strength;
+
+pub use const_merge::ConstantMerge;
+pub use copyprop::CopyPropagation;
+pub use cse::CommonSubexpression;
+pub use dce::DeadCodeElimination;
+pub use identity::{AlgebraicSimplify, TrivialCopyElision};
+pub use linalg::InverseSolveRewrite;
+pub use power::{MultiplyChainReroll, PowerExpansion};
+pub use strength::StrengthReduction;

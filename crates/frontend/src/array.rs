@@ -1,0 +1,406 @@
+//! The lazy array handle.
+
+use crate::context::{Context, RegGuard};
+use bh_ir::{Instruction, Opcode, Operand, Reg, ViewRef};
+use bh_tensor::{DType, Scalar, Shape, Tensor};
+use bh_vm::VmError;
+use std::sync::Arc;
+
+/// A lazy n-dimensional array: operations on it record byte-code in its
+/// [`Context`]; nothing executes until [`BhArray::eval`] (or
+/// [`Context::flush`]).
+///
+/// Cloning is cheap (a handle copy); the underlying register is freed
+/// (`BH_FREE`) when the last handle drops.
+///
+/// # Examples
+///
+/// ```
+/// use bh_frontend::Context;
+/// use bh_tensor::{DType, Shape};
+///
+/// let ctx = Context::new();
+/// let x = ctx.arange(DType::Float64, 5);
+/// let y = (&x * &x) + 1.0; // records byte-code only
+/// assert_eq!(y.eval()?.to_f64_vec(), vec![1.0, 2.0, 5.0, 10.0, 17.0]);
+/// # Ok::<(), bh_vm::VmError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BhArray {
+    ctx: Context,
+    guard: Arc<RegGuard>,
+}
+
+impl BhArray {
+    pub(crate) fn from_parts(ctx: Context, guard: Arc<RegGuard>) -> BhArray {
+        BhArray { ctx, guard }
+    }
+
+    /// The backing byte-code register.
+    pub fn reg(&self) -> Reg {
+        self.guard.reg
+    }
+
+    /// Element dtype.
+    pub fn dtype(&self) -> DType {
+        self.guard.dtype
+    }
+
+    /// Logical shape.
+    pub fn shape(&self) -> &Shape {
+        &self.guard.shape
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Synchronise and materialise this array on the host (optimises and
+    /// executes the recorded program).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation/execution failures.
+    pub fn eval(&self) -> Result<Tensor, VmError> {
+        self.ctx.eval_reg(self.reg())
+    }
+
+    // ---- recording helpers -------------------------------------------
+
+    fn fresh_like(&self, dtype: DType, shape: Shape) -> BhArray {
+        self.ctx.make_array(dtype, shape)
+    }
+
+    pub(crate) fn record_binary(&self, op: Opcode, a: Operand, b: Operand, out: &BhArray) {
+        self.ctx
+            .push(Instruction::binary(op, ViewRef::full(out.reg()), a, b));
+    }
+
+    /// `out = self ⊕ other` with automatic dtype promotion (a `BH_IDENTITY`
+    /// cast is recorded for the narrower side, as Bohrium's bridge does).
+    pub fn binary_with(&self, op: Opcode, other: &BhArray) -> BhArray {
+        let out_shape = self
+            .shape()
+            .broadcast(other.shape())
+            .expect("operand shapes must broadcast");
+        let promoted = DType::promote(self.dtype(), other.dtype());
+        let lhs = self.cast_if_needed(promoted);
+        let rhs = other.cast_if_needed(promoted);
+        let out_dtype = match op.type_rule() {
+            bh_ir::TypeRule::CompareLike => DType::Bool,
+            _ => promoted,
+        };
+        let out = self.fresh_like(out_dtype, out_shape);
+        self.record_binary(
+            op,
+            Operand::full(lhs.reg()),
+            Operand::full(rhs.reg()),
+            &out,
+        );
+        // Keep the cast temporaries alive until after the instruction is
+        // recorded (their BH_FREE must come after the use).
+        drop((lhs, rhs));
+        out
+    }
+
+    /// `out = self ⊕ scalar` (scalar cast to this array's dtype).
+    pub fn binary_scalar(&self, op: Opcode, scalar: Scalar) -> BhArray {
+        let out_dtype = match op.type_rule() {
+            bh_ir::TypeRule::CompareLike => DType::Bool,
+            _ => self.dtype(),
+        };
+        let out = self.fresh_like(out_dtype, self.shape().clone());
+        self.record_binary(
+            op,
+            Operand::full(self.reg()),
+            Operand::Const(scalar.cast(self.dtype())),
+            &out,
+        );
+        out
+    }
+
+    /// `out = scalar ⊕ self` for non-commutative ops.
+    pub fn binary_scalar_rev(&self, op: Opcode, scalar: Scalar) -> BhArray {
+        let out_dtype = match op.type_rule() {
+            bh_ir::TypeRule::CompareLike => DType::Bool,
+            _ => self.dtype(),
+        };
+        let out = self.fresh_like(out_dtype, self.shape().clone());
+        self.record_binary(
+            op,
+            Operand::Const(scalar.cast(self.dtype())),
+            Operand::full(self.reg()),
+            &out,
+        );
+        out
+    }
+
+    /// In-place `self = self ⊕ scalar` — the `a += 1` of Listing 1.
+    pub fn binary_scalar_inplace(&mut self, op: Opcode, scalar: Scalar) {
+        let target = ViewRef::full(self.reg());
+        self.ctx.push(Instruction::binary(
+            op,
+            target.clone(),
+            Operand::View(target),
+            Operand::Const(scalar.cast(self.dtype())),
+        ));
+    }
+
+    /// In-place `self = self ⊕ other`.
+    pub fn binary_inplace(&mut self, op: Opcode, other: &BhArray) {
+        let promoted = DType::promote(self.dtype(), other.dtype());
+        assert_eq!(
+            promoted,
+            self.dtype(),
+            "in-place update cannot widen {} to {promoted}",
+            self.dtype()
+        );
+        let rhs = other.cast_if_needed(self.dtype());
+        let target = ViewRef::full(self.reg());
+        self.ctx.push(Instruction::binary(
+            op,
+            target.clone(),
+            Operand::View(target),
+            Operand::full(rhs.reg()),
+        ));
+        drop(rhs);
+    }
+
+    fn unary_to(&self, op: Opcode, out_dtype: DType) -> BhArray {
+        let out = self.fresh_like(out_dtype, self.shape().clone());
+        self.ctx.push(Instruction::unary(
+            op,
+            ViewRef::full(out.reg()),
+            Operand::full(self.reg()),
+        ));
+        out
+    }
+
+    fn cast_if_needed(&self, dtype: DType) -> BhArray {
+        if self.dtype() == dtype {
+            self.clone()
+        } else {
+            self.unary_to(Opcode::Identity, dtype)
+        }
+    }
+
+    /// Copy cast to another dtype (`astype` in NumPy).
+    pub fn astype(&self, dtype: DType) -> BhArray {
+        self.unary_to(Opcode::Identity, dtype)
+    }
+
+    /// An independent copy of this array's current value.
+    pub fn copy(&self) -> BhArray {
+        self.unary_to(Opcode::Identity, self.dtype())
+    }
+
+    // ---- element-wise math -------------------------------------------
+
+    /// `x^n` via `BH_POWER` with an integral exponent — the byte-code the
+    /// paper's Eq. 1 transformation targets.
+    pub fn powi(&self, n: i64) -> BhArray {
+        self.binary_scalar(Opcode::Power, Scalar::I64(n))
+    }
+
+    /// `x^p` with a float exponent.
+    pub fn powf(&self, p: f64) -> BhArray {
+        self.binary_scalar(Opcode::Power, Scalar::F64(p))
+    }
+
+    /// Element-wise maximum.
+    pub fn maximum(&self, other: &BhArray) -> BhArray {
+        self.binary_with(Opcode::Maximum, other)
+    }
+
+    /// Element-wise minimum.
+    pub fn minimum(&self, other: &BhArray) -> BhArray {
+        self.binary_with(Opcode::Minimum, other)
+    }
+
+    // ---- comparisons (bool results) ------------------------------------
+
+    /// Element-wise `>`.
+    pub fn gt(&self, other: &BhArray) -> BhArray {
+        self.binary_with(Opcode::Greater, other)
+    }
+
+    /// Element-wise `<`.
+    pub fn lt(&self, other: &BhArray) -> BhArray {
+        self.binary_with(Opcode::Less, other)
+    }
+
+    /// Element-wise `> scalar`.
+    pub fn gt_scalar(&self, s: Scalar) -> BhArray {
+        self.binary_scalar(Opcode::Greater, s)
+    }
+
+    /// Element-wise `< scalar`.
+    pub fn lt_scalar(&self, s: Scalar) -> BhArray {
+        self.binary_scalar(Opcode::Less, s)
+    }
+
+    // ---- reductions -----------------------------------------------------
+
+    fn reduce(&self, op: Opcode, axis: usize) -> BhArray {
+        assert!(axis < self.shape().rank(), "reduction axis out of range");
+        let out_shape = self.shape().without_axis(axis);
+        let out_dtype = self.dtype().reduce_dtype();
+        let out = self.fresh_like(out_dtype, out_shape);
+        self.ctx.push(Instruction::binary(
+            op,
+            ViewRef::full(out.reg()),
+            Operand::full(self.reg()),
+            Operand::Const(Scalar::I64(axis as i64)),
+        ));
+        out
+    }
+
+    fn reduce_all(&self, op: Opcode) -> BhArray {
+        let mut acc = self.clone();
+        while acc.shape().rank() > 0 {
+            acc = acc.reduce(op, 0);
+        }
+        acc
+    }
+
+    /// Sum along `axis` (`BH_ADD_REDUCE`).
+    pub fn sum_axis(&self, axis: usize) -> BhArray {
+        self.reduce(Opcode::AddReduce, axis)
+    }
+
+    /// Sum of all elements (repeated axis-0 reductions, as the bridge
+    /// lowers `np.sum`).
+    pub fn sum(&self) -> BhArray {
+        self.reduce_all(Opcode::AddReduce)
+    }
+
+    /// Product along `axis`.
+    pub fn prod_axis(&self, axis: usize) -> BhArray {
+        self.reduce(Opcode::MultiplyReduce, axis)
+    }
+
+    /// Maximum along `axis`.
+    pub fn max_axis(&self, axis: usize) -> BhArray {
+        self.reduce(Opcode::MaximumReduce, axis)
+    }
+
+    /// Minimum along `axis`.
+    pub fn min_axis(&self, axis: usize) -> BhArray {
+        self.reduce(Opcode::MinimumReduce, axis)
+    }
+
+    /// Maximum of all elements.
+    pub fn max(&self) -> BhArray {
+        self.reduce_all(Opcode::MaximumReduce)
+    }
+
+    /// Cumulative sum along `axis` (`BH_ADD_ACCUMULATE`).
+    pub fn cumsum_axis(&self, axis: usize) -> BhArray {
+        assert!(axis < self.shape().rank(), "scan axis out of range");
+        let out = self.fresh_like(self.dtype(), self.shape().clone());
+        self.ctx.push(Instruction::binary(
+            Opcode::AddAccumulate,
+            ViewRef::full(out.reg()),
+            Operand::full(self.reg()),
+            Operand::Const(Scalar::I64(axis as i64)),
+        ));
+        out
+    }
+
+    // ---- linear algebra -------------------------------------------------
+
+    /// Matrix multiply (`BH_MATMUL`), NumPy `dot` semantics for rank ≤ 2.
+    pub fn matmul(&self, other: &BhArray) -> BhArray {
+        let out_shape = bh_linalg_result_shape(self.shape(), other.shape());
+        let out = self.fresh_like(self.dtype(), out_shape);
+        self.record_binary(
+            Opcode::MatMul,
+            Operand::full(self.reg()),
+            Operand::full(other.reg()),
+            &out,
+        );
+        out
+    }
+
+    /// Explicit matrix inverse (`BH_INVERSE`) — the *left* path of Eq. 2.
+    pub fn inv(&self) -> BhArray {
+        self.unary_to(Opcode::Inverse, self.dtype())
+    }
+
+    /// Solve `self · x = rhs` (`BH_SOLVE`) — the *right* path of Eq. 2.
+    pub fn solve(&self, rhs: &BhArray) -> BhArray {
+        let out = self.fresh_like(rhs.dtype(), rhs.shape().clone());
+        self.record_binary(
+            Opcode::Solve,
+            Operand::full(self.reg()),
+            Operand::full(rhs.reg()),
+            &out,
+        );
+        out
+    }
+
+    /// Matrix transpose (`BH_TRANSPOSE`).
+    pub fn transpose(&self) -> BhArray {
+        assert_eq!(self.shape().rank(), 2, "transpose needs a matrix");
+        let out_shape = Shape::matrix(self.shape().dim(1), self.shape().dim(0));
+        self.unary_shaped(Opcode::Transpose, self.dtype(), out_shape)
+    }
+
+    fn unary_shaped(&self, op: Opcode, dtype: DType, shape: Shape) -> BhArray {
+        let out = self.fresh_like(dtype, shape);
+        self.ctx.push(Instruction::unary(
+            op,
+            ViewRef::full(out.reg()),
+            Operand::full(self.reg()),
+        ));
+        out
+    }
+}
+
+fn bh_linalg_result_shape(a: &Shape, b: &Shape) -> Shape {
+    bh_linalg::matmul_result_shape(a, b)
+        .expect("matmul operand shapes must be compatible")
+}
+
+macro_rules! float_unary_methods {
+    ($($(#[$doc:meta])* $name:ident => $op:ident;)*) => {
+        impl BhArray {
+            $(
+                $(#[$doc])*
+                pub fn $name(&self) -> BhArray {
+                    self.unary_to(Opcode::$op, self.dtype())
+                }
+            )*
+        }
+    };
+}
+
+float_unary_methods! {
+    /// Element-wise square root (`BH_SQRT`).
+    sqrt => Sqrt;
+    /// Element-wise natural exponential (`BH_EXP`).
+    exp => Exp;
+    /// Element-wise natural logarithm (`BH_LOG`).
+    ln => Log;
+    /// Element-wise base-2 logarithm (`BH_LOG2`).
+    log2 => Log2;
+    /// Element-wise base-10 logarithm (`BH_LOG10`).
+    log10 => Log10;
+    /// Element-wise sine (`BH_SIN`).
+    sin => Sin;
+    /// Element-wise cosine (`BH_COS`).
+    cos => Cos;
+    /// Element-wise tangent (`BH_TAN`).
+    tan => Tan;
+    /// Element-wise hyperbolic tangent (`BH_TANH`).
+    tanh => Tanh;
+    /// Element-wise absolute value (`BH_ABSOLUTE`).
+    abs => Absolute;
+    /// Element-wise sign (`BH_SIGN`).
+    sign => Sign;
+    /// Element-wise floor (`BH_FLOOR`).
+    floor => Floor;
+    /// Element-wise ceiling (`BH_CEIL`).
+    ceil => Ceil;
+}

@@ -1,0 +1,300 @@
+//! The recording context: the front-end half of the Bohrium bridge.
+//!
+//! Every array operation appends byte-code to a growing program instead of
+//! computing anything. When a result is requested ([`crate::BhArray::eval`]
+//! or [`Context::flush`]), the context optimises a snapshot of the program
+//! with `bh-opt` and executes it on `bh-vm`, exactly like Bohrium's
+//! NumPy bridge intercepting calls and handing byte-code to the runtime.
+//!
+//! Execution uses *replay* semantics: each flush re-runs the whole recorded
+//! program on a fresh VM. All sources of data are deterministic (seeded
+//! `BH_RANDOM`, bound host tensors), so replay is semantics-preserving.
+
+use bh_ir::{Instruction, Opcode, PrintStyle, Program, Reg, ViewRef};
+use bh_opt::{OptOptions, OptReport, Optimizer};
+use bh_tensor::{DType, Scalar, Shape, Tensor};
+use bh_vm::{Engine, ExecStats, Vm, VmError};
+use parking_lot::Mutex;
+use std::sync::{Arc, Weak};
+
+pub(crate) struct Inner {
+    pub(crate) program: Program,
+    bound: Vec<(String, Tensor)>,
+    options: OptOptions,
+    engine: Engine,
+    threads: usize,
+    next_id: usize,
+    last_report: Option<OptReport>,
+    last_stats: Option<ExecStats>,
+}
+
+impl Inner {
+    fn fresh_name(&mut self) -> String {
+        let name = format!("a{}", self.next_id);
+        self.next_id += 1;
+        name
+    }
+}
+
+/// Handle to one array register; records `BH_FREE` when the last user
+/// drops it, mirroring Bohrium's discard semantics.
+pub(crate) struct RegGuard {
+    pub(crate) reg: Reg,
+    pub(crate) dtype: DType,
+    pub(crate) shape: Shape,
+    ctx: Weak<Mutex<Inner>>,
+}
+
+impl Drop for RegGuard {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.upgrade() {
+            let mut inner = ctx.lock();
+            inner
+                .program
+                .push(Instruction::free(ViewRef::full(self.reg)));
+        }
+    }
+}
+
+impl std::fmt::Debug for RegGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RegGuard({}, {} {})", self.reg, self.dtype, self.shape)
+    }
+}
+
+/// A lazy-evaluation context: the front-end's stand-in for
+/// `import bohrium as np`.
+///
+/// # Examples
+///
+/// The paper's Listing 1, in Rust:
+///
+/// ```
+/// use bh_frontend::Context;
+/// use bh_tensor::{DType, Shape};
+///
+/// let ctx = Context::new();
+/// let mut a = ctx.zeros(DType::Float64, Shape::vector(10));
+/// a += 1.0;
+/// a += 1.0;
+/// a += 1.0;
+/// let t = a.eval()?;
+/// assert_eq!(t.to_f64_vec(), vec![3.0; 10]);
+/// # Ok::<(), bh_vm::VmError>(())
+/// ```
+#[derive(Clone)]
+pub struct Context {
+    pub(crate) inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Context {
+    fn default() -> Context {
+        Context::new()
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        write!(
+            f,
+            "Context({} byte-codes, {} bases)",
+            inner.program.instrs().len(),
+            inner.program.bases().len()
+        )
+    }
+}
+
+impl Context {
+    /// A context with default (O2, fast-math) optimisation and the naive
+    /// engine — Bohrium's defaults per the paper's §4.
+    pub fn new() -> Context {
+        Context::with_options(OptOptions::default())
+    }
+
+    /// A context with explicit optimisation options.
+    pub fn with_options(options: OptOptions) -> Context {
+        Context {
+            inner: Arc::new(Mutex::new(Inner {
+                program: Program::new(),
+                bound: Vec::new(),
+                options,
+                engine: Engine::Naive,
+                threads: 1,
+                next_id: 0,
+                last_report: None,
+                last_stats: None,
+            })),
+        }
+    }
+
+    /// Select the execution engine (naive / fusing).
+    pub fn set_engine(&self, engine: Engine) {
+        self.inner.lock().engine = engine;
+    }
+
+    /// Set the worker-thread count for large element-wise operations.
+    pub fn set_threads(&self, threads: usize) {
+        self.inner.lock().threads = threads.max(1);
+    }
+
+    /// Replace the optimisation options used at flush time.
+    pub fn set_options(&self, options: OptOptions) {
+        self.inner.lock().options = options;
+    }
+
+    pub(crate) fn make_array(&self, dtype: DType, shape: Shape) -> crate::BhArray {
+        let mut inner = self.inner.lock();
+        let name = inner.fresh_name();
+        let reg = inner.program.declare(&name, dtype, shape.clone());
+        drop(inner);
+        crate::BhArray::from_parts(
+            self.clone(),
+            Arc::new(RegGuard {
+                reg,
+                dtype,
+                shape,
+                ctx: Arc::downgrade(&self.inner),
+            }),
+        )
+    }
+
+    pub(crate) fn push(&self, instr: Instruction) {
+        self.inner.lock().program.push(instr);
+    }
+
+    /// Record `BH_IDENTITY target <value>`.
+    pub(crate) fn fill(&self, reg: Reg, value: Scalar) {
+        self.push(Instruction::unary(Opcode::Identity, ViewRef::full(reg), value));
+    }
+
+    /// All-zeros array, like `np.zeros`.
+    pub fn zeros(&self, dtype: DType, shape: Shape) -> crate::BhArray {
+        let a = self.make_array(dtype, shape);
+        self.fill(a.reg(), Scalar::zero(dtype));
+        a
+    }
+
+    /// All-ones array, like `np.ones`.
+    pub fn ones(&self, dtype: DType, shape: Shape) -> crate::BhArray {
+        let a = self.make_array(dtype, shape);
+        self.fill(a.reg(), Scalar::one(dtype));
+        a
+    }
+
+    /// Constant-filled array, like `np.full`.
+    pub fn full(&self, dtype: DType, shape: Shape, value: Scalar) -> crate::BhArray {
+        let a = self.make_array(dtype, shape);
+        self.fill(a.reg(), value.cast(dtype));
+        a
+    }
+
+    /// `[0, 1, …, n-1]`, like `np.arange`.
+    pub fn arange(&self, dtype: DType, n: usize) -> crate::BhArray {
+        let a = self.make_array(dtype, Shape::vector(n));
+        self.push(Instruction::range(ViewRef::full(a.reg())));
+        a
+    }
+
+    /// Seeded uniform-random array (`BH_RANDOM`).
+    pub fn random(&self, dtype: DType, shape: Shape, seed: u64) -> crate::BhArray {
+        let a = self.make_array(dtype, shape);
+        self.push(Instruction::unary(
+            Opcode::Random,
+            ViewRef::full(a.reg()),
+            Scalar::I64(seed as i64),
+        ));
+        a
+    }
+
+    /// Wrap host data as an input array (like feeding an existing NumPy
+    /// array to Bohrium).
+    pub fn array(&self, tensor: Tensor) -> crate::BhArray {
+        let mut inner = self.inner.lock();
+        let name = inner.fresh_name();
+        let reg = inner
+            .program
+            .try_declare(&name, tensor.dtype(), tensor.shape().clone(), true)
+            .expect("fresh names never collide");
+        let dtype = tensor.dtype();
+        let shape = tensor.shape().clone();
+        inner.bound.push((name, tensor));
+        drop(inner);
+        crate::BhArray::from_parts(
+            self.clone(),
+            Arc::new(RegGuard {
+                reg,
+                dtype,
+                shape,
+                ctx: Arc::downgrade(&self.inner),
+            }),
+        )
+    }
+
+    /// The byte-code recorded so far, in the paper's textual format.
+    pub fn recorded_text(&self, style: PrintStyle) -> String {
+        self.inner.lock().program.to_text(style)
+    }
+
+    /// Number of byte-codes recorded so far.
+    pub fn recorded_len(&self) -> usize {
+        self.inner.lock().program.instrs().len()
+    }
+
+    /// Optimise a snapshot of the recorded program and execute it,
+    /// returning the tensor value of `reg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation or execution failures from the VM.
+    pub(crate) fn eval_reg(&self, reg: Reg) -> Result<Tensor, VmError> {
+        let mut inner = self.inner.lock();
+        // Record the sync that makes this register observable.
+        inner.program.push(Instruction::sync(ViewRef::full(reg)));
+        let mut snapshot = inner.program.clone();
+        let optimizer = Optimizer::new(inner.options.clone());
+        let report = optimizer.run(&mut snapshot);
+        let mut vm = Vm::with_engine(inner.engine);
+        vm.set_threads(inner.threads);
+        for (name, tensor) in &inner.bound {
+            vm.bind_by_name(&snapshot, name, tensor)?;
+        }
+        vm.run(&snapshot)?;
+        let result = vm.read(&snapshot, reg)?;
+        inner.last_report = Some(report);
+        inner.last_stats = Some(*vm.stats());
+        Ok(result)
+    }
+
+    /// Force optimisation + execution of everything recorded (without
+    /// reading a result).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation or execution failures from the VM.
+    pub fn flush(&self) -> Result<(), VmError> {
+        let mut inner = self.inner.lock();
+        let mut snapshot = inner.program.clone();
+        let optimizer = Optimizer::new(inner.options.clone());
+        let report = optimizer.run(&mut snapshot);
+        let mut vm = Vm::with_engine(inner.engine);
+        vm.set_threads(inner.threads);
+        for (name, tensor) in &inner.bound {
+            vm.bind_by_name(&snapshot, name, tensor)?;
+        }
+        vm.run(&snapshot)?;
+        inner.last_report = Some(report);
+        inner.last_stats = Some(*vm.stats());
+        Ok(())
+    }
+
+    /// The optimisation report of the most recent flush.
+    pub fn last_report(&self) -> Option<OptReport> {
+        self.inner.lock().last_report.clone()
+    }
+
+    /// The execution statistics of the most recent flush.
+    pub fn last_stats(&self) -> Option<ExecStats> {
+        self.inner.lock().last_stats
+    }
+}

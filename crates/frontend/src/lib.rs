@@ -1,0 +1,257 @@
+//! # bh-frontend — lazy NumPy-flavoured front-end
+//!
+//! The "programmer only has to change the import from numpy to bohrium"
+//! half of the paper: a NumPy-like array API whose operations record
+//! descriptive vector byte-code (`bh-ir`) instead of computing. On
+//! evaluation the recorded sequence is algebraically transformed
+//! (`bh-opt`) and executed (`bh-vm`) — so unchanged high-productivity code
+//! gets the optimised byte-code of Listings 3 and 5 automatically.
+//!
+//! # Example — the paper's Listing 1
+//!
+//! ```
+//! use bh_frontend::Context;
+//! use bh_ir::PrintStyle;
+//! use bh_tensor::{DType, Shape};
+//!
+//! let ctx = Context::new();
+//! let mut a = ctx.zeros(DType::Float64, Shape::vector(10)); // np.zeros(10)
+//! a += 1.0;
+//! a += 1.0;
+//! a += 1.0;
+//!
+//! // The recorded byte-code is exactly the paper's Listing 2:
+//! let text = ctx.recorded_text(PrintStyle::LISTING);
+//! assert!(text.contains("BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0"));
+//!
+//! // ... and evaluation optimises it to Listing 3 before running.
+//! let t = a.eval()?;
+//! assert_eq!(t.to_f64_vec(), vec![3.0; 10]);
+//! let report = ctx.last_report().unwrap();
+//! assert!(report.total_applications() >= 2); // the two merged adds
+//! # Ok::<(), bh_vm::VmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod array;
+mod context;
+mod ops;
+
+pub use array::BhArray;
+pub use context::Context;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::PrintStyle;
+    use bh_tensor::{DType, Scalar, Shape, Tensor};
+
+    fn f64s(t: &Tensor) -> Vec<f64> {
+        t.to_f64_vec()
+    }
+
+    #[test]
+    fn listing1_records_listing2_and_computes_threes() {
+        let ctx = Context::new();
+        let mut a = ctx.zeros(DType::Float64, Shape::vector(10));
+        a += 1.0;
+        a += 1.0;
+        a += 1.0;
+        let text = ctx.recorded_text(PrintStyle::LISTING);
+        let expected = "\
+BH_IDENTITY a0 [0:10:1] 0.0
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0
+";
+        assert_eq!(text, expected);
+        assert_eq!(f64s(&a.eval().unwrap()), vec![3.0; 10]);
+        // Optimisation merged the adds.
+        let stats = ctx.last_stats().unwrap();
+        assert!(stats.kernels <= 2, "kernels: {}", stats.kernels);
+    }
+
+    #[test]
+    fn expression_graph_evaluates() {
+        let ctx = Context::new();
+        let x = ctx.arange(DType::Float64, 4);
+        let y = (&x * &x) + (&x * 2.0) + 1.0; // (x+1)^2
+        assert_eq!(f64s(&y.eval().unwrap()), vec![1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn powi_expands_and_matches() {
+        let ctx = Context::new();
+        let x = ctx.full(DType::Float64, Shape::vector(8), Scalar::F64(2.0));
+        let y = x.powi(10);
+        assert_eq!(f64s(&y.eval().unwrap()), vec![1024.0; 8]);
+        // Expansion: no BH_POWER survived in the optimised program.
+        let report = ctx.last_report().unwrap();
+        let fired: Vec<&str> = report
+            .by_rule
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(name, _)| name.as_str())
+            .collect();
+        assert!(fired.contains(&"power-expansion"), "{fired:?}");
+    }
+
+    #[test]
+    fn solve_via_inverse_gets_rewritten() {
+        let ctx = Context::new();
+        let a = ctx.array(
+            Tensor::from_shape_vec(Shape::matrix(2, 2), vec![2.0f64, 1.0, 1.0, 3.0]).unwrap(),
+        );
+        let b = ctx.array(Tensor::from_vec(vec![3.0f64, 5.0]));
+        // The "textbook" formulation: x = A^-1 · B.
+        let x = a.inv().matmul(&b);
+        let t = x.eval().unwrap();
+        assert!((t.to_f64_vec()[0] - 0.8).abs() < 1e-12);
+        assert!((t.to_f64_vec()[1] - 1.4).abs() < 1e-12);
+        let report = ctx.last_report().unwrap();
+        let solved = report
+            .by_rule
+            .iter()
+            .any(|(name, n)| name == "inverse-solve" && *n > 0);
+        assert!(solved, "{report}");
+    }
+
+    #[test]
+    fn mixed_dtypes_promote() {
+        let ctx = Context::new();
+        let ints = ctx.arange(DType::Int32, 4);
+        let floats = ctx.ones(DType::Float64, Shape::vector(4));
+        let sum = &ints + &floats;
+        assert_eq!(sum.dtype(), DType::Float64);
+        assert_eq!(f64s(&sum.eval().unwrap()), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn comparisons_yield_bools() {
+        let ctx = Context::new();
+        let x = ctx.arange(DType::Float64, 5);
+        let m = x.gt_scalar(Scalar::F64(2.0));
+        assert_eq!(m.dtype(), DType::Bool);
+        assert_eq!(f64s(&m.eval().unwrap()), vec![0.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn reductions_and_scans() {
+        let ctx = Context::new();
+        let x = ctx.arange(DType::Float64, 6);
+        assert_eq!(f64s(&x.sum().eval().unwrap()), vec![15.0]);
+        assert_eq!(
+            f64s(&x.cumsum_axis(0).eval().unwrap()),
+            vec![0.0, 1.0, 3.0, 6.0, 10.0, 15.0]
+        );
+        assert_eq!(f64s(&x.max().eval().unwrap()), vec![5.0]);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let ctx = Context::new();
+        let r1 = ctx.random(DType::Float64, Shape::vector(16), 42);
+        let r2 = ctx.random(DType::Float64, Shape::vector(16), 42);
+        assert_eq!(f64s(&r1.eval().unwrap()), f64s(&r2.eval().unwrap()));
+    }
+
+    #[test]
+    fn scalar_on_the_left() {
+        let ctx = Context::new();
+        let x = ctx.ones(DType::Float64, Shape::vector(3));
+        let y = 10.0 - &x;
+        assert_eq!(f64s(&y.eval().unwrap()), vec![9.0; 3]);
+        let z = 2.0 * &x;
+        assert_eq!(f64s(&z.eval().unwrap()), vec![2.0; 3]);
+    }
+
+    #[test]
+    fn negation() {
+        let ctx = Context::new();
+        let x = ctx.arange(DType::Float64, 3);
+        assert_eq!(f64s(&(-&x).eval().unwrap()), vec![0.0, -1.0, -2.0]);
+    }
+
+    #[test]
+    fn repeated_eval_is_stable() {
+        let ctx = Context::new();
+        let mut a = ctx.zeros(DType::Float64, Shape::vector(4));
+        a += 5.0;
+        assert_eq!(f64s(&a.eval().unwrap()), vec![5.0; 4]);
+        assert_eq!(f64s(&a.eval().unwrap()), vec![5.0; 4]);
+        a += 1.0;
+        assert_eq!(f64s(&a.eval().unwrap()), vec![6.0; 4]);
+    }
+
+    #[test]
+    fn dropped_temporaries_record_frees() {
+        let ctx = Context::new();
+        let x = ctx.ones(DType::Float64, Shape::vector(4));
+        {
+            let _tmp = &x + 1.0;
+        }
+        let text = ctx.recorded_text(PrintStyle::COMPACT);
+        assert!(text.contains("BH_FREE"), "{text}");
+        // Evaluation still works; the freed temp is dead code.
+        assert_eq!(f64s(&x.eval().unwrap()), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let ctx = Context::new();
+        let a = ctx.array(
+            Tensor::from_shape_vec(Shape::matrix(2, 3), vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0])
+                .unwrap(),
+        );
+        let at = a.transpose();
+        let g = a.matmul(&at); // 2x2 Gram matrix
+        let t = g.eval().unwrap();
+        assert_eq!(t.shape(), &Shape::matrix(2, 2));
+        assert_eq!(t.get(&[0, 0]).unwrap().as_f64(), 14.0);
+        assert_eq!(t.get(&[1, 1]).unwrap().as_f64(), 77.0);
+    }
+
+    #[test]
+    fn fused_engine_through_frontend() {
+        let ctx = Context::new();
+        ctx.set_engine(bh_vm::Engine::Fusing { block: 256 });
+        let x = ctx.arange(DType::Float64, 1000);
+        let y = ((&x * 2.0) + 3.0).sqrt();
+        let t = y.eval().unwrap();
+        assert!((t.to_f64_vec()[499] - (2.0f64 * 499.0 + 3.0).sqrt()).abs() < 1e-12);
+        let stats = ctx.last_stats().unwrap();
+        assert!(stats.fused_groups >= 1);
+    }
+
+    #[test]
+    fn in_place_array_update() {
+        let ctx = Context::new();
+        let mut acc = ctx.zeros(DType::Float64, Shape::vector(4));
+        let inc = ctx.ones(DType::Float64, Shape::vector(4));
+        acc += &inc;
+        acc += &inc;
+        assert_eq!(f64s(&acc.eval().unwrap()), vec![2.0; 4]);
+    }
+
+    #[test]
+    fn astype_round_trip() {
+        let ctx = Context::new();
+        let x = ctx.arange(DType::Int64, 4);
+        let f = x.astype(DType::Float32);
+        assert_eq!(f.dtype(), DType::Float32);
+        assert_eq!(f64s(&f.eval().unwrap()), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn unary_math_methods() {
+        let ctx = Context::new();
+        let x = ctx.full(DType::Float64, Shape::vector(3), Scalar::F64(4.0));
+        assert_eq!(f64s(&x.sqrt().eval().unwrap()), vec![2.0; 3]);
+        assert_eq!(f64s(&x.sign().eval().unwrap()), vec![1.0; 3]);
+        let y = ctx.full(DType::Float64, Shape::vector(3), Scalar::F64(-1.5));
+        assert_eq!(f64s(&y.abs().eval().unwrap()), vec![1.5; 3]);
+        assert_eq!(f64s(&y.floor().eval().unwrap()), vec![-2.0; 3]);
+    }
+}

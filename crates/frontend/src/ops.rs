@@ -1,0 +1,160 @@
+//! Operator overloads: `+ - * / %` and their assign forms, for array–array
+//! and array–scalar combinations, so the paper's Listing 1 (`a += 1`)
+//! reads the same in Rust as in Python.
+
+use crate::array::BhArray;
+use bh_ir::Opcode;
+use bh_tensor::Scalar;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+macro_rules! array_array_op {
+    ($($trait:ident::$method:ident => $op:ident;)*) => {$(
+        impl $trait<&BhArray> for &BhArray {
+            type Output = BhArray;
+            fn $method(self, rhs: &BhArray) -> BhArray {
+                self.binary_with(Opcode::$op, rhs)
+            }
+        }
+        impl $trait<BhArray> for BhArray {
+            type Output = BhArray;
+            fn $method(self, rhs: BhArray) -> BhArray {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BhArray> for BhArray {
+            type Output = BhArray;
+            fn $method(self, rhs: &BhArray) -> BhArray {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BhArray> for &BhArray {
+            type Output = BhArray;
+            fn $method(self, rhs: BhArray) -> BhArray {
+                self.$method(&rhs)
+            }
+        }
+    )*};
+}
+
+array_array_op! {
+    Add::add => Add;
+    Sub::sub => Subtract;
+    Mul::mul => Multiply;
+    Div::div => Divide;
+    Rem::rem => Mod;
+}
+
+macro_rules! array_scalar_op {
+    ($scalar:ty, $($trait:ident::$method:ident => $op:ident;)*) => {$(
+        impl $trait<$scalar> for &BhArray {
+            type Output = BhArray;
+            fn $method(self, rhs: $scalar) -> BhArray {
+                self.binary_scalar(Opcode::$op, Scalar::from(rhs))
+            }
+        }
+        impl $trait<$scalar> for BhArray {
+            type Output = BhArray;
+            fn $method(self, rhs: $scalar) -> BhArray {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<&BhArray> for $scalar {
+            type Output = BhArray;
+            fn $method(self, rhs: &BhArray) -> BhArray {
+                rhs.binary_scalar_rev(Opcode::$op, Scalar::from(self))
+            }
+        }
+        impl $trait<BhArray> for $scalar {
+            type Output = BhArray;
+            fn $method(self, rhs: BhArray) -> BhArray {
+                self.$method(&rhs)
+            }
+        }
+    )*};
+}
+
+array_scalar_op! { f64,
+    Add::add => Add;
+    Sub::sub => Subtract;
+    Mul::mul => Multiply;
+    Div::div => Divide;
+    Rem::rem => Mod;
+}
+
+array_scalar_op! { i64,
+    Add::add => Add;
+    Sub::sub => Subtract;
+    Mul::mul => Multiply;
+    Div::div => Divide;
+    Rem::rem => Mod;
+}
+
+macro_rules! assign_ops {
+    ($scalar:ty) => {
+        impl AddAssign<$scalar> for BhArray {
+            fn add_assign(&mut self, rhs: $scalar) {
+                self.binary_scalar_inplace(Opcode::Add, Scalar::from(rhs));
+            }
+        }
+        impl SubAssign<$scalar> for BhArray {
+            fn sub_assign(&mut self, rhs: $scalar) {
+                self.binary_scalar_inplace(Opcode::Subtract, Scalar::from(rhs));
+            }
+        }
+        impl MulAssign<$scalar> for BhArray {
+            fn mul_assign(&mut self, rhs: $scalar) {
+                self.binary_scalar_inplace(Opcode::Multiply, Scalar::from(rhs));
+            }
+        }
+        impl DivAssign<$scalar> for BhArray {
+            fn div_assign(&mut self, rhs: $scalar) {
+                self.binary_scalar_inplace(Opcode::Divide, Scalar::from(rhs));
+            }
+        }
+    };
+}
+
+assign_ops!(f64);
+assign_ops!(i64);
+
+impl AddAssign<&BhArray> for BhArray {
+    fn add_assign(&mut self, rhs: &BhArray) {
+        self.binary_inplace(Opcode::Add, rhs);
+    }
+}
+
+impl SubAssign<&BhArray> for BhArray {
+    fn sub_assign(&mut self, rhs: &BhArray) {
+        self.binary_inplace(Opcode::Subtract, rhs);
+    }
+}
+
+impl MulAssign<&BhArray> for BhArray {
+    fn mul_assign(&mut self, rhs: &BhArray) {
+        self.binary_inplace(Opcode::Multiply, rhs);
+    }
+}
+
+impl DivAssign<&BhArray> for BhArray {
+    fn div_assign(&mut self, rhs: &BhArray) {
+        self.binary_inplace(Opcode::Divide, rhs);
+    }
+}
+
+impl Neg for &BhArray {
+    type Output = BhArray;
+
+    /// `-x` as `BH_MULTIPLY x -1` (wrapping negation for unsigned dtypes,
+    /// matching the VM's element semantics).
+    fn neg(self) -> BhArray {
+        self.binary_scalar(Opcode::Multiply, Scalar::I64(-1))
+    }
+}
+
+impl Neg for BhArray {
+    type Output = BhArray;
+
+    fn neg(self) -> BhArray {
+        -&self
+    }
+}

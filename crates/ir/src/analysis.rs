@@ -1,0 +1,273 @@
+//! Data-flow analyses over byte-code sequences.
+//!
+//! The transformation engine needs to answer questions like *"is `a0`
+//! touched between these two `BH_ADD`s?"* (constant merging) and *"is the
+//! inverse used for anything else?"* (the Eq. 2 context-aware rewrite).
+//! This module provides the def-use and liveness machinery behind those
+//! answers.
+
+use crate::instr::Instruction;
+use crate::operand::Reg;
+use crate::program::Program;
+
+/// Def-use index: for every register, the instruction indices that write or
+/// read it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefUse {
+    defs: Vec<Vec<usize>>,
+    uses: Vec<Vec<usize>>,
+}
+
+impl DefUse {
+    /// Build the index for `program`.
+    pub fn compute(program: &Program) -> DefUse {
+        let n = program.bases().len();
+        let mut defs = vec![Vec::new(); n];
+        let mut uses = vec![Vec::new(); n];
+        for (i, instr) in program.instrs().iter().enumerate() {
+            if let Some(r) = instr.out_reg() {
+                defs[r.index()].push(i);
+            }
+            for r in instr.input_regs() {
+                if !uses[r.index()].last().is_some_and(|&last| last == i) {
+                    uses[r.index()].push(i);
+                }
+            }
+        }
+        DefUse { defs, uses }
+    }
+
+    /// Instructions that write `reg`, ascending.
+    pub fn defs(&self, reg: Reg) -> &[usize] {
+        &self.defs[reg.index()]
+    }
+
+    /// Instructions that read `reg`, ascending (deduplicated per
+    /// instruction).
+    pub fn uses(&self, reg: Reg) -> &[usize] {
+        &self.uses[reg.index()]
+    }
+
+    /// True when some instruction with index in `(after, before)`
+    /// (exclusive both ends) reads `reg`.
+    pub fn read_between(&self, reg: Reg, after: usize, before: usize) -> bool {
+        self.uses(reg).iter().any(|&i| i > after && i < before)
+    }
+
+    /// True when some instruction with index in `(after, before)` writes
+    /// `reg`.
+    pub fn written_between(&self, reg: Reg, after: usize, before: usize) -> bool {
+        self.defs(reg).iter().any(|&i| i > after && i < before)
+    }
+
+    /// True when `reg` is read anywhere after instruction `idx`
+    /// (exclusive). This is the paper's Eq. 2 side condition: the rewrite
+    /// of `inverse ∘ matmul` into `solve` is only sound "if we do not use
+    /// the A⁻¹ tensor for anything else in our computations".
+    pub fn read_after(&self, reg: Reg, idx: usize) -> bool {
+        self.uses(reg).iter().any(|&i| i > idx)
+    }
+}
+
+/// Backward liveness: which registers may still be read at each program
+/// point.
+///
+/// A full-view write kills liveness (the old value is gone); a sliced write
+/// does not, because untouched elements survive.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `live[i][r]` = is register `r` live *before* instruction `i`?
+    /// `live[n]` is the live-at-exit row.
+    live: Vec<Vec<bool>>,
+}
+
+impl Liveness {
+    /// Compute liveness with an empty live-at-exit set: the only observable
+    /// results are those a `BH_SYNC` reads before the program ends
+    /// (matching Bohrium, where the bridge syncs before touching data).
+    pub fn compute(program: &Program) -> Liveness {
+        Self::compute_with_exit(program, &[])
+    }
+
+    /// Compute liveness with the given registers live at exit (used when a
+    /// host embedding will read bases directly without sync instructions).
+    pub fn compute_with_exit(program: &Program, live_at_exit: &[Reg]) -> Liveness {
+        let n_regs = program.bases().len();
+        let n = program.instrs().len();
+        let mut live = vec![vec![false; n_regs]; n + 1];
+        for r in live_at_exit {
+            live[n][r.index()] = true;
+        }
+        for i in (0..n).rev() {
+            let instr = &program.instrs()[i];
+            let mut row = live[i + 1].clone();
+            // Kill: a full write makes the previous value dead.
+            if let Some(out) = instr.out_view() {
+                if is_full_write(program, instr) {
+                    row[out.reg.index()] = false;
+                }
+            }
+            // Gen: inputs become live. BH_FREE names its target but does
+            // not read the *value*, so it generates no liveness — otherwise
+            // dead computations kept alive only by their eventual free
+            // could never be eliminated.
+            if instr.op != crate::opcode::Opcode::Free {
+                for r in instr.input_regs() {
+                    row[r.index()] = true;
+                }
+            }
+            live[i] = row;
+        }
+        Liveness { live }
+    }
+
+    /// Is `reg` live immediately *before* instruction `idx`?
+    pub fn live_before(&self, idx: usize, reg: Reg) -> bool {
+        self.live[idx][reg.index()]
+    }
+
+    /// Is `reg` live immediately *after* instruction `idx`?
+    pub fn live_after(&self, idx: usize, reg: Reg) -> bool {
+        self.live[idx + 1][reg.index()]
+    }
+
+    /// Is the value written by instruction `idx` ever observed? (Dead-store
+    /// test used by DCE.)
+    pub fn write_is_live(&self, program: &Program, idx: usize) -> bool {
+        match program.instrs()[idx].out_reg() {
+            Some(r) => self.live_after(idx, r),
+            None => true, // system ops are effects, never "dead stores"
+        }
+    }
+}
+
+/// True when the instruction's output view covers its whole base, so the
+/// write fully replaces the register's previous value.
+pub fn is_full_write(program: &Program, instr: &Instruction) -> bool {
+    match instr.out_view() {
+        None => false,
+        Some(v) => match program.resolve_view(v) {
+            Ok(geom) => geom.nelem() == program.base(v.reg).shape.nelem() && {
+                // Same element count and contiguity from offset 0 ⇒ covers
+                // the base exactly.
+                geom.offset() == 0 && geom.is_contiguous()
+            },
+            Err(_) => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+    use crate::operand::ViewRef;
+    use crate::program::ProgramBuilder;
+    use bh_tensor::{DType, Scalar, Shape, Slice};
+
+    /// Listing 2: identity, three adds, sync.
+    fn listing2() -> Program {
+        let mut b = ProgramBuilder::new(DType::Float64, Shape::vector(10));
+        let a0 = b.reg("a0");
+        b.identity_const(a0, Scalar::F64(0.0));
+        for _ in 0..3 {
+            b.binary(Opcode::Add, a0, ViewRef::full(a0), Scalar::F64(1.0));
+        }
+        b.sync(a0);
+        b.build()
+    }
+
+    #[test]
+    fn def_use_listing2() {
+        let p = listing2();
+        let du = DefUse::compute(&p);
+        let a0 = p.reg_by_name("a0").unwrap();
+        assert_eq!(du.defs(a0), &[0, 1, 2, 3]);
+        assert_eq!(du.uses(a0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn read_between_and_after() {
+        let p = listing2();
+        let du = DefUse::compute(&p);
+        let a0 = p.reg_by_name("a0").unwrap();
+        assert!(du.read_between(a0, 0, 2)); // the add at 1 reads a0
+        assert!(!du.read_between(a0, 3, 4)); // nothing strictly between
+        assert!(du.read_after(a0, 3)); // sync reads it
+        assert!(!du.read_after(a0, 4));
+    }
+
+    #[test]
+    fn liveness_sync_keeps_value_alive() {
+        let p = listing2();
+        let lv = Liveness::compute(&p);
+        let a0 = p.reg_by_name("a0").unwrap();
+        // Live between the adds and before the sync.
+        assert!(lv.live_after(1, a0));
+        assert!(lv.live_after(3, a0));
+        // Dead after the sync (nothing reads it later).
+        assert!(!lv.live_after(4, a0));
+        // Dead before the identity (the full write kills upward liveness).
+        assert!(!lv.live_before(0, a0));
+    }
+
+    #[test]
+    fn dead_store_detected_without_sync() {
+        let mut b = ProgramBuilder::new(DType::Float64, Shape::vector(4));
+        let a0 = b.reg("a0");
+        b.identity_const(a0, Scalar::F64(1.0)); // dead: overwritten below
+        b.identity_const(a0, Scalar::F64(2.0));
+        b.sync(a0);
+        let p = b.build();
+        let lv = Liveness::compute(&p);
+        assert!(!lv.write_is_live(&p, 0));
+        assert!(lv.write_is_live(&p, 1));
+    }
+
+    #[test]
+    fn sliced_write_does_not_kill() {
+        let mut p = Program::new();
+        let a0 = p.declare("a0", DType::Float64, Shape::vector(10));
+        p.push(Instruction::unary(
+            Opcode::Identity,
+            ViewRef::full(a0),
+            Scalar::F64(1.0),
+        ));
+        // Partial write: only half the elements.
+        p.push(Instruction::unary(
+            Opcode::Identity,
+            ViewRef::sliced(a0, vec![Slice::range(0, 5)]),
+            Scalar::F64(2.0),
+        ));
+        p.push(Instruction::sync(ViewRef::full(a0)));
+        let lv = Liveness::compute(&p);
+        // The first write is still (partially) observable.
+        assert!(lv.write_is_live(&p, 0));
+        assert!(!is_full_write(&p, &p.instrs()[1]));
+        assert!(is_full_write(&p, &p.instrs()[0]));
+    }
+
+    #[test]
+    fn live_at_exit_override() {
+        let mut b = ProgramBuilder::new(DType::Float64, Shape::vector(4));
+        let a0 = b.reg("a0");
+        b.identity_const(a0, Scalar::F64(1.0));
+        let p = b.build();
+        let lv = Liveness::compute(&p);
+        assert!(!lv.write_is_live(&p, 0));
+        let lv = Liveness::compute_with_exit(&p, &[a0]);
+        assert!(lv.write_is_live(&p, 0));
+    }
+
+    #[test]
+    fn uses_deduplicated_per_instruction() {
+        // BH_MULTIPLY a1 a1 a1 reads a1 twice but should index it once.
+        let mut b = ProgramBuilder::new(DType::Float64, Shape::vector(4));
+        let a1 = b.reg("a1");
+        b.identity_const(a1, Scalar::F64(2.0));
+        b.binary(Opcode::Multiply, a1, ViewRef::full(a1), ViewRef::full(a1));
+        let p = b.build();
+        let du = DefUse::compute(&p);
+        assert_eq!(du.uses(a1), &[1]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Byte-code instructions.
+//!
+//! "A single line encapsulates one byte-code. A byte-code consists of an
+//! op-code, e.g. `BH_ADD`, a result register, and up to two parameter
+//! registers or constants." (paper, §3)
+
+use crate::opcode::Opcode;
+use crate::operand::{Operand, Reg, ViewRef};
+use std::fmt;
+
+/// One byte-code: an op-code plus its operand list.
+///
+/// For ops with an output, `operands[0]` is the result view. System ops
+/// (`BH_SYNC`, `BH_FREE`) carry their target as the single operand;
+/// `BH_NONE` has none.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The op-code.
+    pub op: Opcode,
+    /// Result view first (when the op has an output), then inputs.
+    pub operands: Vec<Operand>,
+}
+
+impl Instruction {
+    /// Build an instruction from raw parts.
+    pub fn new(op: Opcode, operands: Vec<Operand>) -> Instruction {
+        Instruction { op, operands }
+    }
+
+    /// `op out, a` — unary element-wise / generator-with-arg.
+    pub fn unary(op: Opcode, out: ViewRef, a: impl Into<Operand>) -> Instruction {
+        Instruction { op, operands: vec![Operand::View(out), a.into()] }
+    }
+
+    /// `op out, a, b` — binary element-wise, reduction, scan or 2-input
+    /// linalg.
+    pub fn binary(
+        op: Opcode,
+        out: ViewRef,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Instruction {
+        Instruction { op, operands: vec![Operand::View(out), a.into(), b.into()] }
+    }
+
+    /// `BH_SYNC target`.
+    pub fn sync(target: ViewRef) -> Instruction {
+        Instruction { op: Opcode::Sync, operands: vec![Operand::View(target)] }
+    }
+
+    /// `BH_FREE target`.
+    pub fn free(target: ViewRef) -> Instruction {
+        Instruction { op: Opcode::Free, operands: vec![Operand::View(target)] }
+    }
+
+    /// `BH_NONE` — the no-op left behind by rewrites before dead-code
+    /// elimination sweeps it away.
+    pub fn noop() -> Instruction {
+        Instruction { op: Opcode::NoOp, operands: Vec::new() }
+    }
+
+    /// `BH_RANGE out`.
+    pub fn range(out: ViewRef) -> Instruction {
+        Instruction { op: Opcode::Range, operands: vec![Operand::View(out)] }
+    }
+
+    /// The result view, for ops that produce data.
+    pub fn out_view(&self) -> Option<&ViewRef> {
+        if self.op.has_output() {
+            self.operands.first().and_then(|o| o.as_view())
+        } else {
+            None
+        }
+    }
+
+    /// The register written by this instruction, if any.
+    pub fn out_reg(&self) -> Option<Reg> {
+        self.out_view().map(|v| v.reg)
+    }
+
+    /// Input operands (everything after the output view; for system ops the
+    /// target operand counts as an input — `BH_SYNC a0` *reads* `a0`).
+    pub fn inputs(&self) -> &[Operand] {
+        if self.op.has_output() && !self.operands.is_empty() {
+            &self.operands[1..]
+        } else {
+            &self.operands
+        }
+    }
+
+    /// Registers read by this instruction, in operand order (with
+    /// duplicates when a register appears twice, as in
+    /// `BH_MULTIPLY a1 a1 a1`).
+    pub fn input_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.inputs().iter().filter_map(|o| o.reg())
+    }
+
+    /// True when any input reads `reg`.
+    pub fn reads(&self, reg: Reg) -> bool {
+        self.input_regs().any(|r| r == reg)
+    }
+
+    /// True when the output writes `reg`.
+    pub fn writes(&self, reg: Reg) -> bool {
+        self.out_reg() == Some(reg)
+    }
+
+    /// True for `BH_NONE`.
+    pub fn is_noop(&self) -> bool {
+        self.op == Opcode::NoOp
+    }
+
+    /// The single constant among the inputs, when there is exactly one
+    /// (pattern hook for constant-merging rules).
+    pub fn sole_const_input(&self) -> Option<(usize, bh_tensor::Scalar)> {
+        let mut found = None;
+        for (i, o) in self.inputs().iter().enumerate() {
+            if let Some(c) = o.as_const() {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some((i, c));
+            }
+        }
+        found
+    }
+}
+
+impl fmt::Display for Instruction {
+    /// Default textual form with `r<N>` register names; use
+    /// [`crate::Program::to_text`] for name-resolved, paper-style output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        for o in &self.operands {
+            write!(f, " {o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_tensor::Scalar;
+
+    fn add_const(out: u32, a: u32, c: i64) -> Instruction {
+        Instruction::binary(
+            Opcode::Add,
+            ViewRef::full(Reg(out)),
+            ViewRef::full(Reg(a)),
+            Scalar::I64(c),
+        )
+    }
+
+    #[test]
+    fn out_and_inputs() {
+        let i = add_const(0, 0, 1);
+        assert_eq!(i.out_reg(), Some(Reg(0)));
+        assert_eq!(i.inputs().len(), 2);
+        assert!(i.reads(Reg(0)));
+        assert!(i.writes(Reg(0)));
+        assert!(!i.reads(Reg(1)));
+    }
+
+    #[test]
+    fn sync_has_no_output_but_reads_target() {
+        let s = Instruction::sync(ViewRef::full(Reg(0)));
+        assert_eq!(s.out_reg(), None);
+        assert!(s.reads(Reg(0)));
+        assert_eq!(s.inputs().len(), 1);
+    }
+
+    #[test]
+    fn noop() {
+        let n = Instruction::noop();
+        assert!(n.is_noop());
+        assert_eq!(n.out_reg(), None);
+        assert_eq!(n.inputs().len(), 0);
+    }
+
+    #[test]
+    fn input_regs_keeps_duplicates() {
+        // BH_MULTIPLY a1 a1 a1 (the squaring step of Listing 5)
+        let i = Instruction::binary(
+            Opcode::Multiply,
+            ViewRef::full(Reg(1)),
+            ViewRef::full(Reg(1)),
+            ViewRef::full(Reg(1)),
+        );
+        assert_eq!(i.input_regs().collect::<Vec<_>>(), vec![Reg(1), Reg(1)]);
+    }
+
+    #[test]
+    fn sole_const_input() {
+        let i = add_const(0, 0, 3);
+        let (pos, c) = i.sole_const_input().unwrap();
+        assert_eq!(pos, 1);
+        assert_eq!(c, Scalar::I64(3));
+        // two constants -> None
+        let two = Instruction::binary(
+            Opcode::Add,
+            ViewRef::full(Reg(0)),
+            Scalar::I64(1),
+            Scalar::I64(2),
+        );
+        assert!(two.sole_const_input().is_none());
+        // no constants -> None
+        let none = Instruction::binary(
+            Opcode::Add,
+            ViewRef::full(Reg(0)),
+            ViewRef::full(Reg(1)),
+            ViewRef::full(Reg(2)),
+        );
+        assert!(none.sole_const_input().is_none());
+    }
+
+    #[test]
+    fn display() {
+        let i = add_const(0, 0, 1);
+        assert_eq!(i.to_string(), "BH_ADD r0 r0 1");
+    }
+}

@@ -1,0 +1,528 @@
+//! Parser for the textual byte-code format used in the paper's listings.
+//!
+//! Accepts exactly what the paper prints, e.g. Listing 2:
+//!
+//! ```text
+//! BH_IDENTITY a0 [0:10:1] 0
+//! BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+//! BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+//! BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+//! BH_SYNC a0 [0:10:1]
+//! ```
+//!
+//! plus optional `.base <name> <dtype>[<shape>] [input]` declaration
+//! headers and `#` comments. Undeclared registers have their shape inferred
+//! from the slices they appear with (`[0:10:1]` ⇒ a 10-element base), or
+//! fall back to [`ParseOptions::default_shape`] when the listing elides
+//! views (Listing 3 style).
+
+use crate::instr::Instruction;
+use crate::opcode::Opcode;
+use crate::operand::{Operand, Reg, ViewRef};
+use crate::program::Program;
+use bh_tensor::{DType, Scalar, Shape, Slice};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Options steering shape/dtype inference for undeclared registers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseOptions {
+    /// Dtype assigned to inferred registers (the paper's listings are
+    /// implicitly f64: `np.zeros(10)`).
+    pub default_dtype: DType,
+    /// Shape assigned to inferred registers that never appear with an
+    /// explicit view. `None` makes such programs a parse error.
+    pub default_shape: Option<Shape>,
+}
+
+impl Default for ParseOptions {
+    fn default() -> ParseOptions {
+        ParseOptions { default_dtype: DType::Float64, default_shape: None }
+    }
+}
+
+/// Parse a byte-code listing with default options.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a line number and reason on malformed input.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    parse_program_with(text, &ParseOptions::default())
+}
+
+/// Parse a byte-code listing.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a line number and reason on malformed input.
+pub fn parse_program_with(text: &str, opts: &ParseOptions) -> Result<Program, ParseError> {
+    let mut program = Program::new();
+    let mut pending: Vec<(usize, Vec<Token>)> = Vec::new();
+
+    // Pass 1: declarations + tokenisation.
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".base") {
+            parse_base_decl(rest.trim(), &mut program, lineno + 1)?;
+            continue;
+        }
+        let tokens = tokenize(line, lineno + 1)?;
+        pending.push((lineno + 1, tokens));
+    }
+
+    // Pass 2: shape inference for undeclared registers.
+    let mut inferred: Vec<(String, Option<Vec<i64>>)> = Vec::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for (_, tokens) in &pending {
+        let mut i = 1; // skip mnemonic
+        while i < tokens.len() {
+            if let Token::Ident(name) = &tokens[i] {
+                if program.reg_by_name(name).is_none() {
+                    let entry = match seen.get(name) {
+                        Some(&idx) => idx,
+                        None => {
+                            seen.insert(name.clone(), inferred.len());
+                            inferred.push((name.clone(), None));
+                            inferred.len() - 1
+                        }
+                    };
+                    if let Some(Token::View(slices)) = tokens.get(i + 1) {
+                        let extents = slices
+                            .iter()
+                            .map(|s| s.stop.unwrap_or(0).max(s.start.unwrap_or(0)))
+                            .collect::<Vec<i64>>();
+                        let slot = &mut inferred[entry].1;
+                        match slot {
+                            None => *slot = Some(extents),
+                            Some(prev) => {
+                                for (p, e) in prev.iter_mut().zip(&extents) {
+                                    *p = (*p).max(*e);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    for (name, extents) in inferred {
+        let shape = match extents {
+            Some(e) if e.iter().all(|&x| x > 0) => {
+                Shape::from(e.iter().map(|&x| x as usize).collect::<Vec<_>>())
+            }
+            _ => match &opts.default_shape {
+                Some(s) => s.clone(),
+                None => {
+                    return Err(ParseError {
+                        line: 0,
+                        message: format!(
+                            "cannot infer shape of register `{name}`: no explicit view \
+                             and no default shape configured"
+                        ),
+                    })
+                }
+            },
+        };
+        program
+            .try_declare(&name, opts.default_dtype, shape, false)
+            .expect("inference list is deduplicated");
+    }
+
+    // Pass 3: instructions.
+    for (line, tokens) in pending {
+        let instr = build_instruction(&tokens, &program, line)?;
+        program.push(instr);
+    }
+    Ok(program)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_base_decl(rest: &str, program: &mut Program, line: usize) -> Result<(), ParseError> {
+    let err = |m: String| ParseError { line, message: m };
+    let mut parts = rest.split_whitespace();
+    let name = parts
+        .next()
+        .ok_or_else(|| err("missing register name in .base".into()))?;
+    let ty = parts
+        .next()
+        .ok_or_else(|| err("missing dtype[shape] in .base".into()))?;
+    let is_input = match parts.next() {
+        None => false,
+        Some("input") => true,
+        Some(other) => return Err(err(format!("unexpected token `{other}` in .base"))),
+    };
+    let open = ty
+        .find('[')
+        .ok_or_else(|| err(format!("expected dtype[shape], got `{ty}`")))?;
+    if !ty.ends_with(']') {
+        return Err(err(format!("expected dtype[shape], got `{ty}`")));
+    }
+    let dtype: DType = ty[..open]
+        .parse()
+        .map_err(|e| err(format!("bad dtype in .base: {e}")))?;
+    let dims: Vec<usize> = ty[open + 1..ty.len() - 1]
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| err(format!("bad shape in .base: {e}")))?;
+    program
+        .try_declare(name, dtype, Shape::from(dims), is_input)
+        .ok_or_else(|| err(format!("register `{name}` declared twice")))?;
+    Ok(())
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Mnemonic(Opcode),
+    Ident(String),
+    View(Vec<Slice>),
+    Const(Scalar),
+}
+
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<Token>, ParseError> {
+    let err = |m: String| ParseError { line: lineno, message: m };
+    let mut tokens = Vec::new();
+    let mut rest = line.trim();
+    let mut first = true;
+    while !rest.is_empty() {
+        if let Some(stripped) = rest.strip_prefix('[') {
+            let close = stripped
+                .find(']')
+                .ok_or_else(|| err("unterminated `[` in view".into()))?;
+            let inner = &stripped[..close];
+            let slices = parse_slices(inner, lineno)?;
+            tokens.push(Token::View(slices));
+            rest = stripped[close + 1..].trim_start();
+            first = false;
+            continue;
+        }
+        let end = rest
+            .find(|c: char| c.is_whitespace() || c == '[')
+            .unwrap_or(rest.len());
+        let (word, tail) = rest.split_at(end);
+        rest = tail.trim_start_matches(' ').trim_start_matches('\t');
+        if word.is_empty() {
+            rest = &rest[1..];
+            continue;
+        }
+        if first {
+            let op: Opcode = word
+                .parse()
+                .map_err(|e| err(format!("{e}")))?;
+            tokens.push(Token::Mnemonic(op));
+            first = false;
+        } else if word
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+' || c == '.')
+            || word == "true"
+            || word == "false"
+        {
+            let c: Scalar = word
+                .parse()
+                .map_err(|e| err(format!("{e}")))?;
+            tokens.push(Token::Const(c));
+        } else {
+            if !word
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                return Err(err(format!("invalid register name `{word}`")));
+            }
+            tokens.push(Token::Ident(word.to_owned()));
+        }
+    }
+    if tokens.is_empty() {
+        return Err(err("empty instruction".into()));
+    }
+    if !matches!(tokens[0], Token::Mnemonic(_)) {
+        return Err(err("instruction must start with an op-code".into()));
+    }
+    Ok(tokens)
+}
+
+fn parse_slices(inner: &str, lineno: usize) -> Result<Vec<Slice>, ParseError> {
+    let err = |m: String| ParseError { line: lineno, message: m };
+    inner
+        .split(',')
+        .map(|axis| {
+            let axis = axis.trim();
+            let parts: Vec<&str> = axis.split(':').collect();
+            let parse_part = |p: &str| -> Result<Option<i64>, ParseError> {
+                let p = p.trim();
+                if p.is_empty() {
+                    Ok(None)
+                } else {
+                    p.parse::<i64>()
+                        .map(Some)
+                        .map_err(|_| err(format!("bad slice bound `{p}`")))
+                }
+            };
+            match parts.len() {
+                1 => {
+                    let idx = parse_part(parts[0])?
+                        .ok_or_else(|| err("empty slice".into()))?;
+                    Ok(Slice::index(idx))
+                }
+                2 => Ok(Slice::new(parse_part(parts[0])?, parse_part(parts[1])?, 1)),
+                3 => {
+                    let step = match parse_part(parts[2])? {
+                        None => 1,
+                        Some(s) => s,
+                    };
+                    Ok(Slice::new(parse_part(parts[0])?, parse_part(parts[1])?, step))
+                }
+                _ => Err(err(format!("malformed slice `{axis}`"))),
+            }
+        })
+        .collect()
+}
+
+fn build_instruction(
+    tokens: &[Token],
+    program: &Program,
+    line: usize,
+) -> Result<Instruction, ParseError> {
+    let err = |m: String| ParseError { line, message: m };
+    let op = match tokens[0] {
+        Token::Mnemonic(op) => op,
+        _ => unreachable!("tokenize guarantees mnemonic first"),
+    };
+    let mut operands = Vec::new();
+    let mut i = 1;
+    while i < tokens.len() {
+        match &tokens[i] {
+            Token::Ident(name) => {
+                let reg: Reg = program
+                    .reg_by_name(name)
+                    .ok_or_else(|| err(format!("unknown register `{name}`")))?;
+                let slices = match tokens.get(i + 1) {
+                    Some(Token::View(s)) => {
+                        i += 1;
+                        Some(s.clone())
+                    }
+                    _ => None,
+                };
+                operands.push(Operand::View(ViewRef { reg, slices }));
+            }
+            Token::Const(c) => operands.push(Operand::Const(*c)),
+            Token::View(_) => {
+                return Err(err("view without a register".into()));
+            }
+            Token::Mnemonic(_) => {
+                return Err(err("unexpected op-code mid-instruction".into()));
+            }
+        }
+        i += 1;
+    }
+    let expected = op.operand_count();
+    if operands.len() != expected {
+        return Err(err(format!(
+            "{op} expects {expected} operands, found {}",
+            operands.len()
+        )));
+    }
+    if op.has_output() && !matches!(operands[0], Operand::View(_)) {
+        return Err(err(format!("{op} result operand must be a view")));
+    }
+    Ok(Instruction::new(op, operands))
+}
+
+/// Parse failure with a 1-based line number (0 when the error is global,
+/// e.g. failed shape inference).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line; 0 for whole-program errors.
+    pub line: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error: {}", self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::PrintStyle;
+
+    const LISTING2: &str = "\
+BH_IDENTITY a0 [0:10:1] 0
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_ADD a0 [0:10:1] a0 [0:10:1] 1
+BH_SYNC a0 [0:10:1]
+";
+
+    #[test]
+    fn parses_listing2_verbatim() {
+        let p = parse_program(LISTING2).unwrap();
+        assert_eq!(p.instrs().len(), 5);
+        assert_eq!(p.count_op(Opcode::Add), 3);
+        let a0 = p.reg_by_name("a0").unwrap();
+        assert_eq!(p.base(a0).shape, Shape::vector(10));
+        assert_eq!(p.base(a0).dtype, DType::Float64);
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let p = parse_program(LISTING2).unwrap();
+        let printed = p.to_text(PrintStyle::LISTING);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p2.instrs(), p.instrs());
+    }
+
+    #[test]
+    fn parses_listing3_with_default_shape() {
+        let text = "\
+BH_IDENTITY a0 0
+BH_ADD a0 a0 3
+BH_SYNC a0
+";
+        let opts = ParseOptions {
+            default_dtype: DType::Float64,
+            default_shape: Some(Shape::vector(10)),
+        };
+        let p = parse_program_with(text, &opts).unwrap();
+        assert_eq!(p.instrs().len(), 3);
+        assert_eq!(p.base(p.reg_by_name("a0").unwrap()).shape, Shape::vector(10));
+    }
+
+    #[test]
+    fn elided_views_without_default_shape_error() {
+        let e = parse_program("BH_SYNC a0\n").unwrap_err();
+        assert!(e.to_string().contains("cannot infer shape"));
+    }
+
+    #[test]
+    fn parses_listing5_power_chain() {
+        let text = "\
+BH_IDENTITY a0 [0:100:1] 2
+BH_MULTIPLY a1 [0:100:1] a0 [0:100:1] a0 [0:100:1]
+BH_MULTIPLY a1 [0:100:1] a1 [0:100:1] a1 [0:100:1]
+BH_MULTIPLY a1 [0:100:1] a1 [0:100:1] a1 [0:100:1]
+BH_MULTIPLY a1 [0:100:1] a1 [0:100:1] a0 [0:100:1]
+BH_MULTIPLY a1 [0:100:1] a1 [0:100:1] a0 [0:100:1]
+BH_SYNC a1 [0:100:1]
+";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.count_op(Opcode::Multiply), 5);
+        assert_eq!(p.bases().len(), 2);
+    }
+
+    #[test]
+    fn base_decls_and_inputs() {
+        let text = "\
+.base x f32[4,4] input
+.base y f32[4,4]
+BH_MULTIPLY y x x
+BH_SYNC y
+";
+        let p = parse_program(text).unwrap();
+        let x = p.reg_by_name("x").unwrap();
+        assert!(p.base(x).is_input);
+        assert_eq!(p.base(x).dtype, DType::Float32);
+        assert_eq!(p.base(x).shape, Shape::from([4, 4]));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "
+# Listing 3, optimised
+BH_IDENTITY a0 [0:10:1] 0   # init
+BH_ADD a0 a0 3              # merged constant
+BH_SYNC a0
+";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.instrs().len(), 3);
+    }
+
+    #[test]
+    fn attached_view_syntax() {
+        let p = parse_program("BH_IDENTITY a0[0:4:1] 1\n").unwrap();
+        assert_eq!(p.instrs().len(), 1);
+        assert_eq!(p.base(p.reg_by_name("a0").unwrap()).shape, Shape::vector(4));
+    }
+
+    #[test]
+    fn multi_axis_views() {
+        let text = "\
+.base m f64[4,6]
+BH_IDENTITY m [1:3:1,0:6:2] 7
+BH_SYNC m
+";
+        let p = parse_program(text).unwrap();
+        let v = p.instrs()[0].out_view().unwrap();
+        let geom = p.resolve_view(v).unwrap();
+        assert_eq!(geom.shape(), Shape::from([2, 3]));
+    }
+
+    #[test]
+    fn arity_mismatch_reports_line() {
+        let e = parse_program("BH_ADD a0 [0:4:1] 1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("expects 3 operands"));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let e = parse_program("BH_FROBNICATE a0 [0:4:1]\n").unwrap_err();
+        assert!(e.to_string().contains("unknown op-code"));
+    }
+
+    #[test]
+    fn const_result_rejected() {
+        let e = parse_program("BH_ADD 1 2 3\n").unwrap_err();
+        assert!(e.to_string().contains("must be a view"));
+    }
+
+    #[test]
+    fn duplicate_decl_rejected() {
+        let text = ".base a f64[1]\n.base a f64[1]\n";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn negative_and_typed_constants() {
+        let text = "\
+.base a i32[4]
+BH_IDENTITY a -5
+BH_ADD a a 3i32
+";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.instrs()[0].inputs()[0].as_const(), Some(Scalar::I64(-5)));
+        assert_eq!(p.instrs()[1].inputs()[1].as_const(), Some(Scalar::I32(3)));
+    }
+
+    #[test]
+    fn inference_takes_max_extent() {
+        let text = "\
+BH_IDENTITY a0 [0:4:1] 0
+BH_IDENTITY a0 [4:8:1] 1
+BH_SYNC a0 [0:8:1]
+";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.base(p.reg_by_name("a0").unwrap()).shape, Shape::vector(8));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for dense linear algebra.
+
+use bh_tensor::{DType, Shape};
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// The offending shape.
+        shape: Shape,
+    },
+    /// The operation requires matching dimensions.
+    DimensionMismatch {
+        /// Description of the constraint that failed.
+        constraint: String,
+    },
+    /// The matrix is singular (a pivot underflowed) to working precision.
+    Singular {
+        /// The elimination column where the zero pivot appeared.
+        column: usize,
+    },
+    /// The routine supports float dtypes only.
+    UnsupportedDType {
+        /// The offending dtype.
+        dtype: DType,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { shape } => {
+                write!(f, "expected a square matrix, found shape {shape}")
+            }
+            LinalgError::DimensionMismatch { constraint } => {
+                write!(f, "dimension mismatch: {constraint}")
+            }
+            LinalgError::Singular { column } => {
+                write!(f, "matrix is singular: zero pivot in column {column}")
+            }
+            LinalgError::UnsupportedDType { dtype } => {
+                write!(f, "linear algebra requires a float dtype, found {dtype}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LinalgError::Singular { column: 2 };
+        assert_eq!(e.to_string(), "matrix is singular: zero pivot in column 2");
+        let e = LinalgError::NotSquare { shape: Shape::from([2, 3]) };
+        assert!(e.to_string().contains("(2,3)"));
+    }
+}

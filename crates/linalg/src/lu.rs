@@ -1,0 +1,375 @@
+//! LU factorisation with partial pivoting.
+//!
+//! The paper's Eq. 2 observes that solving `Ax = B` through an explicit
+//! inverse is wasteful and that "one could do a LU-factorization of the
+//! same problem, which would usually be faster to compute" — this module is
+//! that faster path. Flop accounting follows Golub & Van Loan: `PA = LU`
+//! costs ~2n³/3 flops, each triangular pair-solve ~2n².
+
+use crate::error::LinalgError;
+use crate::util::{as_f64_matrix, square_dim};
+use bh_tensor::{Shape, Tensor};
+
+/// A packed `PA = LU` factorisation.
+///
+/// `L` (unit lower-triangular) and `U` (upper-triangular) share one `n × n`
+/// store; `perm` maps factored row index → original row index.
+///
+/// # Examples
+///
+/// ```
+/// use bh_linalg::LuFactorization;
+/// use bh_tensor::{Shape, Tensor};
+///
+/// let a = Tensor::from_shape_vec(Shape::matrix(2, 2), vec![4.0f64, 3.0, 6.0, 3.0])?;
+/// let lu = LuFactorization::factorize(&a)?;
+/// let x = lu.solve_vec(&Tensor::from_vec(vec![10.0f64, 12.0]))?;
+/// assert!((x.to_f64_vec()[0] - 1.0).abs() < 1e-12);
+/// assert!((x.to_f64_vec()[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuFactorization {
+    n: usize,
+    /// Row-major packed L\U (diagonal belongs to U; L's diagonal is
+    /// implicitly 1).
+    packed: Vec<f64>,
+    /// `perm[i]` = original row stored at factored row `i`.
+    perm: Vec<usize>,
+    /// Number of row swaps performed (sign of the permutation).
+    swaps: usize,
+}
+
+/// Pivot threshold: pivots with absolute value at or below this are treated
+/// as exact zeros and reported as singularity.
+const PIVOT_EPS: f64 = 1e-300;
+
+impl LuFactorization {
+    /// Factor a square float matrix with partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] for non-square input.
+    /// * [`LinalgError::UnsupportedDType`] for non-float input.
+    /// * [`LinalgError::Singular`] when a pivot vanishes.
+    pub fn factorize(a: &Tensor) -> Result<LuFactorization, LinalgError> {
+        let n = square_dim(a)?;
+        let mut packed = as_f64_matrix(a)?;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0usize;
+        for k in 0..n {
+            // Partial pivot: largest |value| in column k at/below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = packed[k * n + k].abs();
+            for r in k + 1..n {
+                let v = packed[r * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= PIVOT_EPS {
+                return Err(LinalgError::Singular { column: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    packed.swap(k * n + c, pivot_row * n + c);
+                }
+                perm.swap(k, pivot_row);
+                swaps += 1;
+            }
+            let pivot = packed[k * n + k];
+            for r in k + 1..n {
+                let factor = packed[r * n + k] / pivot;
+                packed[r * n + k] = factor; // store L entry
+                for c in k + 1..n {
+                    packed[r * n + c] -= factor * packed[k * n + c];
+                }
+            }
+        }
+        Ok(LuFactorization { n, packed, perm, swaps })
+    }
+
+    /// Matrix dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The row permutation (factored row → original row).
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Determinant of the original matrix: `(-1)^swaps · ∏ diag(U)`.
+    pub fn det(&self) -> f64 {
+        let mut d = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        for k in 0..self.n {
+            d *= self.packed[k * self.n + k];
+        }
+        d
+    }
+
+    /// Solve `Ax = b` for one right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] when `b` is not an `n`-vector, or
+    /// [`LinalgError::UnsupportedDType`] for non-float `b`.
+    pub fn solve_vec(&self, b: &Tensor) -> Result<Tensor, LinalgError> {
+        if b.shape().rank() != 1 || b.shape().dim(0) != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                constraint: format!("rhs must be a {}-vector, found {}", self.n, b.shape()),
+            });
+        }
+        let bv = crate::util::as_f64_vec(b)?;
+        let x = self.solve_in_place(&bv);
+        Ok(Tensor::from_vec(x))
+    }
+
+    /// Solve `AX = B` column-by-column for an `n × k` right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] when `B` has the wrong row count,
+    /// or [`LinalgError::UnsupportedDType`] for non-float `B`.
+    pub fn solve_mat(&self, b: &Tensor) -> Result<Tensor, LinalgError> {
+        if b.shape().rank() != 2 || b.shape().dim(0) != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                constraint: format!("rhs must have {} rows, found {}", self.n, b.shape()),
+            });
+        }
+        let k = b.shape().dim(1);
+        let bm = as_f64_matrix(b)?;
+        let mut out = vec![0.0f64; self.n * k];
+        let mut col = vec![0.0f64; self.n];
+        for j in 0..k {
+            for i in 0..self.n {
+                col[i] = bm[i * k + j];
+            }
+            let x = self.solve_in_place(&col);
+            for i in 0..self.n {
+                out[i * k + j] = x[i];
+            }
+        }
+        Tensor::from_shape_vec(Shape::matrix(self.n, k), out).map_err(|_| {
+            LinalgError::DimensionMismatch { constraint: "internal shape bookkeeping".into() }
+        })
+    }
+
+    /// Forward + back substitution against one permuted right-hand side.
+    fn solve_in_place(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        // y = L⁻¹ P b
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.packed[i * n + j] * y[j];
+            }
+            y[i] = s;
+        }
+        // x = U⁻¹ y
+        let mut x = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.packed[i * n + j] * x[j];
+            }
+            x[i] = s / self.packed[i * n + i];
+        }
+        x
+    }
+
+    /// Reconstruct the unit-lower-triangular factor `L` (testing helper).
+    pub fn l_matrix(&self) -> Tensor {
+        let n = self.n;
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                l[i * n + j] = match i.cmp(&j) {
+                    std::cmp::Ordering::Greater => self.packed[i * n + j],
+                    std::cmp::Ordering::Equal => 1.0,
+                    std::cmp::Ordering::Less => 0.0,
+                };
+            }
+        }
+        Tensor::from_shape_vec(Shape::matrix(n, n), l).expect("sized n*n")
+    }
+
+    /// Reconstruct the upper-triangular factor `U` (testing helper).
+    pub fn u_matrix(&self) -> Tensor {
+        let n = self.n;
+        let mut u = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                u[i * n + j] = self.packed[i * n + j];
+            }
+        }
+        Tensor::from_shape_vec(Shape::matrix(n, n), u).expect("sized n*n")
+    }
+
+    /// Flops of the factorisation itself (`~2n³/3`).
+    pub fn factorization_flops(n: usize) -> u64 {
+        (2 * n as u64 * n as u64 * n as u64) / 3
+    }
+
+    /// Flops of one pair of triangular solves (`~2n²`).
+    pub fn solve_flops(n: usize) -> u64 {
+        2 * (n as u64) * (n as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul;
+    use bh_tensor::{random_tensor, DType, Distribution};
+
+    fn mat(n: usize, data: Vec<f64>) -> Tensor {
+        Tensor::from_shape_vec(Shape::matrix(n, n), data).unwrap()
+    }
+
+    fn random_spd_ish(n: usize, seed: u64) -> Tensor {
+        // Random + n·I: comfortably non-singular.
+        let mut t = random_tensor(DType::Float64, Shape::matrix(n, n), seed, Distribution::Uniform);
+        for i in 0..n {
+            let v = t.get(&[i, i]).unwrap().as_f64();
+            t.set(&[i, i], bh_tensor::Scalar::F64(v + n as f64)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn pa_equals_lu() {
+        let a = random_spd_ish(8, 3);
+        let lu = LuFactorization::factorize(&a).unwrap();
+        let l = lu.l_matrix();
+        let u = lu.u_matrix();
+        let prod = matmul(&l, &u).unwrap();
+        // PA: apply the permutation to A's rows.
+        let n = lu.dim();
+        let pa = Tensor::from_fn(Shape::matrix(n, n), |idx| {
+            a.get(&[lu.permutation()[idx[0]], idx[1]]).unwrap().as_f64()
+        });
+        assert!(prod.allclose(&pa, 1e-10), "PA != LU");
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [[2,1],[1,3]] x = [3,5] -> x = [0.8, 1.4]
+        let a = mat(2, vec![2.0, 1.0, 1.0, 3.0]);
+        let lu = LuFactorization::factorize(&a).unwrap();
+        let x = lu.solve_vec(&Tensor::from_vec(vec![3.0f64, 5.0])).unwrap();
+        assert!(x.allclose(&Tensor::from_vec(vec![0.8f64, 1.4]), 1e-12));
+    }
+
+    #[test]
+    fn solve_residual_small_random() {
+        for seed in 0..5u64 {
+            let n = 16;
+            let a = random_spd_ish(n, seed);
+            let b = random_tensor(DType::Float64, Shape::vector(n), seed + 100, Distribution::Uniform);
+            let lu = LuFactorization::factorize(&a).unwrap();
+            let x = lu.solve_vec(&b).unwrap();
+            // residual r = Ax - b
+            let ax = matmul(&a, &x).unwrap();
+            let r = ax.zip::<f64>(&b, |p, q| p - q).unwrap();
+            let rn = r.to_f64_vec().iter().map(|v| v * v).sum::<f64>().sqrt();
+            let bn = b.to_f64_vec().iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(rn / bn < 1e-10, "relative residual {}", rn / bn);
+        }
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise() {
+        let n = 6;
+        let a = random_spd_ish(n, 9);
+        let b = random_tensor(DType::Float64, Shape::matrix(n, 3), 10, Distribution::Uniform);
+        let lu = LuFactorization::factorize(&a).unwrap();
+        let x = lu.solve_mat(&b).unwrap();
+        for j in 0..3 {
+            let bj = Tensor::from_fn(Shape::vector(n), |i| b.get(&[i[0], j]).unwrap().as_f64());
+            let xj = lu.solve_vec(&bj).unwrap();
+            for i in 0..n {
+                assert!(
+                    (x.get(&[i, j]).unwrap().as_f64() - xj.to_f64_vec()[i]).abs() < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // a11 = 0 forces a swap; without pivoting this would divide by zero.
+        let a = mat(2, vec![0.0, 1.0, 1.0, 0.0]);
+        let lu = LuFactorization::factorize(&a).unwrap();
+        let x = lu.solve_vec(&Tensor::from_vec(vec![2.0f64, 3.0])).unwrap();
+        assert!(x.allclose(&Tensor::from_vec(vec![3.0f64, 2.0]), 1e-12));
+        assert_eq!(lu.permutation(), &[1, 0]);
+    }
+
+    #[test]
+    fn determinant() {
+        let a = mat(2, vec![3.0, 8.0, 4.0, 6.0]);
+        let lu = LuFactorization::factorize(&a).unwrap();
+        assert!((lu.det() - (-14.0)).abs() < 1e-12);
+        // Identity has det 1.
+        let i = Tensor::eye(DType::Float64, 5);
+        assert!((LuFactorization::factorize(&i).unwrap().det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = mat(2, vec![1.0, 2.0, 2.0, 4.0]);
+        match LuFactorization::factorize(&a) {
+            Err(LinalgError::Singular { column }) => assert_eq!(column, 1),
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Tensor::zeros(DType::Float64, Shape::from([2, 3]));
+        assert!(matches!(
+            LuFactorization::factorize(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn int_dtype_rejected() {
+        let a = Tensor::eye(DType::Int32, 3);
+        assert!(matches!(
+            LuFactorization::factorize(&a),
+            Err(LinalgError::UnsupportedDType { .. })
+        ));
+    }
+
+    #[test]
+    fn f32_input_accepted_via_cast() {
+        let a = Tensor::eye(DType::Float32, 3);
+        let lu = LuFactorization::factorize(&a).unwrap();
+        assert!((lu.det() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rhs_dimension_checked() {
+        let a = Tensor::eye(DType::Float64, 3);
+        let lu = LuFactorization::factorize(&a).unwrap();
+        assert!(lu.solve_vec(&Tensor::from_vec(vec![1.0f64, 2.0])).is_err());
+        assert!(lu
+            .solve_mat(&Tensor::zeros(DType::Float64, Shape::matrix(2, 2)))
+            .is_err());
+    }
+
+    #[test]
+    fn flop_model_orders() {
+        // Factorisation dominates a single solve for any n >= 4.
+        for n in [4usize, 16, 64] {
+            assert!(
+                LuFactorization::factorization_flops(n) > LuFactorization::solve_flops(n),
+                "n={n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared conversion helpers.
+
+use crate::error::LinalgError;
+use bh_tensor::Tensor;
+
+/// Extract a square matrix's dimension.
+///
+/// # Errors
+///
+/// [`LinalgError::NotSquare`] unless the tensor is rank-2 with equal dims.
+pub(crate) fn square_dim(a: &Tensor) -> Result<usize, LinalgError> {
+    let s = a.shape();
+    if s.rank() == 2 && s.dim(0) == s.dim(1) {
+        Ok(s.dim(0))
+    } else {
+        Err(LinalgError::NotSquare { shape: s.clone() })
+    }
+}
+
+/// Row-major f64 copy of a float tensor's elements.
+///
+/// # Errors
+///
+/// [`LinalgError::UnsupportedDType`] for non-float input.
+pub(crate) fn as_f64_matrix(a: &Tensor) -> Result<Vec<f64>, LinalgError> {
+    require_float(a)?;
+    Ok(a.to_f64_vec())
+}
+
+/// f64 copy of a float vector's elements.
+///
+/// # Errors
+///
+/// [`LinalgError::UnsupportedDType`] for non-float input.
+pub(crate) fn as_f64_vec(a: &Tensor) -> Result<Vec<f64>, LinalgError> {
+    require_float(a)?;
+    Ok(a.to_f64_vec())
+}
+
+pub(crate) fn require_float(a: &Tensor) -> Result<(), LinalgError> {
+    if a.dtype().is_float() {
+        Ok(())
+    } else {
+        Err(LinalgError::UnsupportedDType { dtype: a.dtype() })
+    }
+}
+
+/// Cast the result back to the dtype of the prototype operand, so f32
+/// pipelines stay f32 end-to-end.
+pub(crate) fn cast_like(result: Tensor, prototype: &Tensor) -> Tensor {
+    if result.dtype() == prototype.dtype() {
+        result
+    } else {
+        result.cast(prototype.dtype())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_tensor::{DType, Shape};
+
+    #[test]
+    fn square_dim_checks_rank_and_equality() {
+        assert_eq!(square_dim(&Tensor::eye(DType::Float64, 4)).unwrap(), 4);
+        assert!(square_dim(&Tensor::zeros(DType::Float64, Shape::from([2, 3]))).is_err());
+        assert!(square_dim(&Tensor::zeros(DType::Float64, Shape::vector(4))).is_err());
+    }
+
+    #[test]
+    fn cast_like_round_trips_f32() {
+        let proto = Tensor::zeros(DType::Float32, Shape::vector(2));
+        let r = Tensor::from_vec(vec![1.0f64, 2.0]);
+        assert_eq!(cast_like(r, &proto).dtype(), DType::Float32);
+    }
+}

@@ -1,0 +1,383 @@
+//! Dynamically typed flat element storage.
+//!
+//! A [`Buffer`] is the backing store of one byte-code *base array*: a flat,
+//! dtype-tagged vector of elements. Views ([`crate::ViewGeom`]) interpret a
+//! buffer as an n-dimensional strided tensor.
+
+use crate::dtype::{DType, Element};
+use crate::error::TensorError;
+use crate::scalar::Scalar;
+use std::any::Any;
+use std::fmt;
+
+/// Flat typed storage for one base array.
+///
+/// # Examples
+///
+/// ```
+/// use bh_tensor::{Buffer, DType, Scalar};
+/// let mut b = Buffer::zeros(DType::Float64, 4);
+/// b.set_scalar(2, Scalar::F64(7.5)).unwrap();
+/// assert_eq!(b.get_scalar(2).unwrap(), Scalar::F64(7.5));
+/// assert_eq!(b.len(), 4);
+/// ```
+#[derive(Clone, PartialEq)]
+pub enum Buffer {
+    /// Boolean storage.
+    Bool(Vec<bool>),
+    /// `u8` storage.
+    U8(Vec<u8>),
+    /// `u16` storage.
+    U16(Vec<u16>),
+    /// `u32` storage.
+    U32(Vec<u32>),
+    /// `u64` storage.
+    U64(Vec<u64>),
+    /// `i8` storage.
+    I8(Vec<i8>),
+    /// `i16` storage.
+    I16(Vec<i16>),
+    /// `i32` storage.
+    I32(Vec<i32>),
+    /// `i64` storage.
+    I64(Vec<i64>),
+    /// `f32` storage.
+    F32(Vec<f32>),
+    /// `f64` storage.
+    F64(Vec<f64>),
+}
+
+/// Dispatch a generic expression over every supported element type.
+///
+/// Binds the type parameter `$T` to the Rust element type matching the
+/// runtime [`DType`] `$dtype`, then evaluates `$body`.
+///
+/// ```
+/// use bh_tensor::{with_dtype, DType};
+/// let size = with_dtype!(DType::Int32, T, std::mem::size_of::<T>());
+/// assert_eq!(size, 4);
+/// ```
+#[macro_export]
+macro_rules! with_dtype {
+    ($dtype:expr, $T:ident, $body:expr) => {
+        match $dtype {
+            $crate::DType::Bool => {
+                type $T = bool;
+                $body
+            }
+            $crate::DType::UInt8 => {
+                type $T = u8;
+                $body
+            }
+            $crate::DType::UInt16 => {
+                type $T = u16;
+                $body
+            }
+            $crate::DType::UInt32 => {
+                type $T = u32;
+                $body
+            }
+            $crate::DType::UInt64 => {
+                type $T = u64;
+                $body
+            }
+            $crate::DType::Int8 => {
+                type $T = i8;
+                $body
+            }
+            $crate::DType::Int16 => {
+                type $T = i16;
+                $body
+            }
+            $crate::DType::Int32 => {
+                type $T = i32;
+                $body
+            }
+            $crate::DType::Int64 => {
+                type $T = i64;
+                $body
+            }
+            $crate::DType::Float32 => {
+                type $T = f32;
+                $body
+            }
+            $crate::DType::Float64 => {
+                type $T = f64;
+                $body
+            }
+        }
+    };
+}
+
+macro_rules! for_each_variant {
+    ($self:expr, $v:ident, $body:expr) => {
+        match $self {
+            Buffer::Bool($v) => $body,
+            Buffer::U8($v) => $body,
+            Buffer::U16($v) => $body,
+            Buffer::U32($v) => $body,
+            Buffer::U64($v) => $body,
+            Buffer::I8($v) => $body,
+            Buffer::I16($v) => $body,
+            Buffer::I32($v) => $body,
+            Buffer::I64($v) => $body,
+            Buffer::F32($v) => $body,
+            Buffer::F64($v) => $body,
+        }
+    };
+}
+
+impl Buffer {
+    /// Allocate `n` zero-initialised elements of `dtype`.
+    pub fn zeros(dtype: DType, n: usize) -> Buffer {
+        with_dtype!(dtype, T, Buffer::from_vec(vec![<T as Element>::zero(); n]))
+    }
+
+    /// Allocate `n` elements of `dtype` all equal to `value` (cast to
+    /// `dtype`).
+    pub fn full(dtype: DType, n: usize, value: Scalar) -> Buffer {
+        let v = value.cast(dtype);
+        with_dtype!(dtype, T, Buffer::from_vec(vec![v.get::<T>(); n]))
+    }
+
+    /// Wrap a typed vector.
+    pub fn from_vec<T: Element>(v: Vec<T>) -> Buffer {
+        let any: Box<dyn Any> = Box::new(v);
+        match T::DTYPE {
+            DType::Bool => Buffer::Bool(*any.downcast().expect("dtype tag matches type")),
+            DType::UInt8 => Buffer::U8(*any.downcast().expect("dtype tag matches type")),
+            DType::UInt16 => Buffer::U16(*any.downcast().expect("dtype tag matches type")),
+            DType::UInt32 => Buffer::U32(*any.downcast().expect("dtype tag matches type")),
+            DType::UInt64 => Buffer::U64(*any.downcast().expect("dtype tag matches type")),
+            DType::Int8 => Buffer::I8(*any.downcast().expect("dtype tag matches type")),
+            DType::Int16 => Buffer::I16(*any.downcast().expect("dtype tag matches type")),
+            DType::Int32 => Buffer::I32(*any.downcast().expect("dtype tag matches type")),
+            DType::Int64 => Buffer::I64(*any.downcast().expect("dtype tag matches type")),
+            DType::Float32 => Buffer::F32(*any.downcast().expect("dtype tag matches type")),
+            DType::Float64 => Buffer::F64(*any.downcast().expect("dtype tag matches type")),
+        }
+    }
+
+    /// The dtype of the stored elements.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Buffer::Bool(_) => DType::Bool,
+            Buffer::U8(_) => DType::UInt8,
+            Buffer::U16(_) => DType::UInt16,
+            Buffer::U32(_) => DType::UInt32,
+            Buffer::U64(_) => DType::UInt64,
+            Buffer::I8(_) => DType::Int8,
+            Buffer::I16(_) => DType::Int16,
+            Buffer::I32(_) => DType::Int32,
+            Buffer::I64(_) => DType::Int64,
+            Buffer::F32(_) => DType::Float32,
+            Buffer::F64(_) => DType::Float64,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        for_each_variant!(self, v, v.len())
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes of the stored elements.
+    pub fn size_bytes(&self) -> usize {
+        self.len() * self.dtype().size_of()
+    }
+
+    /// Typed read access; `None` when `T` does not match the dtype.
+    pub fn as_slice<T: Element>(&self) -> Option<&[T]> {
+        for_each_variant!(self, v, (v as &dyn Any).downcast_ref::<Vec<T>>().map(|v| v.as_slice()))
+    }
+
+    /// Typed write access; `None` when `T` does not match the dtype.
+    pub fn as_mut_slice<T: Element>(&mut self) -> Option<&mut [T]> {
+        for_each_variant!(self, v, (v as &mut dyn Any).downcast_mut::<Vec<T>>().map(|v| v.as_mut_slice()))
+    }
+
+    /// Read one element as a [`Scalar`].
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::OutOfBounds`] if `idx >= len`.
+    pub fn get_scalar(&self, idx: usize) -> Result<Scalar, TensorError> {
+        if idx >= self.len() {
+            return Err(TensorError::OutOfBounds { offset: idx, len: self.len() });
+        }
+        Ok(match self {
+            Buffer::Bool(v) => Scalar::Bool(v[idx]),
+            Buffer::U8(v) => Scalar::U8(v[idx]),
+            Buffer::U16(v) => Scalar::U16(v[idx]),
+            Buffer::U32(v) => Scalar::U32(v[idx]),
+            Buffer::U64(v) => Scalar::U64(v[idx]),
+            Buffer::I8(v) => Scalar::I8(v[idx]),
+            Buffer::I16(v) => Scalar::I16(v[idx]),
+            Buffer::I32(v) => Scalar::I32(v[idx]),
+            Buffer::I64(v) => Scalar::I64(v[idx]),
+            Buffer::F32(v) => Scalar::F32(v[idx]),
+            Buffer::F64(v) => Scalar::F64(v[idx]),
+        })
+    }
+
+    /// Write one element from a [`Scalar`] (cast to the buffer dtype).
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::OutOfBounds`] if `idx >= len`.
+    pub fn set_scalar(&mut self, idx: usize, value: Scalar) -> Result<(), TensorError> {
+        if idx >= self.len() {
+            return Err(TensorError::OutOfBounds { offset: idx, len: self.len() });
+        }
+        let v = value.cast(self.dtype());
+        match self {
+            Buffer::Bool(b) => b[idx] = v.get::<bool>(),
+            Buffer::U8(b) => b[idx] = v.get::<u8>(),
+            Buffer::U16(b) => b[idx] = v.get::<u16>(),
+            Buffer::U32(b) => b[idx] = v.get::<u32>(),
+            Buffer::U64(b) => b[idx] = v.get::<u64>(),
+            Buffer::I8(b) => b[idx] = v.get::<i8>(),
+            Buffer::I16(b) => b[idx] = v.get::<i16>(),
+            Buffer::I32(b) => b[idx] = v.get::<i32>(),
+            Buffer::I64(b) => b[idx] = v.get::<i64>(),
+            Buffer::F32(b) => b[idx] = v.get::<f32>(),
+            Buffer::F64(b) => b[idx] = v.get::<f64>(),
+        }
+        Ok(())
+    }
+
+    /// Copy into a new buffer of another dtype, element-wise `as`-cast.
+    pub fn cast(&self, dtype: DType) -> Buffer {
+        if dtype == self.dtype() {
+            return self.clone();
+        }
+        let mut out = Buffer::zeros(dtype, self.len());
+        for i in 0..self.len() {
+            let s = self.get_scalar(i).expect("index in range");
+            out.set_scalar(i, s).expect("index in range");
+        }
+        out
+    }
+
+    /// All elements converted to `f64` (testing / display convenience).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| self.get_scalar(i).expect("index in range").as_f64())
+            .collect()
+    }
+}
+
+impl fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Buffer<{}>[len={}; ", self.dtype(), self.len())?;
+        for i in 0..self.len().min(PREVIEW) {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.get_scalar(i).expect("index in range"))?;
+        }
+        if self.len() > PREVIEW {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::ALL_DTYPES;
+
+    #[test]
+    fn zeros_all_dtypes() {
+        for &d in &ALL_DTYPES {
+            let b = Buffer::zeros(d, 5);
+            assert_eq!(b.dtype(), d);
+            assert_eq!(b.len(), 5);
+            for i in 0..5 {
+                assert!(b.get_scalar(i).unwrap().is_zero(), "{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_casts_value() {
+        let b = Buffer::full(DType::Int32, 3, Scalar::F64(2.9));
+        assert_eq!(b.get_scalar(0).unwrap(), Scalar::I32(2));
+    }
+
+    #[test]
+    fn from_vec_round_trip() {
+        let b = Buffer::from_vec(vec![1.5f64, -2.0, 0.25]);
+        assert_eq!(b.dtype(), DType::Float64);
+        assert_eq!(b.as_slice::<f64>().unwrap(), &[1.5, -2.0, 0.25]);
+        let b = Buffer::from_vec(vec![true, false]);
+        assert_eq!(b.as_slice::<bool>().unwrap(), &[true, false]);
+        let b = Buffer::from_vec(vec![7u16, 9]);
+        assert_eq!(b.as_slice::<u16>().unwrap(), &[7, 9]);
+    }
+
+    #[test]
+    fn as_slice_rejects_wrong_type() {
+        let b = Buffer::zeros(DType::Float32, 2);
+        assert!(b.as_slice::<f64>().is_none());
+        assert!(b.as_slice::<f32>().is_some());
+    }
+
+    #[test]
+    fn mutate_via_typed_slice() {
+        let mut b = Buffer::zeros(DType::Int64, 4);
+        b.as_mut_slice::<i64>().unwrap()[3] = -9;
+        assert_eq!(b.get_scalar(3).unwrap(), Scalar::I64(-9));
+    }
+
+    #[test]
+    fn get_set_bounds() {
+        let mut b = Buffer::zeros(DType::Float64, 2);
+        assert!(b.get_scalar(2).is_err());
+        assert!(b.set_scalar(2, Scalar::F64(1.0)).is_err());
+    }
+
+    #[test]
+    fn cast_buffer() {
+        let b = Buffer::from_vec(vec![1.9f64, -0.5, 3.0]);
+        let c = b.cast(DType::Int32);
+        assert_eq!(c.as_slice::<i32>().unwrap(), &[1, 0, 3]);
+        // cast to same dtype is a clone
+        let d = b.cast(DType::Float64);
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn size_bytes() {
+        assert_eq!(Buffer::zeros(DType::Float64, 10).size_bytes(), 80);
+        assert_eq!(Buffer::zeros(DType::UInt8, 10).size_bytes(), 10);
+    }
+
+    #[test]
+    fn debug_preview_truncates() {
+        let b = Buffer::zeros(DType::Int32, 100);
+        let s = format!("{b:?}");
+        assert!(s.contains("len=100"));
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn with_dtype_macro_dispatches() {
+        for &d in &ALL_DTYPES {
+            let size = with_dtype!(d, T, std::mem::size_of::<T>());
+            assert_eq!(size, d.size_of().max(1));
+        }
+    }
+
+    #[test]
+    fn to_f64_vec() {
+        let b = Buffer::from_vec(vec![1i32, 2, 3]);
+        assert_eq!(b.to_f64_vec(), vec![1.0, 2.0, 3.0]);
+    }
+}

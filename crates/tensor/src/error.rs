@@ -1,0 +1,81 @@
+//! Error type shared by the tensor substrate.
+
+use crate::dtype::DType;
+use crate::shape::Shape;
+use std::fmt;
+
+/// Errors produced by shape, view and buffer operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two shapes could not be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand shape.
+        left: Shape,
+        /// Right-hand shape.
+        right: Shape,
+    },
+    /// A slice or view construction was malformed.
+    InvalidSlice {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An operation received a buffer or scalar of the wrong dtype.
+    DTypeMismatch {
+        /// The dtype the operation required.
+        expected: DType,
+        /// The dtype it received.
+        found: DType,
+    },
+    /// An operation received a tensor of the wrong shape.
+    ShapeMismatch {
+        /// The shape the operation required.
+        expected: Shape,
+        /// The shape it received.
+        found: Shape,
+    },
+    /// An index or view escapes the underlying buffer.
+    OutOfBounds {
+        /// Offending element offset.
+        offset: usize,
+        /// Buffer length in elements.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::BroadcastMismatch { left, right } => {
+                write!(f, "cannot broadcast shapes {left} and {right}")
+            }
+            TensorError::InvalidSlice { reason } => write!(f, "invalid slice: {reason}"),
+            TensorError::DTypeMismatch { expected, found } => {
+                write!(f, "dtype mismatch: expected {expected}, found {found}")
+            }
+            TensorError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            TensorError::OutOfBounds { offset, len } => {
+                write!(f, "element offset {offset} out of bounds for buffer of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = TensorError::DTypeMismatch {
+            expected: DType::Float64,
+            found: DType::Int32,
+        };
+        assert_eq!(e.to_string(), "dtype mismatch: expected f64, found i32");
+        let e = TensorError::OutOfBounds { offset: 12, len: 10 };
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,476 @@
+//! Strided element-wise and reduction kernels.
+//!
+//! These are the loops a Bohrium backend would JIT-compile: every byte-code
+//! executed by the VM bottoms out in one of these functions. They operate on
+//! typed slices plus [`ViewGeom`] geometry so the same code path serves
+//! contiguous arrays, strided slices, reversed views and broadcast (stride-0)
+//! operands.
+//!
+//! # Aliasing
+//!
+//! The `*_inplace` variants operate on a single buffer that is both read and
+//! written (`a0 = a0 + 1` in the listings). They are correct when, for every
+//! input view `v` that overlaps the output view, iterating logically never
+//! reads an element after the iteration wrote it. The VM guarantees this by
+//! only using the in-place path when each overlapping input view
+//! [`ViewGeom::same_layout`]s the output (or provably writes behind all
+//! reads); otherwise it materialises inputs into temporaries first.
+
+use crate::dtype::Element;
+use crate::view::ViewGeom;
+
+/// Iterate `N` same-shaped views in lock-step, invoking `f` with the base
+/// element offsets of each view.
+///
+/// # Panics
+///
+/// Panics (debug builds) if the views disagree on shape.
+pub fn zip_offsets<const N: usize>(views: [&ViewGeom; N], mut f: impl FnMut([usize; N])) {
+    let shape = views[0].shape();
+    debug_assert!(
+        views.iter().all(|v| v.shape() == shape),
+        "zip_offsets requires identical logical shapes"
+    );
+    let nelem = shape.nelem();
+    if nelem == 0 {
+        return;
+    }
+    let rank = shape.rank();
+    let mut offs = [0isize; N];
+    for (k, v) in views.iter().enumerate() {
+        offs[k] = v.offset() as isize;
+    }
+    if rank == 0 {
+        let mut out = [0usize; N];
+        for k in 0..N {
+            out[k] = offs[k] as usize;
+        }
+        f(out);
+        return;
+    }
+    let inner_len = shape.dim(rank - 1);
+    let mut inner_strides = [0isize; N];
+    for (k, v) in views.iter().enumerate() {
+        inner_strides[k] = v.dims()[rank - 1].stride;
+    }
+    let outer_count = if inner_len == 0 { 0 } else { nelem / inner_len };
+    let mut idx = vec![0usize; rank.saturating_sub(1)];
+    for _ in 0..outer_count {
+        let mut cur = offs;
+        for _ in 0..inner_len {
+            let mut out = [0usize; N];
+            for k in 0..N {
+                out[k] = cur[k] as usize;
+            }
+            f(out);
+            for k in 0..N {
+                cur[k] += inner_strides[k];
+            }
+        }
+        // Odometer over the outer axes.
+        for ax in (0..rank - 1).rev() {
+            idx[ax] += 1;
+            for (k, v) in views.iter().enumerate() {
+                offs[k] += v.dims()[ax].stride;
+            }
+            if idx[ax] < shape.dim(ax) {
+                break;
+            }
+            idx[ax] = 0;
+            for (k, v) in views.iter().enumerate() {
+                offs[k] -= shape.dim(ax) as isize * v.dims()[ax].stride;
+            }
+        }
+    }
+}
+
+/// Set every element of `out`'s view to `value`.
+pub fn fill<T: Element>(out: &mut [T], ov: &ViewGeom, value: T) {
+    if ov.is_contiguous() {
+        let start = ov.offset();
+        let end = start + ov.nelem();
+        assert!(end <= out.len(), "view escapes buffer");
+        out[start..end].fill(value);
+        return;
+    }
+    let ptr = out.as_mut_ptr();
+    let len = out.len();
+    zip_offsets([ov], |[o]| {
+        assert!(o < len, "view escapes buffer");
+        // SAFETY: bounds asserted above; offsets are distinct per logical
+        // element or harmlessly rewritten with the same value.
+        unsafe { *ptr.add(o) = value };
+    });
+}
+
+/// `out[i] = f(input[i])` with distinct buffers.
+pub fn map1<I: Element, O: Element>(
+    out: &mut [O],
+    ov: &ViewGeom,
+    input: &[I],
+    iv: &ViewGeom,
+    f: impl Fn(I) -> O,
+) {
+    let optr = out.as_mut_ptr();
+    let (olen, ilen) = (out.len(), input.len());
+    zip_offsets([ov, iv], |[o, i]| {
+        assert!(o < olen && i < ilen, "view escapes buffer");
+        // SAFETY: bounds asserted; `out` and `input` are distinct slices.
+        unsafe { *optr.add(o) = f(*input.get_unchecked(i)) };
+    });
+}
+
+/// `buf[o] = f(buf[i])` within a single buffer.
+///
+/// See the module-level aliasing contract.
+pub fn map1_inplace<T: Element>(buf: &mut [T], ov: &ViewGeom, iv: &ViewGeom, f: impl Fn(T) -> T) {
+    let ptr = buf.as_mut_ptr();
+    let len = buf.len();
+    zip_offsets([ov, iv], |[o, i]| {
+        assert!(o < len && i < len, "view escapes buffer");
+        // SAFETY: bounds asserted; per-element read happens before the write.
+        unsafe {
+            let v = *ptr.add(i);
+            *ptr.add(o) = f(v);
+        }
+    });
+}
+
+/// `out[i] = f(a[i], b[i])` with three distinct buffers.
+pub fn map2<I: Element, O: Element>(
+    out: &mut [O],
+    ov: &ViewGeom,
+    a: &[I],
+    av: &ViewGeom,
+    b: &[I],
+    bv: &ViewGeom,
+    f: impl Fn(I, I) -> O,
+) {
+    let optr = out.as_mut_ptr();
+    let (olen, alen, blen) = (out.len(), a.len(), b.len());
+    zip_offsets([ov, av, bv], |[o, i, j]| {
+        assert!(o < olen && i < alen && j < blen, "view escapes buffer");
+        // SAFETY: bounds asserted; buffers are distinct slices.
+        unsafe { *optr.add(o) = f(*a.get_unchecked(i), *b.get_unchecked(j)) };
+    });
+}
+
+/// `buf[o] = f(buf[a], buf[b])` within a single buffer.
+///
+/// See the module-level aliasing contract.
+pub fn map2_inplace<T: Element>(
+    buf: &mut [T],
+    ov: &ViewGeom,
+    av: &ViewGeom,
+    bv: &ViewGeom,
+    f: impl Fn(T, T) -> T,
+) {
+    let ptr = buf.as_mut_ptr();
+    let len = buf.len();
+    zip_offsets([ov, av, bv], |[o, i, j]| {
+        assert!(o < len && i < len && j < len, "view escapes buffer");
+        // SAFETY: bounds asserted; both reads happen before the write.
+        unsafe {
+            let va = *ptr.add(i);
+            let vb = *ptr.add(j);
+            *ptr.add(o) = f(va, vb);
+        }
+    });
+}
+
+/// `buf[o] = f(buf[a], other[b])`: output aliases the first input's buffer,
+/// second input lives elsewhere.
+pub fn map2_left_inplace<T: Element>(
+    buf: &mut [T],
+    ov: &ViewGeom,
+    av: &ViewGeom,
+    other: &[T],
+    bv: &ViewGeom,
+    f: impl Fn(T, T) -> T,
+) {
+    let ptr = buf.as_mut_ptr();
+    let (len, olen) = (buf.len(), other.len());
+    zip_offsets([ov, av, bv], |[o, i, j]| {
+        assert!(o < len && i < len && j < olen, "view escapes buffer");
+        // SAFETY: bounds asserted; reads precede the write; `other` is a
+        // distinct slice.
+        unsafe {
+            let va = *ptr.add(i);
+            let vb = *other.get_unchecked(j);
+            *ptr.add(o) = f(va, vb);
+        }
+    });
+}
+
+/// Fold every element of the view with `f`, starting from `init`.
+pub fn reduce_full<T: Element, A: Copy>(
+    input: &[T],
+    iv: &ViewGeom,
+    init: A,
+    f: impl Fn(A, T) -> A,
+) -> A {
+    let mut acc = init;
+    let len = input.len();
+    zip_offsets([iv], |[i]| {
+        assert!(i < len, "view escapes buffer");
+        acc = f(acc, input[i]);
+    });
+    acc
+}
+
+/// Reduce `input` along `axis` into `out`.
+///
+/// `out`'s view must have the input's shape with `axis` removed.
+///
+/// # Panics
+///
+/// Panics if `axis >= rank` or the output shape does not match.
+pub fn reduce_axis<T: Element>(
+    out: &mut [T],
+    ov: &ViewGeom,
+    input: &[T],
+    iv: &ViewGeom,
+    axis: usize,
+    init: T,
+    f: impl Fn(T, T) -> T,
+) {
+    assert!(axis < iv.rank(), "reduction axis out of range");
+    let axis_len = iv.dims()[axis].len;
+    let axis_stride = iv.dims()[axis].stride;
+    let reduced = remove_axis(iv, axis);
+    assert_eq!(ov.shape(), reduced.shape(), "output shape must drop the reduced axis");
+    let optr = out.as_mut_ptr();
+    let (olen, ilen) = (out.len(), input.len());
+    zip_offsets([ov, &reduced], |[o, base]| {
+        let mut acc = init;
+        let mut off = base as isize;
+        for _ in 0..axis_len {
+            let i = off as usize;
+            assert!(i < ilen, "view escapes buffer");
+            acc = f(acc, input[i]);
+            off += axis_stride;
+        }
+        assert!(o < olen, "view escapes buffer");
+        // SAFETY: bounds asserted; out is a distinct slice from input.
+        unsafe { *optr.add(o) = acc };
+    });
+}
+
+/// Prefix-scan `input` along `axis` into `out` (same shape).
+///
+/// `out[.., k, ..] = f(input[.., 0, ..], …, input[.., k, ..])`, matching
+/// `BH_ADD_ACCUMULATE` / NumPy `cumsum` semantics.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `axis` is out of range.
+pub fn accumulate_axis<T: Element>(
+    out: &mut [T],
+    ov: &ViewGeom,
+    input: &[T],
+    iv: &ViewGeom,
+    axis: usize,
+    f: impl Fn(T, T) -> T,
+) {
+    assert!(axis < iv.rank(), "accumulate axis out of range");
+    assert_eq!(ov.shape(), iv.shape(), "accumulate preserves shape");
+    let axis_len = iv.dims()[axis].len;
+    let in_stride = iv.dims()[axis].stride;
+    let out_stride = ov.dims()[axis].stride;
+    let in_lanes = remove_axis(iv, axis);
+    let out_lanes = remove_axis(ov, axis);
+    let optr = out.as_mut_ptr();
+    let (olen, ilen) = (out.len(), input.len());
+    zip_offsets([&out_lanes, &in_lanes], |[obase, ibase]| {
+        let mut acc: Option<T> = None;
+        let mut ioff = ibase as isize;
+        let mut ooff = obase as isize;
+        for _ in 0..axis_len {
+            let i = ioff as usize;
+            let o = ooff as usize;
+            assert!(i < ilen && o < olen, "view escapes buffer");
+            let v = input[i];
+            let next = match acc {
+                None => v,
+                Some(a) => f(a, v),
+            };
+            // SAFETY: bounds asserted; lanes write disjoint elements.
+            unsafe { *optr.add(o) = next };
+            acc = Some(next);
+            ioff += in_stride;
+            ooff += out_stride;
+        }
+    });
+}
+
+/// Gather all view elements into a fresh contiguous vector (logical order).
+pub fn materialize<T: Element>(input: &[T], iv: &ViewGeom) -> Vec<T> {
+    let mut out = Vec::with_capacity(iv.nelem());
+    let len = input.len();
+    zip_offsets([iv], |[i]| {
+        assert!(i < len, "view escapes buffer");
+        out.push(input[i]);
+    });
+    out
+}
+
+/// View with `axis` deleted, keeping offset and the other strides: the
+/// geometry of the "lanes" perpendicular to `axis`.
+fn remove_axis(v: &ViewGeom, axis: usize) -> ViewGeom {
+    let mut dims = v.dims().to_vec();
+    dims.remove(axis);
+    ViewGeom::from_parts(v.offset(), dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+    use crate::view::Slice;
+
+    fn vg(shape: &[usize]) -> ViewGeom {
+        ViewGeom::contiguous(&Shape::from(shape))
+    }
+
+    #[test]
+    fn fill_contiguous_and_strided() {
+        let mut buf = vec![0.0f64; 10];
+        fill(&mut buf, &vg(&[10]), 1.0);
+        assert!(buf.iter().all(|&x| x == 1.0));
+        let stride2 = ViewGeom::from_slices(&Shape::vector(10), &[Slice::new(None, None, 2)]).unwrap();
+        fill(&mut buf, &stride2, 5.0);
+        assert_eq!(buf, vec![5.0, 1.0, 5.0, 1.0, 5.0, 1.0, 5.0, 1.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn map1_cast_like() {
+        let input = vec![1.9f64, -0.5, 3.0];
+        let mut out = vec![0i32; 3];
+        map1(&mut out, &vg(&[3]), &input, &vg(&[3]), |x| x as i32);
+        assert_eq!(out, vec![1, 0, 3]);
+    }
+
+    #[test]
+    fn map1_inplace_same_view() {
+        let mut buf = vec![1.0f64, 2.0, 3.0];
+        let v = vg(&[3]);
+        map1_inplace(&mut buf, &v, &v, |x| x * 2.0);
+        assert_eq!(buf, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn map2_adds_broadcast_scalar_via_zero_stride() {
+        let a = vec![1.0f64, 2.0, 3.0];
+        let b = vec![10.0f64];
+        let bview = ViewGeom::contiguous(&Shape::vector(1))
+            .broadcast_to(&Shape::vector(3))
+            .unwrap();
+        let mut out = vec![0.0f64; 3];
+        map2(&mut out, &vg(&[3]), &a, &vg(&[3]), &b, &bview, |x, y| x + y);
+        assert_eq!(out, vec![11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn map2_inplace_listing2_semantics() {
+        // BH_ADD a0 a0 1 three times == +3 (constants handled as broadcast
+        // views in this test).
+        let mut buf = vec![0.0f64; 10];
+        let v = vg(&[10]);
+        for _ in 0..3 {
+            map2_inplace(&mut buf, &v, &v, &v, |x, _| x + 1.0);
+        }
+        assert!(buf.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn map2_left_inplace_power_chain_step() {
+        // a1 = a1 * a0 with a1 aliased output.
+        let mut a1 = vec![4.0f64, 9.0];
+        let a0 = vec![2.0f64, 3.0];
+        let v = vg(&[2]);
+        map2_left_inplace(&mut a1, &v, &v, &a0, &v, |x, y| x * y);
+        assert_eq!(a1, vec![8.0, 27.0]);
+    }
+
+    #[test]
+    fn reduce_full_sum() {
+        let input = vec![1.0f64, 2.0, 3.0, 4.0];
+        let s = reduce_full(&input, &vg(&[4]), 0.0, |a, x| a + x);
+        assert_eq!(s, 10.0);
+        // Strided: every other element.
+        let v = ViewGeom::from_slices(&Shape::vector(4), &[Slice::new(None, None, 2)]).unwrap();
+        assert_eq!(reduce_full(&input, &v, 0.0, |a, x| a + x), 4.0);
+    }
+
+    #[test]
+    fn reduce_axis_rows_and_cols() {
+        // 2x3 matrix [[1,2,3],[4,5,6]]
+        let input = vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let iv = vg(&[2, 3]);
+        // axis 0 -> [5,7,9]
+        let mut out = vec![0.0f64; 3];
+        reduce_axis(&mut out, &vg(&[3]), &input, &iv, 0, 0.0, |a, x| a + x);
+        assert_eq!(out, vec![5.0, 7.0, 9.0]);
+        // axis 1 -> [6,15]
+        let mut out = vec![0.0f64; 2];
+        reduce_axis(&mut out, &vg(&[2]), &input, &iv, 1, 0.0, |a, x| a + x);
+        assert_eq!(out, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn reduce_axis_max() {
+        let input = vec![3i64, 1, 4, 1, 5, 9];
+        let iv = vg(&[2, 3]);
+        let mut out = vec![i64::MIN; 2];
+        reduce_axis(&mut out, &vg(&[2]), &input, &iv, 1, i64::MIN, |a, x| a.max(x));
+        assert_eq!(out, vec![4, 9]);
+    }
+
+    #[test]
+    fn accumulate_cumsum() {
+        let input = vec![1.0f64, 2.0, 3.0, 4.0];
+        let mut out = vec![0.0f64; 4];
+        accumulate_axis(&mut out, &vg(&[4]), &input, &vg(&[4]), 0, |a, x| a + x);
+        assert_eq!(out, vec![1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn accumulate_axis1_of_matrix() {
+        let input = vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = vec![0.0f64; 6];
+        accumulate_axis(&mut out, &vg(&[2, 3]), &input, &vg(&[2, 3]), 1, |a, x| a * x);
+        assert_eq!(out, vec![1.0, 2.0, 6.0, 4.0, 20.0, 120.0]);
+    }
+
+    #[test]
+    fn materialize_reversed() {
+        let input = vec![1i32, 2, 3, 4];
+        let v = ViewGeom::from_slices(&Shape::vector(4), &[Slice::new(None, None, -1)]).unwrap();
+        assert_eq!(materialize(&input, &v), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn zip_offsets_rank0() {
+        let v = ViewGeom::scalar_at(3);
+        let mut seen = Vec::new();
+        zip_offsets([&v], |[o]| seen.push(o));
+        assert_eq!(seen, vec![3]);
+    }
+
+    #[test]
+    fn zip_offsets_matches_offsets_iter() {
+        let base = Shape::from([3, 4]);
+        let v = ViewGeom::from_slices(&base, &[Slice::new(None, None, 2), Slice::range(1, 4)]).unwrap();
+        let mut a = Vec::new();
+        zip_offsets([&v], |[o]| a.push(o));
+        let b: Vec<_> = v.offsets().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "view escapes buffer")]
+    fn oob_view_panics() {
+        let mut buf = vec![0.0f64; 3];
+        fill(&mut buf, &vg(&[5]), 1.0); // view larger than buffer
+    }
+}

@@ -1,0 +1,53 @@
+//! # bh-tensor — dense strided tensor substrate
+//!
+//! The storage and compute substrate for the reproduction of
+//! *Algebraic Transformation of Descriptive Vector Byte-code Sequences*
+//! (Middleware DS '16). Bohrium byte-code "operates on tensors of varying
+//! size and shape" through strided *views* of flat *base arrays*; this crate
+//! provides exactly those pieces:
+//!
+//! * [`DType`] / [`Scalar`] — the dynamically typed element world of the
+//!   byte-code, with NumPy-compatible promotion.
+//! * [`Shape`] / [`Slice`] / [`ViewGeom`] — `[start:stop:step]` view
+//!   geometry as written in the paper's listings.
+//! * [`Buffer`] — flat, dtype-tagged storage for one base array.
+//! * [`Tensor`] — owned, contiguous tensors (host-side results).
+//! * [`kernels`] — the strided loops every byte-code bottoms out in.
+//!
+//! # Example
+//!
+//! ```
+//! use bh_tensor::{kernels, Shape, Slice, Tensor, ViewGeom, DType};
+//!
+//! // The paper's `a0 [0:10:1]` view:
+//! let base = Shape::vector(10);
+//! let full = ViewGeom::from_slices(&base, &[Slice::new(Some(0), Some(10), 1)]).unwrap();
+//! let mut a0 = Tensor::zeros(DType::Float64, base.clone());
+//!
+//! // BH_ADD a0 a0 3 (constant broadcast handled by the VM; shown raw here):
+//! let data = a0.as_mut_slice::<f64>().unwrap();
+//! kernels::map1_inplace(data, &full, &full, |x| x + 3.0);
+//! assert_eq!(a0.to_f64_vec(), vec![3.0; 10]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod buffer;
+mod dtype;
+mod error;
+pub mod kernels;
+mod random;
+mod scalar;
+mod shape;
+mod tensor;
+mod view;
+
+pub use buffer::Buffer;
+pub use dtype::{DType, Element, ParseDTypeError, ALL_DTYPES};
+pub use error::TensorError;
+pub use random::{random_tensor, Distribution};
+pub use scalar::{ParseScalarError, Scalar};
+pub use shape::Shape;
+pub use tensor::Tensor;
+pub use view::{Offsets, Slice, ViewDim, ViewGeom};

@@ -1,0 +1,229 @@
+//! Shapes, row-major strides and broadcasting.
+
+use crate::error::TensorError;
+use std::fmt;
+
+/// The extent of a tensor along each axis.
+///
+/// A rank-0 shape (`[]`) denotes a scalar tensor with one element.
+///
+/// # Examples
+///
+/// ```
+/// use bh_tensor::Shape;
+/// let s = Shape::from(vec![2, 3, 4]);
+/// assert_eq!(s.nelem(), 24);
+/// assert_eq!(s.row_major_strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// A scalar (rank-0) shape.
+    pub fn scalar() -> Shape {
+        Shape(Vec::new())
+    }
+
+    /// A 1-D shape of length `n`.
+    pub fn vector(n: usize) -> Shape {
+        Shape(vec![n])
+    }
+
+    /// A 2-D shape of `rows × cols`.
+    pub fn matrix(rows: usize, cols: usize) -> Shape {
+        Shape(vec![rows, cols])
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for rank 0).
+    pub fn nelem(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// The extent along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major (C-order) strides in **elements**.
+    pub fn row_major_strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// NumPy-style broadcast of two shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BroadcastMismatch`] when a pair of extents is
+    /// incompatible (neither equal nor 1).
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape, TensorError> {
+        let rank = self.rank().max(other.rank());
+        let mut out = vec![0usize; rank];
+        for i in 0..rank {
+            let a = if i < rank - self.rank() { 1 } else { self.0[i - (rank - self.rank())] };
+            let b = if i < rank - other.rank() { 1 } else { other.0[i - (rank - other.rank())] };
+            out[i] = match (a, b) {
+                (x, y) if x == y => x,
+                (1, y) => y,
+                (x, 1) => x,
+                _ => {
+                    return Err(TensorError::BroadcastMismatch {
+                        left: self.clone(),
+                        right: other.clone(),
+                    })
+                }
+            };
+        }
+        Ok(Shape(out))
+    }
+
+    /// Shape after removing `axis` (used by reductions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn without_axis(&self, axis: usize) -> Shape {
+        let mut v = self.0.clone();
+        v.remove(axis);
+        Shape(v)
+    }
+
+    /// Convert a flat row-major element index to a multi-index.
+    pub fn unravel(&self, mut flat: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.rank()];
+        for (i, &stride) in self.row_major_strides().iter().enumerate() {
+            idx[i] = flat / stride;
+            flat %= stride;
+        }
+        idx
+    }
+
+    /// Convert a multi-index to a flat row-major element index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != rank`.
+    pub fn ravel(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        idx.iter()
+            .zip(self.row_major_strides())
+            .map(|(&i, s)| i * s)
+            .sum()
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Shape {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Shape {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Shape {
+        Shape(v.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nelem_and_rank() {
+        assert_eq!(Shape::scalar().nelem(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+        assert_eq!(Shape::vector(7).nelem(), 7);
+        assert_eq!(Shape::matrix(3, 4).nelem(), 12);
+        assert_eq!(Shape::from([2, 0, 4]).nelem(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).row_major_strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::vector(5).row_major_strides(), vec![1]);
+        assert!(Shape::scalar().row_major_strides().is_empty());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        let a = Shape::from([3, 1]);
+        let b = Shape::from([1, 4]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::from([3, 4]));
+    }
+
+    #[test]
+    fn broadcast_rank_extension() {
+        let a = Shape::from([5, 3]);
+        let b = Shape::vector(3);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::from([5, 3]));
+        let s = Shape::scalar();
+        assert_eq!(a.broadcast(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_mismatch_errors() {
+        let a = Shape::from([3, 2]);
+        let b = Shape::from([3, 4]);
+        let err = a.broadcast(&b).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("broadcast"), "{msg}");
+    }
+
+    #[test]
+    fn ravel_unravel_round_trip() {
+        let s = Shape::from([2, 3, 4]);
+        for flat in 0..s.nelem() {
+            let idx = s.unravel(flat);
+            assert_eq!(s.ravel(&idx), flat);
+        }
+    }
+
+    #[test]
+    fn without_axis() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.without_axis(1), Shape::from([2, 4]));
+        assert_eq!(Shape::vector(9).without_axis(0), Shape::scalar());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "(2,3)");
+        assert_eq!(Shape::scalar().to_string(), "()");
+    }
+}

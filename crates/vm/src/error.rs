@@ -1,0 +1,74 @@
+//! VM error type.
+
+use bh_ir::ValidationError;
+use bh_linalg::LinalgError;
+use bh_tensor::TensorError;
+use std::fmt;
+
+/// Errors surfaced while executing a byte-code program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// The program failed static validation before execution.
+    Invalid(Vec<ValidationError>),
+    /// A view or shape operation failed at run time.
+    Tensor(TensorError),
+    /// A linear-algebra extension op-code failed.
+    Linalg(LinalgError),
+    /// A register was read (or bound) in an inconsistent state.
+    Register {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Invalid(errors) => {
+                write!(f, "program failed validation with {} error(s): ", errors.len())?;
+                if let Some(first) = errors.first() {
+                    write!(f, "{first}")?;
+                }
+                Ok(())
+            }
+            VmError::Tensor(e) => write!(f, "tensor error: {e}"),
+            VmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            VmError::Register { reason } => write!(f, "register error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Tensor(e) => Some(e),
+            VmError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for VmError {
+    fn from(e: TensorError) -> VmError {
+        VmError::Tensor(e)
+    }
+}
+
+impl From<LinalgError> for VmError {
+    fn from(e: LinalgError) -> VmError {
+        VmError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = VmError::Register { reason: "r0 unbound".into() };
+        assert!(e.to_string().contains("r0 unbound"));
+        let e: VmError = TensorError::OutOfBounds { offset: 1, len: 0 }.into();
+        assert!(e.to_string().contains("tensor error"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Fusion grouping: the "loop-fusion-like contractions" of §2.
+//!
+//! A run of element-wise byte-codes whose operands are all *full,
+//! contiguous* views of equally sized bases can be executed as one fused
+//! kernel: instead of `k` passes over `n` elements (each loading and
+//! storing the whole array), the fusing engine walks the arrays once in
+//! cache-sized blocks, applying all `k` operations per block. Kernel-launch
+//! count drops from `k` to 1 and intermediate traffic stays cache-resident.
+
+use bh_ir::{Operand, Program};
+
+/// One scheduling unit for the fusing engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Group {
+    /// Not fusable (or a singleton run); execute stand-alone.
+    Single(usize),
+    /// Instructions `range` fused over a common element count.
+    Fused {
+        /// Instruction index range (half-open).
+        range: std::ops::Range<usize>,
+        /// Shared element count of every operand view.
+        nelem: usize,
+    },
+}
+
+/// Element count shared by all of an instruction's full contiguous views,
+/// or `None` when the instruction is not fusable.
+fn fusable_nelem(program: &Program, idx: usize) -> Option<usize> {
+    let instr = &program.instrs()[idx];
+    if !instr.op.is_elementwise() {
+        return None;
+    }
+    let mut common: Option<usize> = None;
+    for o in &instr.operands {
+        match o {
+            Operand::Const(_) => {}
+            Operand::View(v) => {
+                let geom = program.resolve_view(v).ok()?;
+                let base_n = program.base(v.reg).shape.nelem();
+                if geom.offset() != 0 || !geom.is_contiguous() || geom.nelem() != base_n {
+                    return None;
+                }
+                match common {
+                    None => common = Some(geom.nelem()),
+                    Some(n) if n != geom.nelem() => return None,
+                    _ => {}
+                }
+            }
+        }
+    }
+    common
+}
+
+/// Partition the program into maximal fused groups and singletons.
+pub(crate) fn find_groups(program: &Program) -> Vec<Group> {
+    let n = program.instrs().len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        match fusable_nelem(program, i) {
+            None => {
+                out.push(Group::Single(i));
+                i += 1;
+            }
+            Some(nelem) => {
+                let mut j = i + 1;
+                while j < n && fusable_nelem(program, j) == Some(nelem) {
+                    j += 1;
+                }
+                if j - i >= 2 {
+                    out.push(Group::Fused { range: i..j, nelem });
+                } else {
+                    out.push(Group::Single(i));
+                }
+                i = j;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::parse_program;
+
+    #[test]
+    fn listing2_adds_fuse() {
+        let p = parse_program(
+            "BH_IDENTITY a0 [0:10:1] 0\n\
+             BH_ADD a0 [0:10:1] a0 [0:10:1] 1\n\
+             BH_ADD a0 [0:10:1] a0 [0:10:1] 1\n\
+             BH_ADD a0 [0:10:1] a0 [0:10:1] 1\n\
+             BH_SYNC a0 [0:10:1]\n",
+        )
+        .unwrap();
+        let groups = find_groups(&p);
+        assert_eq!(
+            groups,
+            vec![
+                Group::Fused { range: 0..4, nelem: 10 },
+                Group::Single(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn sync_breaks_groups() {
+        let p = parse_program(
+            "BH_IDENTITY a0 [0:8:1] 1\n\
+             BH_SYNC a0\n\
+             BH_ADD a0 a0 1\n\
+             BH_ADD a0 a0 1\n",
+        )
+        .unwrap();
+        let groups = find_groups(&p);
+        assert_eq!(
+            groups,
+            vec![
+                Group::Single(0),
+                Group::Single(1),
+                Group::Fused { range: 2..4, nelem: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn sliced_views_do_not_fuse() {
+        let p = parse_program(
+            "BH_IDENTITY a0 [0:8:1] 1\n\
+             BH_ADD a0 [0:4:1] a0 [0:4:1] 1\n\
+             BH_ADD a0 [0:4:1] a0 [0:4:1] 1\n",
+        )
+        .unwrap();
+        let groups = find_groups(&p);
+        // The partial-view adds are not full writes; they stay singles.
+        assert_eq!(
+            groups,
+            vec![Group::Single(0), Group::Single(1), Group::Single(2)]
+        );
+    }
+
+    #[test]
+    fn size_mismatch_splits_group() {
+        let p = parse_program(
+            "BH_IDENTITY a0 [0:8:1] 1\n\
+             BH_IDENTITY b0 [0:4:1] 1\n\
+             BH_ADD b0 b0 1\n",
+        )
+        .unwrap();
+        let groups = find_groups(&p);
+        assert_eq!(
+            groups,
+            vec![
+                Group::Single(0),
+                Group::Fused { range: 1..3, nelem: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn singleton_runs_stay_single() {
+        let p = parse_program("BH_IDENTITY a0 [0:8:1] 1\nBH_SYNC a0\n").unwrap();
+        assert_eq!(find_groups(&p), vec![Group::Single(0), Group::Single(1)]);
+    }
+}

@@ -1,0 +1,414 @@
+//! # bh-vm — the byte-code virtual machine
+//!
+//! Executes descriptive vector byte-code (`bh-ir`) over the tensor
+//! substrate (`bh-tensor`), standing in for the Bohrium runtime and its
+//! OpenCL/CPU backends (see DESIGN.md §2 for the substitution argument).
+//!
+//! Alongside producing results, the VM meters the quantities the paper's
+//! transformations optimise — kernel launches, memory traffic and flops —
+//! so every experiment can report model counters next to wall-clock time.
+//!
+//! # Example
+//!
+//! Execute Listing 2 unoptimised vs. Listing 3 optimised and compare both
+//! results and costs:
+//!
+//! ```
+//! use bh_ir::parse_program;
+//! use bh_vm::Vm;
+//!
+//! let unopt = parse_program(
+//!     "BH_IDENTITY a0 [0:10:1] 0\n\
+//!      BH_ADD a0 a0 1\nBH_ADD a0 a0 1\nBH_ADD a0 a0 1\n\
+//!      BH_SYNC a0\n")?;
+//! let opt = parse_program(
+//!     "BH_IDENTITY a0 [0:10:1] 0\n\
+//!      BH_ADD a0 a0 3\n\
+//!      BH_SYNC a0\n")?;
+//!
+//! let mut vm1 = Vm::new();
+//! vm1.run(&unopt)?;
+//! let mut vm2 = Vm::new();
+//! vm2.run(&opt)?;
+//!
+//! assert_eq!(vm1.read_by_name(&unopt, "a0")?, vm2.read_by_name(&opt, "a0")?);
+//! assert!(vm2.stats().kernels < vm1.stats().kernels);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod eltops;
+mod error;
+mod exec;
+mod fusion;
+mod machine;
+mod stats;
+
+pub use eltops::VmElement;
+pub use error::VmError;
+pub use machine::{Engine, Vm};
+pub use stats::ExecStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::{parse_program, parse_program_with, ParseOptions};
+    use bh_tensor::{DType, Shape, Tensor};
+
+    fn run_text(text: &str) -> (bh_ir::Program, Vm) {
+        let p = parse_program(text).unwrap();
+        let mut vm = Vm::new();
+        vm.run(&p).unwrap();
+        (p, vm)
+    }
+
+    #[test]
+    fn listing2_produces_threes() {
+        let (p, vm) = run_text(
+            "BH_IDENTITY a0 [0:10:1] 0\n\
+             BH_ADD a0 [0:10:1] a0 [0:10:1] 1\n\
+             BH_ADD a0 [0:10:1] a0 [0:10:1] 1\n\
+             BH_ADD a0 [0:10:1] a0 [0:10:1] 1\n\
+             BH_SYNC a0 [0:10:1]\n",
+        );
+        assert_eq!(vm.read_by_name(&p, "a0").unwrap().to_f64_vec(), vec![3.0; 10]);
+        assert_eq!(vm.stats().instructions, 5);
+        assert_eq!(vm.stats().kernels, 4);
+        assert_eq!(vm.stats().syncs, 1);
+    }
+
+    #[test]
+    fn listing5_power_chain_computes_x_to_10() {
+        let (p, vm) = run_text(
+            "BH_IDENTITY a0 [0:4:1] 2\n\
+             BH_MULTIPLY a1 [0:4:1] a0 [0:4:1] a0 [0:4:1]\n\
+             BH_MULTIPLY a1 a1 a1\n\
+             BH_MULTIPLY a1 a1 a1\n\
+             BH_MULTIPLY a1 a1 a0\n\
+             BH_MULTIPLY a1 a1 a0\n\
+             BH_SYNC a1\n",
+        );
+        assert_eq!(
+            vm.read_by_name(&p, "a1").unwrap().to_f64_vec(),
+            vec![1024.0; 4]
+        );
+    }
+
+    #[test]
+    fn power_opcode_matches_chain() {
+        let (p, vm) = run_text(
+            "BH_IDENTITY x [0:4:1] 3\n\
+             BH_POWER y [0:4:1] x [0:4:1] 5\n\
+             BH_SYNC y\n",
+        );
+        assert_eq!(vm.read_by_name(&p, "y").unwrap().to_f64_vec(), vec![243.0; 4]);
+    }
+
+    #[test]
+    fn sliced_updates_touch_only_the_view() {
+        let (p, vm) = run_text(
+            "BH_IDENTITY a0 [0:10:1] 1\n\
+             BH_ADD a0 [0:10:2] a0 [0:10:2] 10\n\
+             BH_SYNC a0\n",
+        );
+        assert_eq!(
+            vm.read_by_name(&p, "a0").unwrap().to_f64_vec(),
+            vec![11.0, 1.0, 11.0, 1.0, 11.0, 1.0, 11.0, 1.0, 11.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn reversed_view_copy() {
+        let (p, vm) = run_text(
+            ".base a f64[4] input\n\
+             .base b f64[4]\n\
+             BH_IDENTITY b a [::-1]\n\
+             BH_SYNC b\n",
+        );
+        // bind happened implicitly as zeros; rebind with data and re-run:
+        let mut vm2 = Vm::new();
+        vm2.bind_by_name(&p, "a", &Tensor::from_vec(vec![1.0f64, 2.0, 3.0, 4.0]))
+            .unwrap();
+        vm2.run(&p).unwrap();
+        assert_eq!(vm2.read_by_name(&p, "b").unwrap().to_f64_vec(), vec![4.0, 3.0, 2.0, 1.0]);
+        let _ = vm;
+    }
+
+    #[test]
+    fn comparison_writes_bools() {
+        let (p, vm) = run_text(
+            ".base x f64[4]\n.base m bool[4]\n\
+             BH_RANGE x\n\
+             BH_GREATER m x 1.5\n\
+             BH_SYNC m\n",
+        );
+        let m = vm.read_by_name(&p, "m").unwrap();
+        assert_eq!(m.dtype(), DType::Bool);
+        assert_eq!(m.to_f64_vec(), vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn identity_casts_between_dtypes() {
+        let (p, vm) = run_text(
+            ".base x i32[3]\n.base y f64[3]\n\
+             BH_IDENTITY x 7\n\
+             BH_IDENTITY y x\n\
+             BH_SYNC y\n",
+        );
+        let y = vm.read_by_name(&p, "y").unwrap();
+        assert_eq!(y.dtype(), DType::Float64);
+        assert_eq!(y.to_f64_vec(), vec![7.0; 3]);
+    }
+
+    #[test]
+    fn reduction_and_scan() {
+        let (p, vm) = run_text(
+            ".base m f64[2,3]\n.base s f64[2]\n.base c f64[2,3]\n\
+             BH_RANGE m\n\
+             BH_ADD_REDUCE s m 1\n\
+             BH_ADD_ACCUMULATE c m 1\n\
+             BH_SYNC s\nBH_SYNC c\n",
+        );
+        // m = [[0,1,2],[3,4,5]]
+        assert_eq!(vm.read_by_name(&p, "s").unwrap().to_f64_vec(), vec![3.0, 12.0]);
+        assert_eq!(
+            vm.read_by_name(&p, "c").unwrap().to_f64_vec(),
+            vec![0.0, 1.0, 3.0, 3.0, 7.0, 12.0]
+        );
+    }
+
+    #[test]
+    fn max_reduce_handles_negatives() {
+        let p = parse_program(
+            ".base x f64[4] input\n.base m f64[]\n\
+             BH_MAXIMUM_REDUCE m x 0\n\
+             BH_SYNC m\n",
+        )
+        .unwrap();
+        let mut vm = Vm::new();
+        vm.bind_by_name(&p, "x", &Tensor::from_vec(vec![-5.0f64, -2.0, -9.0, -3.0]))
+            .unwrap();
+        vm.run(&p).unwrap();
+        assert_eq!(vm.read_by_name(&p, "m").unwrap().to_f64_vec(), vec![-2.0]);
+    }
+
+    #[test]
+    fn matmul_solve_inverse_opcodes() {
+        let p = parse_program(
+            ".base a f64[2,2] input\n.base b f64[2] input\n\
+             .base inv f64[2,2]\n.base x1 f64[2]\n.base x2 f64[2]\n\
+             BH_INVERSE inv a\n\
+             BH_MATMUL x1 inv b\n\
+             BH_SOLVE x2 a b\n\
+             BH_SYNC x1\nBH_SYNC x2\n",
+        )
+        .unwrap();
+        let mut vm = Vm::new();
+        let a = Tensor::from_shape_vec(Shape::matrix(2, 2), vec![2.0f64, 1.0, 1.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![3.0f64, 5.0]);
+        vm.bind_by_name(&p, "a", &a).unwrap();
+        vm.bind_by_name(&p, "b", &b).unwrap();
+        vm.run(&p).unwrap();
+        let x1 = vm.read_by_name(&p, "x1").unwrap();
+        let x2 = vm.read_by_name(&p, "x2").unwrap();
+        // Eq. 2: both strategies produce the same x.
+        assert!(x1.allclose(&x2, 1e-12));
+        assert!(x1.allclose(&Tensor::from_vec(vec![0.8f64, 1.4]), 1e-12));
+    }
+
+    #[test]
+    fn free_releases_memory() {
+        let (p, vm) = run_text(
+            "BH_IDENTITY a0 [0:4:1] 1\n\
+             BH_FREE a0\n",
+        );
+        assert!(vm.read_by_name(&p, "a0").is_err());
+    }
+
+    #[test]
+    fn fused_engine_matches_naive() {
+        let text = "\
+BH_IDENTITY a0 [0:1000:1] 1\n\
+BH_ADD a0 a0 2\n\
+BH_MULTIPLY a0 a0 a0\n\
+BH_SUBTRACT a0 a0 5\n\
+BH_SYNC a0\n";
+        let p = parse_program(text).unwrap();
+        let mut naive = Vm::new();
+        naive.run(&p).unwrap();
+        let mut fused = Vm::with_engine(Engine::Fusing { block: 64 });
+        fused.run(&p).unwrap();
+        assert_eq!(
+            naive.read_by_name(&p, "a0").unwrap(),
+            fused.read_by_name(&p, "a0").unwrap()
+        );
+        // 4 kernel launches collapse into 1 fused group + sync accounting.
+        assert_eq!(naive.stats().kernels, 4);
+        assert_eq!(fused.stats().fused_groups, 1);
+        assert!(fused.stats().kernels < naive.stats().kernels);
+    }
+
+    #[test]
+    fn fused_engine_handles_power_chain() {
+        let text = "\
+BH_IDENTITY a0 [0:257:1] 2\n\
+BH_MULTIPLY a1 [0:257:1] a0 a0\n\
+BH_MULTIPLY a1 a1 a1\n\
+BH_MULTIPLY a1 a1 a1\n\
+BH_MULTIPLY a1 a1 a0\n\
+BH_MULTIPLY a1 a1 a0\n\
+BH_SYNC a1\n";
+        let p = parse_program(text).unwrap();
+        let mut fused = Vm::with_engine(Engine::Fusing { block: 100 });
+        fused.run(&p).unwrap();
+        assert_eq!(
+            fused.read_by_name(&p, "a1").unwrap().to_f64_vec(),
+            vec![1024.0; 257]
+        );
+    }
+
+    #[test]
+    fn parallel_threads_match_sequential() {
+        let n = 1 << 17;
+        let text = format!(
+            "BH_IDENTITY a0 [0:{n}:1] 1.5\n\
+             BH_MULTIPLY a0 a0 2\n\
+             BH_ADD a0 a0 1\n\
+             BH_SYNC a0\n"
+        );
+        let p = parse_program(&text).unwrap();
+        let mut seq = Vm::new();
+        seq.run(&p).unwrap();
+        let mut par = Vm::new();
+        par.set_threads(4);
+        par.run(&p).unwrap();
+        assert_eq!(
+            seq.read_by_name(&p, "a0").unwrap(),
+            par.read_by_name(&p, "a0").unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_program_rejected_before_execution() {
+        let p = parse_program("BH_ADD a0 [0:4:1] a0 [0:4:1] 1\n").unwrap();
+        let mut vm = Vm::new();
+        assert!(matches!(vm.run(&p), Err(VmError::Invalid(_))));
+    }
+
+    #[test]
+    fn bind_validates_shape_and_dtype() {
+        let p = parse_program(".base x f64[4] input\nBH_SYNC x\n").unwrap();
+        let mut vm = Vm::new();
+        assert!(vm
+            .bind_by_name(&p, "x", &Tensor::zeros(DType::Float32, Shape::vector(4)))
+            .is_err());
+        assert!(vm
+            .bind_by_name(&p, "x", &Tensor::zeros(DType::Float64, Shape::vector(5)))
+            .is_err());
+        assert!(vm
+            .bind_by_name(&p, "x", &Tensor::zeros(DType::Float64, Shape::vector(4)))
+            .is_ok());
+        assert!(vm.bind_by_name(&p, "nosuch", &Tensor::zeros(DType::Float64, Shape::vector(4))).is_err());
+    }
+
+    #[test]
+    fn stats_track_bytes_and_flops() {
+        let (_, vm) = run_text(
+            "BH_IDENTITY a0 [0:100:1] 1\n\
+             BH_ADD a0 a0 1\n\
+             BH_SYNC a0\n",
+        );
+        let s = vm.stats();
+        // identity writes 100 f64 = 800B; add reads 800B writes 800B.
+        assert_eq!(s.bytes_written, 1600);
+        assert_eq!(s.bytes_read, 800);
+        assert!(s.flops >= 200);
+        assert_eq!(s.elements_written, 200);
+    }
+
+    #[test]
+    fn elided_views_default_shape() {
+        let p = parse_program_with(
+            "BH_IDENTITY a0 0\nBH_ADD a0 a0 3\nBH_SYNC a0\n",
+            &ParseOptions {
+                default_dtype: DType::Float64,
+                default_shape: Some(Shape::vector(16)),
+            },
+        )
+        .unwrap();
+        let mut vm = Vm::new();
+        vm.run(&p).unwrap();
+        assert_eq!(vm.read_by_name(&p, "a0").unwrap().to_f64_vec(), vec![3.0; 16]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (p, mut vm) = run_text("BH_IDENTITY a0 [0:4:1] 1\nBH_SYNC a0\n");
+        assert!(vm.read_by_name(&p, "a0").is_ok());
+        vm.reset();
+        assert!(vm.read_by_name(&p, "a0").is_err());
+        assert_eq!(vm.stats().instructions, 0);
+    }
+
+    #[test]
+    fn broadcast_vector_input() {
+        let p = parse_program(
+            ".base row f64[3] input\n.base m f64[2,3]\n\
+             BH_IDENTITY m 0\n\
+             BH_ADD m m row\n\
+             BH_SYNC m\n",
+        )
+        .unwrap();
+        let mut vm = Vm::new();
+        vm.bind_by_name(&p, "row", &Tensor::from_vec(vec![1.0f64, 2.0, 3.0]))
+            .unwrap();
+        vm.run(&p).unwrap();
+        assert_eq!(
+            vm.read_by_name(&p, "m").unwrap().to_f64_vec(),
+            vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn unary_math_opcodes() {
+        let (p, vm) = run_text(
+            ".base x f64[3]\n.base y f64[3]\n\
+             BH_IDENTITY x 4\n\
+             BH_SQRT y x\n\
+             BH_SYNC y\n",
+        );
+        assert_eq!(vm.read_by_name(&p, "y").unwrap().to_f64_vec(), vec![2.0; 3]);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let text = ".base r f64[32]\nBH_RANDOM r 99\nBH_SYNC r\n";
+        let (p1, vm1) = run_text(text);
+        let (p2, vm2) = run_text(text);
+        assert_eq!(
+            vm1.read_by_name(&p1, "r").unwrap(),
+            vm2.read_by_name(&p2, "r").unwrap()
+        );
+    }
+
+    #[test]
+    fn transpose_opcode() {
+        let p = parse_program(
+            ".base a f64[2,3] input\n.base t f64[3,2]\n\
+             BH_TRANSPOSE t a\n\
+             BH_SYNC t\n",
+        )
+        .unwrap();
+        let mut vm = Vm::new();
+        let a =
+            Tensor::from_shape_vec(Shape::matrix(2, 3), vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0])
+                .unwrap();
+        vm.bind_by_name(&p, "a", &a).unwrap();
+        vm.run(&p).unwrap();
+        let t = vm.read_by_name(&p, "t").unwrap();
+        assert_eq!(t.get(&[2, 0]).unwrap().as_f64(), 3.0);
+        assert_eq!(t.get(&[0, 1]).unwrap().as_f64(), 4.0);
+    }
+}

@@ -1,0 +1,829 @@
+//! The byte-code virtual machine.
+//!
+//! Stands in for the Bohrium runtime + backend: it owns the base-array
+//! memory, executes instruction streams and counts the cost quantities
+//! (kernel launches, traffic, flops) the transformation layer is supposed
+//! to reduce. Two engines are provided:
+//!
+//! * **Naive** — one kernel launch and one full-array pass per byte-code.
+//!   This is the execution regime in which the paper's rewrites pay off.
+//! * **Fusing** — contracts runs of element-wise byte-codes over identical
+//!   full views and executes them block-by-block, modelling Bohrium's JIT
+//!   kernel fusion ("loop-fusion-like contractions of byte-codes", §2).
+
+use crate::error::VmError;
+use crate::exec::{self, BinIn};
+use crate::fusion;
+use crate::stats::ExecStats;
+use bh_ir::{Instruction, OpKind, Opcode, Operand, Program, Reg, TypeRule, ViewRef};
+use bh_linalg as linalg;
+use bh_tensor::{with_dtype, Buffer, DType, Element, Scalar, Shape, Tensor, ViewGeom};
+
+use crate::eltops::VmElement;
+
+/// Execution engine selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// One kernel per byte-code (Bohrium without fusion).
+    Naive,
+    /// Contract element-wise runs and execute them in cache-sized blocks.
+    Fusing {
+        /// Elements per block; must be non-zero. 4096 doubles ≈ 32 KiB,
+        /// i.e. L1-resident.
+        block: usize,
+    },
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::Naive
+    }
+}
+
+/// The virtual machine.
+///
+/// # Examples
+///
+/// Run the paper's Listing 2 and read the result:
+///
+/// ```
+/// use bh_ir::parse_program;
+/// use bh_vm::Vm;
+///
+/// let program = parse_program(
+///     "BH_IDENTITY a0 [0:10:1] 0\n\
+///      BH_ADD a0 [0:10:1] a0 [0:10:1] 1\n\
+///      BH_ADD a0 [0:10:1] a0 [0:10:1] 1\n\
+///      BH_ADD a0 [0:10:1] a0 [0:10:1] 1\n\
+///      BH_SYNC a0 [0:10:1]\n",
+/// )?;
+/// let mut vm = Vm::new();
+/// vm.run(&program)?;
+/// let a0 = vm.read_by_name(&program, "a0")?;
+/// assert_eq!(a0.to_f64_vec(), vec![3.0; 10]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Vm {
+    engine: Engine,
+    threads: usize,
+    bases: Vec<Option<Buffer>>,
+    stats: ExecStats,
+    count_kernel_per_instr: bool,
+}
+
+impl Default for Vm {
+    fn default() -> Vm {
+        Vm::new()
+    }
+}
+
+impl Vm {
+    /// A naive-engine, single-threaded VM.
+    pub fn new() -> Vm {
+        Vm::with_engine(Engine::Naive)
+    }
+
+    /// A VM with the given engine.
+    pub fn with_engine(engine: Engine) -> Vm {
+        Vm {
+            engine,
+            threads: 1,
+            bases: Vec::new(),
+            stats: ExecStats::new(),
+            count_kernel_per_instr: true,
+        }
+    }
+
+    /// Set the worker-thread count for large contiguous element-wise ops.
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The engine in use.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Clear memory and counters.
+    pub fn reset(&mut self) {
+        self.bases.clear();
+        self.stats = ExecStats::new();
+    }
+
+    /// Provide input data for a register declared `input`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Register`] when dtype or shape disagree with the
+    /// declaration.
+    pub fn bind(&mut self, program: &Program, reg: Reg, tensor: &Tensor) -> Result<(), VmError> {
+        let decl = program.base(reg);
+        if decl.dtype != tensor.dtype() {
+            return Err(VmError::Register {
+                reason: format!(
+                    "binding `{}`: dtype {} does not match declared {}",
+                    decl.name,
+                    tensor.dtype(),
+                    decl.dtype
+                ),
+            });
+        }
+        if &decl.shape != tensor.shape() {
+            return Err(VmError::Register {
+                reason: format!(
+                    "binding `{}`: shape {} does not match declared {}",
+                    decl.name,
+                    tensor.shape(),
+                    decl.shape
+                ),
+            });
+        }
+        self.ensure_slot(reg);
+        self.bases[reg.index()] = Some(tensor.buffer().clone());
+        Ok(())
+    }
+
+    /// [`Vm::bind`] by declared register name.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Register`] for unknown names or mismatched data.
+    pub fn bind_by_name(
+        &mut self,
+        program: &Program,
+        name: &str,
+        tensor: &Tensor,
+    ) -> Result<(), VmError> {
+        let reg = program.reg_by_name(name).ok_or_else(|| VmError::Register {
+            reason: format!("no register named `{name}`"),
+        })?;
+        self.bind(program, reg, tensor)
+    }
+
+    /// Read a register's full base back as an owned tensor.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Register`] when the register was never materialised (or
+    /// was freed).
+    pub fn read(&self, program: &Program, reg: Reg) -> Result<Tensor, VmError> {
+        let decl = program.base(reg);
+        let buffer = self
+            .bases
+            .get(reg.index())
+            .and_then(|b| b.as_ref())
+            .ok_or_else(|| VmError::Register {
+                reason: format!("register `{}` holds no data", decl.name),
+            })?;
+        Tensor::from_parts(buffer.clone(), decl.shape.clone()).map_err(VmError::from)
+    }
+
+    /// [`Vm::read`] by declared register name.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Register`] for unknown names or unmaterialised registers.
+    pub fn read_by_name(&self, program: &Program, name: &str) -> Result<Tensor, VmError> {
+        let reg = program.reg_by_name(name).ok_or_else(|| VmError::Register {
+            reason: format!("no register named `{name}`"),
+        })?;
+        self.read(program, reg)
+    }
+
+    /// Validate and execute a program.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Invalid`] if validation fails, otherwise any runtime
+    /// failure.
+    pub fn run(&mut self, program: &Program) -> Result<(), VmError> {
+        bh_ir::validate(program).map_err(VmError::Invalid)?;
+        self.run_unchecked(program)
+    }
+
+    /// Execute without re-validating (hot path for benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Runtime failures only; malformed programs may panic instead.
+    pub fn run_unchecked(&mut self, program: &Program) -> Result<(), VmError> {
+        match self.engine {
+            Engine::Naive => {
+                for instr in program.instrs() {
+                    self.exec_instr(program, instr, None)?;
+                }
+                Ok(())
+            }
+            Engine::Fusing { block } => self.run_fused(program, block.max(1)),
+        }
+    }
+
+    fn run_fused(&mut self, program: &Program, block: usize) -> Result<(), VmError> {
+        for group in fusion::find_groups(program) {
+            match group {
+                fusion::Group::Single(i) => {
+                    self.exec_instr(program, &program.instrs()[i], None)?;
+                }
+                fusion::Group::Fused { range, nelem } => {
+                    self.stats.kernels += 1;
+                    self.stats.fused_groups += 1;
+                    self.count_kernel_per_instr = false;
+                    let mut lo = 0usize;
+                    while lo < nelem {
+                        let hi = (lo + block).min(nelem);
+                        for i in range.clone() {
+                            self.exec_instr(program, &program.instrs()[i], Some((lo, hi)))?;
+                        }
+                        lo = hi;
+                    }
+                    // Count each instruction once (not once per block).
+                    self.count_kernel_per_instr = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_slot(&mut self, reg: Reg) {
+        if self.bases.len() <= reg.index() {
+            self.bases.resize_with(reg.index() + 1, || None);
+        }
+    }
+
+    fn ensure_alloc(&mut self, program: &Program, reg: Reg) {
+        self.ensure_slot(reg);
+        if self.bases[reg.index()].is_none() {
+            let decl = program.base(reg);
+            self.bases[reg.index()] = Some(Buffer::zeros(decl.dtype, decl.shape.nelem()));
+        }
+    }
+
+    fn exec_instr(
+        &mut self,
+        program: &Program,
+        instr: &Instruction,
+        restrict: Option<(usize, usize)>,
+    ) -> Result<(), VmError> {
+        match instr.op.kind() {
+            OpKind::System => self.exec_system(program, instr),
+            OpKind::Generator => self.exec_generator(program, instr),
+            OpKind::Reduction | OpKind::Scan => self.exec_reduce_scan(program, instr),
+            OpKind::LinAlg => self.exec_linalg(program, instr),
+            OpKind::ElementwiseUnary | OpKind::ElementwiseBinary => {
+                self.exec_elementwise(program, instr, restrict)
+            }
+        }
+    }
+
+    fn exec_system(&mut self, program: &Program, instr: &Instruction) -> Result<(), VmError> {
+        match instr.op {
+            Opcode::Sync => {
+                self.stats.instructions += 1;
+                self.stats.syncs += 1;
+                Ok(())
+            }
+            Opcode::Free => {
+                self.stats.instructions += 1;
+                if let Some(v) = instr.operands.first().and_then(|o| o.as_view()) {
+                    let _ = program;
+                    if let Some(slot) = self.bases.get_mut(v.reg.index()) {
+                        *slot = None;
+                    }
+                }
+                Ok(())
+            }
+            Opcode::NoOp => Ok(()),
+            other => unreachable!("{other} is not a system op"),
+        }
+    }
+
+    fn exec_generator(&mut self, program: &Program, instr: &Instruction) -> Result<(), VmError> {
+        let out_ref = instr.out_view().expect("generators have outputs");
+        let reg = out_ref.reg;
+        let geom = program.resolve_view(out_ref)?;
+        let dtype = program.base(reg).dtype;
+        self.ensure_alloc(program, reg);
+        self.note_kernel(1);
+        self.account_out(&geom, dtype);
+        self.stats.flops += instr.op.unit_cost() * geom.nelem() as u64;
+        let buffer = self.bases[reg.index()].as_mut().expect("just allocated");
+        match instr.op {
+            Opcode::Range => {
+                with_dtype!(dtype, T, {
+                    let slice = buffer.as_mut_slice::<T>().expect("dtype matches decl");
+                    let mut counter = 0u64;
+                    // Write index values in logical order.
+                    let offsets: Vec<usize> = geom.offsets().collect();
+                    for off in offsets {
+                        slice[off] = <T as Element>::from_f64(counter as f64);
+                        counter += 1;
+                    }
+                });
+                Ok(())
+            }
+            Opcode::Random => {
+                let seed = instr.operands[1]
+                    .as_const()
+                    .and_then(Scalar::as_integral)
+                    .unwrap_or(0) as u64;
+                let data = bh_tensor::random_tensor(
+                    dtype,
+                    geom.shape(),
+                    seed,
+                    bh_tensor::Distribution::Uniform,
+                );
+                write_tensor_into_view(buffer, &geom, &data);
+                Ok(())
+            }
+            other => unreachable!("{other} is not a generator"),
+        }
+    }
+
+    fn exec_reduce_scan(&mut self, program: &Program, instr: &Instruction) -> Result<(), VmError> {
+        let out_ref = instr.out_view().expect("reductions have outputs");
+        let in_ref = instr.operands[1].as_view().expect("validated: view input");
+        let axis = instr.operands[2]
+            .as_const()
+            .and_then(Scalar::as_integral)
+            .expect("validated: integral axis") as usize;
+        let out_reg = out_ref.reg;
+        let out_geom = program.resolve_view(out_ref)?;
+        let in_geom = program.resolve_view(in_ref)?;
+        let dtype = program.base(in_ref.reg).dtype;
+        self.ensure_alloc(program, in_ref.reg);
+        self.ensure_alloc(program, out_reg);
+        self.note_kernel(1);
+        self.account_in(&in_geom, dtype);
+        self.account_out(&out_geom, program.base(out_reg).dtype);
+        self.stats.flops += instr.op.unit_cost() * in_geom.nelem() as u64;
+
+        let fold = instr.op.fold_op().expect("reductions fold");
+        // Bool reductions widen to i64 (NumPy); run the fold in the widened
+        // domain by materialising a cast input.
+        let work_dtype = program.base(out_reg).dtype;
+        let input_tensor = self.materialize_view(program, in_ref)?;
+        let input_cast = if work_dtype != dtype {
+            input_tensor.cast(work_dtype)
+        } else {
+            input_tensor
+        };
+        let mut out_buf = self.take_buffer(out_reg)?;
+        with_dtype!(work_dtype, T, {
+            let in_slice = input_cast.as_slice::<T>().expect("cast to work dtype");
+            let in_view = ViewGeom::contiguous(input_cast.shape());
+            let out_slice = out_buf.as_mut_slice::<T>().expect("dtype matches decl");
+            let f = exec::binary_fn::<T>(fold);
+            let init: T = match fold {
+                Opcode::Add => <T as Element>::zero(),
+                Opcode::Multiply => <T as Element>::one(),
+                Opcode::Maximum => <T as VmElement>::vm_lowest(),
+                Opcode::Minimum => <T as VmElement>::vm_highest(),
+                other => unreachable!("{other} is not a fold op"),
+            };
+            match instr.op.kind() {
+                OpKind::Reduction => {
+                    bh_tensor::kernels::reduce_axis(
+                        out_slice, &out_geom, in_slice, &in_view, axis, init, f,
+                    );
+                }
+                OpKind::Scan => {
+                    bh_tensor::kernels::accumulate_axis(
+                        out_slice, &out_geom, in_slice, &in_view, axis, f,
+                    );
+                }
+                _ => unreachable!("dispatched as reduction/scan"),
+            }
+        });
+        self.bases[out_reg.index()] = Some(out_buf);
+        Ok(())
+    }
+
+    fn exec_linalg(&mut self, program: &Program, instr: &Instruction) -> Result<(), VmError> {
+        let out_ref = instr.out_view().expect("linalg ops have outputs");
+        let out_reg = out_ref.reg;
+        let out_geom = program.resolve_view(out_ref)?;
+        self.note_kernel(1);
+        let result = match instr.op {
+            Opcode::MatMul => {
+                let a = self.materialize_view(program, view_of(&instr.operands[1]))?;
+                let b = self.materialize_view(program, view_of(&instr.operands[2]))?;
+                let (m, k) = mat_dims(a.shape());
+                let (_, n) = mat_dims(b.shape());
+                self.stats.flops += linalg::matmul_flops(m, k, n);
+                self.account_in_tensor(&a);
+                self.account_in_tensor(&b);
+                linalg::matmul(&a, &b)?
+            }
+            Opcode::Transpose => {
+                let a = self.materialize_view(program, view_of(&instr.operands[1]))?;
+                self.account_in_tensor(&a);
+                linalg::transpose(&a)?
+            }
+            Opcode::Inverse => {
+                let a = self.materialize_view(program, view_of(&instr.operands[1]))?;
+                let n = a.shape().dim(0);
+                // inverse = factorise + n pair-solves ≈ 2n³
+                self.stats.flops += 2 * (n as u64).pow(3);
+                self.account_in_tensor(&a);
+                linalg::inverse(&a)?
+            }
+            Opcode::Solve => {
+                let a = self.materialize_view(program, view_of(&instr.operands[1]))?;
+                let b = self.materialize_view(program, view_of(&instr.operands[2]))?;
+                let n = a.shape().dim(0);
+                let k = if b.shape().rank() == 2 { b.shape().dim(1) } else { 1 };
+                self.stats.flops += linalg::lu_solve_flops(n, k);
+                self.account_in_tensor(&a);
+                self.account_in_tensor(&b);
+                linalg::solve_lu(&a, &b)?
+            }
+            other => unreachable!("{other} is not a linalg op"),
+        };
+        self.ensure_alloc(program, out_reg);
+        self.account_out(&out_geom, program.base(out_reg).dtype);
+        let result = if result.dtype() == program.base(out_reg).dtype {
+            result
+        } else {
+            result.cast(program.base(out_reg).dtype)
+        };
+        let buffer = self.bases[out_reg.index()].as_mut().expect("just allocated");
+        write_tensor_into_view(buffer, &out_geom, &result);
+        Ok(())
+    }
+
+    fn exec_elementwise(
+        &mut self,
+        program: &Program,
+        instr: &Instruction,
+        restrict: Option<(usize, usize)>,
+    ) -> Result<(), VmError> {
+        let out_ref = instr.out_view().expect("elementwise ops have outputs");
+        let out_reg = out_ref.reg;
+        self.ensure_alloc(program, out_reg);
+        let mut out_geom = program.resolve_view(out_ref)?;
+        let mut out_shape = out_geom.shape();
+        let out_dtype = program.base(out_reg).dtype;
+
+        // Resolve + broadcast inputs; ensure any read base is materialised.
+        enum RIn {
+            View(Reg, ViewGeom),
+            Const(Scalar),
+        }
+        let mut rins: Vec<RIn> = Vec::with_capacity(2);
+        for o in instr.inputs() {
+            match o {
+                Operand::View(v) => {
+                    self.ensure_alloc(program, v.reg);
+                    let g = program.resolve_view(v)?.broadcast_to(&out_shape)?;
+                    rins.push(RIn::View(v.reg, g));
+                }
+                Operand::Const(c) => rins.push(RIn::Const(*c)),
+            }
+        }
+
+        // Fused-block restriction: replace every (guaranteed contiguous,
+        // full, equal-length) geometry with the [lo, hi) sub-range.
+        if let Some((lo, hi)) = restrict {
+            let len = hi - lo;
+            let sub = |g: &ViewGeom| {
+                ViewGeom::from_parts(
+                    g.offset() + lo,
+                    vec![bh_tensor::ViewDim { len, stride: 1 }],
+                )
+            };
+            out_geom = sub(&out_geom);
+            for rin in &mut rins {
+                if let RIn::View(_, g) = rin {
+                    *g = sub(g);
+                }
+            }
+            out_shape = Shape::vector(len);
+        }
+        let _ = &out_shape;
+
+        // Operating dtype: the dtype of view inputs (validated to agree),
+        // else the output dtype.
+        let in_dtype = rins
+            .iter()
+            .find_map(|r| match r {
+                RIn::View(reg, _) => Some(program.base(*reg).dtype),
+                RIn::Const(_) => None,
+            })
+            .unwrap_or(out_dtype);
+
+        // Accounting.
+        self.stats.instructions += 1;
+        if self.count_kernel_per_instr {
+            self.stats.kernels += 1;
+        }
+        let n = out_geom.nelem() as u64;
+        self.stats.elements_written += n;
+        self.stats.bytes_written += n * out_dtype.size_of() as u64;
+        for rin in &rins {
+            if let RIn::View(_, g) = rin {
+                self.stats.bytes_read += g.nelem() as u64 * in_dtype.size_of() as u64;
+            }
+        }
+        self.stats.flops += instr.op.unit_cost() * n;
+
+        let mut out_buf = self.take_buffer(out_reg)?;
+        let threads = self.threads;
+
+        // Classify into the typed execution paths.
+        let rule = instr.op.type_rule();
+        let is_compare = rule == TypeRule::CompareLike;
+        let is_cast = instr.op == Opcode::Identity && in_dtype != out_dtype;
+
+        if is_compare {
+            // T × T → bool (or T → bool predicates).
+            with_dtype!(in_dtype, T, {
+                // Aliasing possible only when T == bool; materialise then.
+                let gather = |rin: &RIn| -> BinInOwned<T> {
+                    match rin {
+                        RIn::Const(c) => BinInOwned::Const(c.cast(in_dtype).get::<T>()),
+                        RIn::View(reg, g) => {
+                            if *reg == out_reg {
+                                let t = vm_read_view::<T>(&out_buf, g);
+                                BinInOwned::Owned(t, ViewGeom::contiguous(&g.shape()))
+                            } else {
+                                BinInOwned::Borrowed(*reg, g.clone())
+                            }
+                        }
+                    }
+                };
+                if instr.op.arity() == 1 {
+                    let a = gather(&rins[0]);
+                    let f = exec::predicate_fn::<T>(instr.op);
+                    let (sa, ga) = self.slice_of(&a)?;
+                    let out_slice = out_buf.as_mut_slice::<bool>().expect("compare output is bool");
+                    match sa {
+                        SliceOr::Const(c) => bh_tensor::kernels::fill(out_slice, &out_geom, f(c)),
+                        SliceOr::Data(da) => {
+                            bh_tensor::kernels::map1(out_slice, &out_geom, da, &ga, f)
+                        }
+                    }
+                } else {
+                    let a = gather(&rins[0]);
+                    let b = gather(&rins[1]);
+                    let f = exec::compare_fn::<T>(instr.op);
+                    // Resolve both to slices (possibly owned).
+                    let (sa, ga) = self.slice_of(&a)?;
+                    let (sb, gb) = self.slice_of(&b)?;
+                    let out_slice = out_buf.as_mut_slice::<bool>().expect("compare output is bool");
+                    match (sa, sb) {
+                        (SliceOr::Const(x), SliceOr::Const(y)) => {
+                            bh_tensor::kernels::fill(out_slice, &out_geom, f(x, y))
+                        }
+                        (SliceOr::Data(da), SliceOr::Const(y)) => {
+                            bh_tensor::kernels::map1(out_slice, &out_geom, da, &ga, |v| f(v, y))
+                        }
+                        (SliceOr::Const(x), SliceOr::Data(db)) => {
+                            bh_tensor::kernels::map1(out_slice, &out_geom, db, &gb, |v| f(x, v))
+                        }
+                        (SliceOr::Data(da), SliceOr::Data(db)) => {
+                            bh_tensor::kernels::map2(out_slice, &out_geom, da, &ga, db, &gb, f)
+                        }
+                    }
+                }
+            });
+        } else if is_cast {
+            // BH_IDENTITY with dtype conversion: I → O. Different dtypes
+            // mean different registers, so no aliasing.
+            match &rins[0] {
+                RIn::Const(c) => {
+                    let v = c.cast(out_dtype);
+                    with_dtype!(out_dtype, O, {
+                        let out_slice = out_buf.as_mut_slice::<O>().expect("out dtype");
+                        bh_tensor::kernels::fill(out_slice, &out_geom, v.get::<O>());
+                    });
+                }
+                RIn::View(reg, g) => {
+                    let in_buf = self.borrow_buffer(*reg)?;
+                    with_dtype!(in_dtype, I, {
+                        with_dtype!(out_dtype, O, {
+                            let in_slice = in_buf.as_slice::<I>().expect("in dtype");
+                            let out_slice = out_buf.as_mut_slice::<O>().expect("out dtype");
+                            bh_tensor::kernels::map1(out_slice, &out_geom, in_slice, g, |x| {
+                                cast_element::<I, O>(x)
+                            });
+                        });
+                    });
+                }
+            }
+        } else {
+            // Same-dtype arithmetic (output dtype == operating dtype).
+            with_dtype!(in_dtype, T, {
+                let out_slice_owner: &mut Buffer = &mut out_buf;
+                let classify = |rin: &RIn| -> ClassIn<T> {
+                    match rin {
+                        RIn::Const(c) => ClassIn::Const(c.cast(in_dtype).get::<T>()),
+                        RIn::View(reg, g) => {
+                            if *reg == out_reg {
+                                ClassIn::Aliased(g.clone())
+                            } else {
+                                ClassIn::Other(*reg, g.clone())
+                            }
+                        }
+                    }
+                };
+                if instr.op.arity() == 1 {
+                    let f = exec::unary_fn::<T>(instr.op);
+                    let a = classify(&rins[0]);
+                    let out_slice = out_slice_owner.as_mut_slice::<T>().expect("dtype");
+                    match a {
+                        ClassIn::Const(c) => exec::exec_unary(out_slice, &out_geom, BinIn::Const(c), f, threads),
+                        ClassIn::Aliased(g) => {
+                            exec::exec_unary(out_slice, &out_geom, BinIn::Aliased(g), f, threads)
+                        }
+                        ClassIn::Other(reg, g) => {
+                            let buf = self.borrow_buffer(reg)?;
+                            let s = buf.as_slice::<T>().expect("validated dtype");
+                            exec::exec_unary(out_slice, &out_geom, BinIn::Slice(s, g), f, threads)
+                        }
+                    }
+                } else {
+                    let a = classify(&rins[0]);
+                    let b = classify(&rins[1]);
+                    // Borrow other-register slices before splitting out_buf.
+                    let sa = self.resolve_class::<T>(&a)?;
+                    let sb = self.resolve_class::<T>(&b)?;
+                    let out_slice = out_slice_owner.as_mut_slice::<T>().expect("dtype");
+                    // Direct dispatch: passing the method as a function
+                    // *item* (not pointer) lets each per-op inner loop
+                    // inline — the difference between memory-bound and
+                    // call-bound execution on large arrays.
+                    macro_rules! call_bin {
+                        ($f:expr) => {
+                            exec::exec_binary(out_slice, &out_geom, sa, sb, $f, threads)
+                        };
+                    }
+                    match instr.op {
+                        Opcode::Add => call_bin!(T::vm_add),
+                        Opcode::Subtract => call_bin!(T::vm_sub),
+                        Opcode::Multiply => call_bin!(T::vm_mul),
+                        Opcode::Divide => call_bin!(T::vm_div),
+                        Opcode::Power => call_bin!(T::vm_pow),
+                        Opcode::Mod => call_bin!(T::vm_mod),
+                        Opcode::Maximum => call_bin!(T::vm_max),
+                        Opcode::Minimum => call_bin!(T::vm_min),
+                        Opcode::BitwiseAnd | Opcode::LogicalAnd => call_bin!(T::vm_and),
+                        Opcode::BitwiseOr | Opcode::LogicalOr => call_bin!(T::vm_or),
+                        Opcode::BitwiseXor | Opcode::LogicalXor => call_bin!(T::vm_xor),
+                        Opcode::LeftShift => call_bin!(T::vm_shl),
+                        Opcode::RightShift => call_bin!(T::vm_shr),
+                        other => call_bin!(exec::binary_fn::<T>(other)),
+                    }
+                }
+            });
+        }
+
+        self.bases[out_reg.index()] = Some(out_buf);
+        Ok(())
+    }
+
+    fn resolve_class<'a, T: VmElement>(
+        &'a self,
+        c: &ClassIn<T>,
+    ) -> Result<BinIn<'a, T>, VmError> {
+        Ok(match c {
+            ClassIn::Const(v) => BinIn::Const(*v),
+            ClassIn::Aliased(g) => BinIn::Aliased(g.clone()),
+            ClassIn::Other(reg, g) => {
+                let buf = self.borrow_buffer(*reg)?;
+                let s = buf.as_slice::<T>().expect("validated dtype");
+                BinIn::Slice(s, g.clone())
+            }
+        })
+    }
+
+    fn slice_of<'a, T: VmElement>(
+        &'a self,
+        b: &'a BinInOwned<T>,
+    ) -> Result<(SliceOr<'a, T>, ViewGeom), VmError> {
+        Ok(match b {
+            BinInOwned::Const(c) => (SliceOr::Const(*c), ViewGeom::scalar_at(0)),
+            BinInOwned::Owned(v, g) => (SliceOr::Data(v.as_slice()), g.clone()),
+            BinInOwned::Borrowed(reg, g) => {
+                let buf = self.borrow_buffer(*reg)?;
+                let s = buf.as_slice::<T>().expect("validated dtype");
+                (SliceOr::Data(s), g.clone())
+            }
+        })
+    }
+
+    fn take_buffer(&mut self, reg: Reg) -> Result<Buffer, VmError> {
+        self.bases
+            .get_mut(reg.index())
+            .and_then(Option::take)
+            .ok_or_else(|| VmError::Register {
+                reason: format!("register r{} holds no data", reg.0),
+            })
+    }
+
+    fn borrow_buffer(&self, reg: Reg) -> Result<&Buffer, VmError> {
+        self.bases
+            .get(reg.index())
+            .and_then(|b| b.as_ref())
+            .ok_or_else(|| VmError::Register {
+                reason: format!("register r{} holds no data", reg.0),
+            })
+    }
+
+    /// Copy a view of a register out into an owned contiguous tensor.
+    fn materialize_view(&mut self, program: &Program, v: &ViewRef) -> Result<Tensor, VmError> {
+        self.ensure_alloc(program, v.reg);
+        let geom = program.resolve_view(v)?;
+        let dtype = program.base(v.reg).dtype;
+        let buf = self.borrow_buffer(v.reg)?;
+        let out = with_dtype!(dtype, T, {
+            let s = buf.as_slice::<T>().expect("dtype matches decl");
+            Buffer::from_vec(bh_tensor::kernels::materialize(s, &geom))
+        });
+        Tensor::from_parts(out, geom.shape()).map_err(VmError::from)
+    }
+
+    fn note_kernel(&mut self, instrs: u64) {
+        self.stats.instructions += instrs;
+        if self.count_kernel_per_instr {
+            self.stats.kernels += instrs;
+        }
+    }
+
+    fn account_in(&mut self, g: &ViewGeom, dtype: DType) {
+        self.stats.bytes_read += g.nelem() as u64 * dtype.size_of() as u64;
+    }
+
+    fn account_in_tensor(&mut self, t: &Tensor) {
+        self.stats.bytes_read += t.nelem() as u64 * t.dtype().size_of() as u64;
+    }
+
+    fn account_out(&mut self, g: &ViewGeom, dtype: DType) {
+        let n = g.nelem() as u64;
+        self.stats.elements_written += n;
+        self.stats.bytes_written += n * dtype.size_of() as u64;
+    }
+}
+
+enum ClassIn<T> {
+    Const(T),
+    Aliased(ViewGeom),
+    Other(Reg, ViewGeom),
+}
+
+enum BinInOwned<T> {
+    Const(T),
+    Owned(Vec<T>, ViewGeom),
+    Borrowed(Reg, ViewGeom),
+}
+
+enum SliceOr<'a, T> {
+    Const(T),
+    Data(&'a [T]),
+}
+
+fn vm_read_view<T: Element>(buf: &Buffer, g: &ViewGeom) -> Vec<T> {
+    let s = buf.as_slice::<T>().expect("validated dtype");
+    bh_tensor::kernels::materialize(s, g)
+}
+
+fn view_of(o: &Operand) -> &ViewRef {
+    o.as_view().expect("validated: operand is a view")
+}
+
+fn mat_dims(s: &Shape) -> (usize, usize) {
+    match s.rank() {
+        1 => (1, s.dim(0)),
+        _ => (s.dim(0), s.dim(1)),
+    }
+}
+
+fn cast_element<I: Element, O: Element>(x: I) -> O {
+    O::from_f64(x.to_f64())
+}
+
+/// Write an owned tensor's elements into a view of a buffer.
+fn write_tensor_into_view(buffer: &mut Buffer, geom: &ViewGeom, data: &Tensor) {
+    debug_assert_eq!(geom.nelem(), data.nelem(), "view/tensor size mismatch");
+    let dtype = buffer.dtype();
+    let data = if data.dtype() == dtype { data.clone() } else { data.cast(dtype) };
+    with_dtype!(dtype, T, {
+        let src = data.as_slice::<T>().expect("cast above");
+        let dst = buffer.as_mut_slice::<T>().expect("dtype of buffer");
+        let dst_ptr = dst.as_mut_ptr();
+        let dst_len = dst.len();
+        let mut i = 0usize;
+        bh_tensor::kernels::zip_offsets([geom], |[o]| {
+            assert!(o < dst_len, "view escapes buffer");
+            // SAFETY: bounds asserted; offsets are per-element unique.
+            unsafe { *dst_ptr.add(o) = src[i] };
+            i += 1;
+        });
+    });
+}

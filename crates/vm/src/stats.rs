@@ -1,0 +1,129 @@
+//! Execution statistics and the abstract cost counters.
+//!
+//! The paper's transformations pay off by *removing byte-codes* (fewer
+//! kernel launches, less memory traffic) or *replacing expensive op-codes*
+//! (fewer flops). The VM measures all three so benchmarks can report the
+//! model quantities alongside wall-clock time, making the experiment shapes
+//! reproducible on any host.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counters accumulated while executing a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Instructions executed (excluding `BH_NONE`).
+    pub instructions: u64,
+    /// Kernels launched: one per byte-code on the naive engine, one per
+    /// fused group on the fusing engine.
+    pub kernels: u64,
+    /// Fused groups executed (fusing engine only).
+    pub fused_groups: u64,
+    /// Elements written to output views.
+    pub elements_written: u64,
+    /// Bytes read from base arrays by input views.
+    pub bytes_read: u64,
+    /// Bytes written to base arrays by output views.
+    pub bytes_written: u64,
+    /// Abstract flops: per-element op-code unit costs plus linalg flop
+    /// models (see `Opcode::unit_cost` and `bh-linalg`).
+    pub flops: u64,
+    /// `BH_SYNC`s observed (host-visible results).
+    pub syncs: u64,
+}
+
+impl ExecStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> ExecStats {
+        ExecStats::default()
+    }
+
+    /// Total modelled memory traffic in bytes.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Modelled execution time in abstract units: each kernel launch pays a
+    /// fixed overhead `launch_overhead`, each byte moved costs 1, each flop
+    /// costs `flop_cost`. The defaults (overhead 4096, flop cost 4) mirror
+    /// a GPU-offload regime where the paper's transformations matter most.
+    pub fn model_time(&self, launch_overhead: u64, flop_cost: u64) -> u64 {
+        self.kernels * launch_overhead + self.bytes_total() + self.flops * flop_cost
+    }
+}
+
+impl Add for ExecStats {
+    type Output = ExecStats;
+
+    fn add(self, rhs: ExecStats) -> ExecStats {
+        ExecStats {
+            instructions: self.instructions + rhs.instructions,
+            kernels: self.kernels + rhs.kernels,
+            fused_groups: self.fused_groups + rhs.fused_groups,
+            elements_written: self.elements_written + rhs.elements_written,
+            bytes_read: self.bytes_read + rhs.bytes_read,
+            bytes_written: self.bytes_written + rhs.bytes_written,
+            flops: self.flops + rhs.flops,
+            syncs: self.syncs + rhs.syncs,
+        }
+    }
+}
+
+impl AddAssign for ExecStats {
+    fn add_assign(&mut self, rhs: ExecStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instrs={} kernels={} fused={} elems={} read={}B written={}B flops={} syncs={}",
+            self.instructions,
+            self.kernels,
+            self.fused_groups,
+            self.elements_written,
+            self.bytes_read,
+            self.bytes_written,
+            self.flops,
+            self.syncs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_model_time() {
+        let s = ExecStats {
+            kernels: 2,
+            bytes_read: 100,
+            bytes_written: 50,
+            flops: 10,
+            ..ExecStats::default()
+        };
+        assert_eq!(s.bytes_total(), 150);
+        assert_eq!(s.model_time(1000, 4), 2 * 1000 + 150 + 40);
+    }
+
+    #[test]
+    fn add_combines_fieldwise() {
+        let a = ExecStats { instructions: 1, kernels: 2, ..Default::default() };
+        let b = ExecStats { instructions: 10, syncs: 1, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.instructions, 11);
+        assert_eq!(c.kernels, 2);
+        assert_eq!(c.syncs, 1);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ExecStats::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! # bohrium-repro — reproduction of *Algebraic Transformation of
+//! Descriptive Vector Byte-code Sequences* (Middleware DS '16)
+//!
+//! Umbrella crate re-exporting the whole stack:
+//!
+//! * [`tensor`] — strided tensor substrate (`bh-tensor`)
+//! * [`ir`] — the descriptive vector byte-code (`bh-ir`)
+//! * [`opt`] — the algebraic transformation engine, the paper's
+//!   contribution (`bh-opt`)
+//! * [`linalg`] — LU/solve/inverse substrate (`bh-linalg`)
+//! * [`vm`] — the instrumented byte-code VM (`bh-vm`)
+//! * [`frontend`] — the lazy NumPy-flavoured front-end (`bh-frontend`)
+//!
+//! plus [`testing`], the cross-crate semantic-equivalence harness used by
+//! the integration test-suite, and the `experiments` binary that
+//! regenerates every table in EXPERIMENTS.md.
+//!
+//! See README.md for a guided tour and DESIGN.md for the system inventory.
+
+#![warn(missing_docs)]
+
+pub use bh_frontend as frontend;
+pub use bh_ir as ir;
+pub use bh_linalg as linalg;
+pub use bh_opt as opt;
+pub use bh_tensor as tensor;
+pub use bh_vm as vm;
+
+pub mod testing {
+    //! Semantic-equivalence harness.
+    //!
+    //! The soundness property of every rewrite (DESIGN.md §6): executing a
+    //! program before and after transformation must produce element-wise
+    //! equal synced results. These helpers bind deterministic random data
+    //! to `input` bases, execute on the naive VM, and compare.
+
+    use bh_ir::{Opcode, Program};
+    use bh_tensor::{random_tensor, Distribution, Tensor};
+    use bh_vm::{Engine, Vm, VmError};
+    use std::collections::BTreeMap;
+
+    /// Deterministic random tensor for the `i`-th input base of a program.
+    pub fn input_tensor(program: &Program, index: usize, seed: u64) -> Tensor {
+        let base = &program.bases()[index];
+        random_tensor(
+            base.dtype,
+            base.shape.clone(),
+            seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            Distribution::NonZero,
+        )
+    }
+
+    /// Execute `program` with seeded inputs and collect the value of every
+    /// register read by a `BH_SYNC`, keyed by register name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM validation/execution failures.
+    pub fn run_synced(
+        program: &Program,
+        seed: u64,
+        engine: Engine,
+    ) -> Result<BTreeMap<String, Tensor>, VmError> {
+        let mut vm = Vm::with_engine(engine);
+        for (i, base) in program.bases().iter().enumerate() {
+            if base.is_input {
+                let t = input_tensor(program, i, seed);
+                vm.bind_by_name(program, &base.name, &t)?;
+            }
+        }
+        vm.run(program)?;
+        let mut out = BTreeMap::new();
+        for instr in program.instrs() {
+            if instr.op == Opcode::Sync {
+                if let Some(v) = instr.operands.first().and_then(|o| o.as_view()) {
+                    let name = program.base(v.reg).name.clone();
+                    out.entry(name).or_insert(vm.read(program, v.reg)?);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute difference between the synced outputs of two
+    /// programs under the same seeded inputs. `f64::INFINITY` when the
+    /// synced register sets disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either program fails to execute (the tests' job is
+    /// exactly to catch that).
+    pub fn max_divergence(a: &Program, b: &Program, seed: u64) -> f64 {
+        let ra = run_synced(a, seed, Engine::Naive).expect("reference program must run");
+        let rb = run_synced(b, seed, Engine::Naive).expect("transformed program must run");
+        if ra.len() != rb.len() {
+            return f64::INFINITY;
+        }
+        let mut worst: f64 = 0.0;
+        for (name, ta) in &ra {
+            match rb.get(name) {
+                None => return f64::INFINITY,
+                Some(tb) => worst = worst.max(ta.max_abs_diff(tb)),
+            }
+        }
+        worst
+    }
+
+    /// Assert two programs are semantically equivalent on seeded inputs,
+    /// within `tol` (use 0.0 for integer programs, a small epsilon for
+    /// float programs transformed under fast-math).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic when outputs diverge beyond `tol`.
+    pub fn assert_equivalent(before: &Program, after: &Program, seed: u64, tol: f64) {
+        let d = max_divergence(before, after, seed);
+        assert!(
+            d <= tol,
+            "programs diverge by {d} (tol {tol})\n--- before ---\n{before}\n--- after ---\n{after}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::*;
+    use bh_ir::parse_program;
+    use bh_vm::Engine;
+
+    #[test]
+    fn run_synced_collects_only_synced_regs() {
+        let p = parse_program(
+            "BH_IDENTITY a [0:4:1] 1\nBH_IDENTITY b [0:4:1] 2\nBH_SYNC a\n",
+        )
+        .unwrap();
+        let out = run_synced(&p, 1, Engine::Naive).unwrap();
+        assert!(out.contains_key("a"));
+        assert!(!out.contains_key("b"));
+    }
+
+    #[test]
+    fn equivalent_listings_pass() {
+        let unopt = parse_program(
+            "BH_IDENTITY a0 [0:10:1] 0\n\
+             BH_ADD a0 a0 1\nBH_ADD a0 a0 1\nBH_ADD a0 a0 1\nBH_SYNC a0\n",
+        )
+        .unwrap();
+        let opt = parse_program(
+            "BH_IDENTITY a0 [0:10:1] 0\nBH_ADD a0 a0 3\nBH_SYNC a0\n",
+        )
+        .unwrap();
+        assert_equivalent(&unopt, &opt, 7, 0.0);
+    }
+
+    #[test]
+    fn divergent_programs_detected() {
+        let a = parse_program("BH_IDENTITY a0 [0:4:1] 1\nBH_SYNC a0\n").unwrap();
+        let b = parse_program("BH_IDENTITY a0 [0:4:1] 2\nBH_SYNC a0\n").unwrap();
+        assert_eq!(max_divergence(&a, &b, 0), 1.0);
+    }
+
+    #[test]
+    fn inputs_are_deterministic_per_seed() {
+        let p = parse_program(".base x f64[8] input\nBH_SYNC x\n").unwrap();
+        let a = run_synced(&p, 3, Engine::Naive).unwrap();
+        let b = run_synced(&p, 3, Engine::Naive).unwrap();
+        assert_eq!(a["x"], b["x"]);
+        let c = run_synced(&p, 4, Engine::Naive).unwrap();
+        assert_ne!(a["x"], c["x"]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the textual byte-code format and view semantics:
+//! print ∘ parse round-trips, and `Slice::resolve` agrees with a direct
+//! enumeration reference (CPython slicing semantics).
+
+use bohrium_repro::ir::{parse_program, Instruction, Opcode, PrintStyle, Program, ViewRef};
+use bohrium_repro::tensor::{DType, Scalar, Shape, Slice};
+use proptest::prelude::*;
+
+/// Reference slicing: enumerate the selected indices the way Python does.
+fn python_slice_indices(len: usize, start: Option<i64>, stop: Option<i64>, step: i64) -> Vec<usize> {
+    assert_ne!(step, 0);
+    let n = len as i64;
+    let norm = |v: i64, lower: i64, upper: i64| -> i64 {
+        let v = if v < 0 { v + n } else { v };
+        v.clamp(lower, upper)
+    };
+    let (lower, upper) = if step > 0 { (0, n) } else { (-1, n - 1) };
+    let start = match start {
+        Some(s) => norm(s, lower, upper),
+        None => if step > 0 { 0 } else { n - 1 },
+    };
+    let stop = match stop {
+        Some(s) => norm(s, lower, upper),
+        None => if step > 0 { n } else { -1 },
+    };
+    let mut out = Vec::new();
+    let mut i = start;
+    if step > 0 {
+        while i < stop {
+            out.push(i as usize);
+            i += step;
+        }
+    } else {
+        while i > stop {
+            out.push(i as usize);
+            i += step;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn slice_resolve_matches_python_reference(
+        len in 0usize..24,
+        start in proptest::option::of(-30i64..30),
+        stop in proptest::option::of(-30i64..30),
+        step in prop_oneof![(-5i64..0), (1i64..6)],
+    ) {
+        let slice = Slice::new(start, stop, step);
+        let (first, out_len, got_step) = slice.resolve(len).expect("non-zero step");
+        let reference = python_slice_indices(len, start, stop, step);
+        prop_assert_eq!(out_len, reference.len());
+        prop_assert_eq!(got_step, step);
+        if out_len > 0 {
+            prop_assert_eq!(first, reference[0]);
+            // Full enumeration agrees, via ViewGeom.
+            let geom = bohrium_repro::tensor::ViewGeom::from_slices(
+                &Shape::vector(len), &[slice]).expect("valid slice");
+            let offsets: Vec<usize> = geom.offsets().collect();
+            prop_assert_eq!(offsets, reference);
+        }
+    }
+
+    #[test]
+    fn printed_programs_reparse_identically(
+        ops in proptest::collection::vec(0usize..4, 1..10),
+        consts in proptest::collection::vec(-100i64..100, 10),
+        n in 1usize..32,
+    ) {
+        // Build a random but valid program programmatically.
+        let mut p = Program::new();
+        let a = p.declare("a0", DType::Float64, Shape::vector(n));
+        let b = p.declare("b0", DType::Float64, Shape::vector(n));
+        p.push(Instruction::unary(Opcode::Identity, ViewRef::full(a),
+            Scalar::F64(consts[0] as f64)));
+        p.push(Instruction::unary(Opcode::Identity, ViewRef::full(b),
+            Scalar::F64(consts[1] as f64)));
+        for (k, &op_idx) in ops.iter().enumerate() {
+            let op = [Opcode::Add, Opcode::Subtract, Opcode::Multiply, Opcode::Maximum][op_idx];
+            let c = Scalar::F64(consts[(k + 2) % consts.len()] as f64);
+            p.push(Instruction::binary(op, ViewRef::full(a), ViewRef::full(b), c));
+        }
+        p.push(Instruction::sync(ViewRef::full(a)));
+
+        // FULL style (decls + explicit views) must round-trip to the same
+        // instruction sequence and semantics.
+        let printed = p.to_text(PrintStyle::FULL);
+        let q = parse_program(&printed).expect("printed program re-parses");
+        prop_assert_eq!(q.instrs().len(), p.instrs().len());
+        bohrium_repro::testing::assert_equivalent(&p, &q, 7, 0.0);
+        // ... and printing again is a fixpoint.
+        prop_assert_eq!(q.to_text(PrintStyle::FULL), printed);
+    }
+
+    #[test]
+    fn parser_rejects_or_accepts_but_never_panics(text in "[ -~\n]{0,160}") {
+        // Robustness: arbitrary printable input must never panic the parser.
+        let _ = parse_program(&text);
+    }
+}
