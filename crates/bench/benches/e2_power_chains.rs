@@ -18,7 +18,10 @@ fn bench_power_schedules(c: &mut Criterion) {
             "listing4_naive_9mul",
             power_chain(n, &chains::naive_chain(10).expect("n >= 2")),
         ),
-        ("listing5_paper_5mul", power_chain(n, &chains::listing5_chain())),
+        (
+            "listing5_paper_5mul",
+            power_chain(n, &chains::listing5_chain()),
+        ),
         (
             "optimal_4mul",
             power_chain(n, &chains::optimal_chain(10).expect("n >= 2")),

@@ -248,7 +248,10 @@ mod tests {
     #[test]
     fn validity_rejects_malformed_chains() {
         // Doubling before the opening squaring is meaningless.
-        let bad = PowerChain { exponent: 4, steps: vec![ChainStep::SquareAcc] };
+        let bad = PowerChain {
+            exponent: 4,
+            steps: vec![ChainStep::SquareAcc],
+        };
         assert!(!bad.is_valid());
         // A second opening squaring mid-chain is not allowed.
         let bad = PowerChain {
@@ -257,7 +260,10 @@ mod tests {
         };
         assert!(!bad.is_valid());
         // Wrong target exponent.
-        let bad = PowerChain { exponent: 5, steps: vec![ChainStep::SquareOrigin] };
+        let bad = PowerChain {
+            exponent: 5,
+            steps: vec![ChainStep::SquareOrigin],
+        };
         assert!(!bad.is_valid());
     }
 }

@@ -14,7 +14,7 @@ use bh_ir::{OpKind, Opcode, Operand, Program};
 use std::fmt;
 
 /// Tunable weights of the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CostParams {
     /// Fixed cost per kernel launch, in abstract time units. The default
     /// (4096) reflects a GPU-offload regime where launching dominates
@@ -28,7 +28,11 @@ pub struct CostParams {
 
 impl Default for CostParams {
     fn default() -> CostParams {
-        CostParams { launch_overhead: 4096, flop_cost: 4, byte_cost: 1 }
+        CostParams {
+            launch_overhead: 4096,
+            flop_cost: 4,
+            byte_cost: 1,
+        }
     }
 }
 
@@ -203,7 +207,12 @@ mod tests {
              BH_SYNC a1\n",
         );
         assert!(chain.flops < power.flops);
-        assert!(chain.time < power.time, "chain {} vs power {}", chain.time, power.time);
+        assert!(
+            chain.time < power.time,
+            "chain {} vs power {}",
+            chain.time,
+            power.time
+        );
     }
 
     #[test]
@@ -243,8 +252,14 @@ mod tests {
 
     #[test]
     fn relative_to() {
-        let a = CostEstimate { time: 50, ..Default::default() };
-        let b = CostEstimate { time: 100, ..Default::default() };
+        let a = CostEstimate {
+            time: 50,
+            ..Default::default()
+        };
+        let b = CostEstimate {
+            time: 100,
+            ..Default::default()
+        };
         assert_eq!(a.relative_to(&b), 0.5);
         assert_eq!(a.relative_to(&CostEstimate::default()), 1.0);
     }

@@ -106,11 +106,21 @@ mod tests {
     #[test]
     fn float_min_max_power() {
         assert_eq!(
-            const_eval(Opcode::Maximum, Scalar::F64(1.0), Scalar::F64(2.0), DType::Float64),
+            const_eval(
+                Opcode::Maximum,
+                Scalar::F64(1.0),
+                Scalar::F64(2.0),
+                DType::Float64
+            ),
             Some(Scalar::F64(2.0))
         );
         assert_eq!(
-            const_eval(Opcode::Power, Scalar::F64(2.0), Scalar::F64(10.0), DType::Float64),
+            const_eval(
+                Opcode::Power,
+                Scalar::F64(2.0),
+                Scalar::F64(10.0),
+                DType::Float64
+            ),
             Some(Scalar::F64(1024.0))
         );
     }
@@ -118,7 +128,13 @@ mod tests {
     #[test]
     fn shifts_mask_to_width() {
         assert_eq!(
-            const_eval(Opcode::LeftShift, Scalar::I64(1), Scalar::I64(9), DType::UInt8).unwrap(),
+            const_eval(
+                Opcode::LeftShift,
+                Scalar::I64(1),
+                Scalar::I64(9),
+                DType::UInt8
+            )
+            .unwrap(),
             Scalar::U8(2)
         );
     }
@@ -126,11 +142,21 @@ mod tests {
     #[test]
     fn unhandled_ops_return_none() {
         assert_eq!(
-            const_eval(Opcode::Arctan2, Scalar::I32(1), Scalar::I32(1), DType::Int32),
+            const_eval(
+                Opcode::Arctan2,
+                Scalar::I32(1),
+                Scalar::I32(1),
+                DType::Int32
+            ),
             None
         );
         assert_eq!(
-            const_eval(Opcode::Mod, Scalar::Bool(true), Scalar::Bool(true), DType::Bool),
+            const_eval(
+                Opcode::Mod,
+                Scalar::Bool(true),
+                Scalar::Bool(true),
+                DType::Bool
+            ),
             None
         );
     }

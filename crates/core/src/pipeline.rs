@@ -3,15 +3,19 @@
 use crate::cost::{estimate, CostEstimate, CostParams};
 use crate::rule::{LiveAtExit, RewriteCtx, RewriteRule};
 use crate::rules::{
-    AlgebraicSimplify, CommonSubexpression, ConstantMerge, CopyPropagation,
-    DeadCodeElimination, InverseSolveRewrite, MultiplyChainReroll, PowerExpansion,
-    StrengthReduction, TrivialCopyElision,
+    AlgebraicSimplify, CommonSubexpression, ConstantMerge, CopyPropagation, DeadCodeElimination,
+    InverseSolveRewrite, MultiplyChainReroll, PowerExpansion, StrengthReduction,
+    TrivialCopyElision,
 };
 use bh_ir::Program;
 use std::fmt;
 
 /// Optimization level, LLVM-style.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+///
+/// Marked `#[non_exhaustive]`: levels between O1 and O2 (or above O2) may
+/// be added; match with a wildcard arm outside this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[non_exhaustive]
 pub enum OptLevel {
     /// No transformations.
     O0,
@@ -26,7 +30,11 @@ pub enum OptLevel {
 }
 
 /// Options for [`Optimizer`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Derives `Eq`/`Hash` (all fields are integral) so options can key
+/// caches directly — a field added here is automatically part of any
+/// such key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct OptOptions {
     /// Which rule set to run.
     pub level: OptLevel,
@@ -53,7 +61,10 @@ impl Default for OptOptions {
 impl OptOptions {
     /// Options at a given level with everything else default.
     pub fn level(level: OptLevel) -> OptOptions {
-        OptOptions { level, ..OptOptions::default() }
+        OptOptions {
+            level,
+            ..OptOptions::default()
+        }
     }
 
     /// Strict IEEE float semantics (disables re-associating rewrites on
@@ -127,8 +138,11 @@ impl Optimizer {
     /// Transform `program` in place and report what happened.
     pub fn run(&self, program: &mut Program) -> OptReport {
         let before = estimate(program, &self.options.cost_params);
-        let mut by_rule: Vec<(String, usize)> =
-            self.rules.iter().map(|r| (r.name().to_owned(), 0)).collect();
+        let mut by_rule: Vec<(String, usize)> = self
+            .rules
+            .iter()
+            .map(|r| (r.name().to_owned(), 0))
+            .collect();
         let mut iterations = 0;
         for _ in 0..self.options.max_iterations {
             let mut changed = false;
@@ -147,7 +161,12 @@ impl Optimizer {
         }
         program.compact();
         let after = estimate(program, &self.options.cost_params);
-        OptReport { iterations, by_rule, before, after }
+        OptReport {
+            iterations,
+            by_rule,
+            before,
+            after,
+        }
     }
 }
 
@@ -196,8 +215,12 @@ impl OptReport {
     }
 
     /// Model-time speed-up factor (≥ 1 when the transformation helped).
+    ///
+    /// Both sides are guarded: an empty (or otherwise zero-cost) program
+    /// before *or* after transformation reports a neutral 1.0 rather than
+    /// 0/0 = NaN or a misleading 0×/∞×.
     pub fn model_speedup(&self) -> f64 {
-        if self.after.time == 0 {
+        if self.before.time == 0 || self.after.time == 0 {
             return 1.0;
         }
         self.before.time as f64 / self.after.time as f64
@@ -209,7 +232,9 @@ impl fmt::Display for OptReport {
         writeln!(
             f,
             "optimised in {} iteration(s): {} → {} byte-codes, model speed-up {:.2}×",
-            self.iterations, self.before.bytecodes, self.after.bytecodes,
+            self.iterations,
+            self.before.bytecodes,
+            self.after.bytecodes,
             self.model_speedup()
         )?;
         for (name, n) in &self.by_rule {
@@ -307,6 +332,16 @@ BH_SYNC x
     }
 
     #[test]
+    fn empty_program_reports_neutral_speedup() {
+        let mut p = Program::new();
+        let report = optimize(&mut p);
+        assert_eq!(report.before.time, 0);
+        assert_eq!(report.after.time, 0);
+        assert_eq!(report.model_speedup(), 1.0);
+        assert!(report.model_speedup().is_finite());
+    }
+
+    #[test]
     fn report_display_lists_fired_rules() {
         let mut p = parse_program(LISTING2).unwrap();
         let report = optimize(&mut p);
@@ -335,10 +370,8 @@ BH_SYNC x
 
     #[test]
     fn observe_all_keeps_unsynced_results() {
-        let mut p = parse_program(
-            "BH_IDENTITY a [0:4:1] 1\nBH_IDENTITY b [0:4:1] 2\nBH_SYNC a\n",
-        )
-        .unwrap();
+        let mut p =
+            parse_program("BH_IDENTITY a [0:4:1] 1\nBH_IDENTITY b [0:4:1] 2\nBH_SYNC a\n").unwrap();
         Optimizer::new(OptOptions::default().observe_all()).run(&mut p);
         assert_eq!(p.instrs().len(), 3);
     }

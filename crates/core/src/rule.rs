@@ -9,7 +9,12 @@ use bh_ir::{Program, ViewRef};
 use bh_tensor::DType;
 
 /// What counts as observable at program exit, for liveness-based rules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Marked `#[non_exhaustive]`: finer observability contracts (e.g. an
+/// explicit register set) may be added; match with a wildcard arm outside
+/// this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
 pub enum LiveAtExit {
     /// Only values a `BH_SYNC` reads are observable (Bohrium's contract:
     /// the bridge syncs before touching data). Dead-store elimination may
@@ -22,7 +27,7 @@ pub enum LiveAtExit {
 }
 
 /// Shared configuration handed to every rule application.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RewriteCtx {
     /// Permit rewrites that can change floating-point rounding
     /// (re-association, constant merging, power expansion on floats).
@@ -82,9 +87,7 @@ pub fn views_equivalent(program: &Program, a: &ViewRef, b: &ViewRef) -> bool {
 pub fn is_full_view(program: &Program, v: &ViewRef) -> bool {
     match program.resolve_view(v) {
         Ok(g) => {
-            g.offset() == 0
-                && g.is_contiguous()
-                && g.nelem() == program.base(v.reg).shape.nelem()
+            g.offset() == 0 && g.is_contiguous() && g.nelem() == program.base(v.reg).shape.nelem()
         }
         Err(_) => false,
     }
@@ -131,7 +134,10 @@ mod tests {
             &p,
             &ViewRef::sliced(r, vec![Slice::new(Some(0), Some(10), 1)])
         ));
-        assert!(!is_full_view(&p, &ViewRef::sliced(r, vec![Slice::range(1, 10)])));
+        assert!(!is_full_view(
+            &p,
+            &ViewRef::sliced(r, vec![Slice::range(1, 10)])
+        ));
         assert!(!is_full_view(
             &p,
             &ViewRef::sliced(r, vec![Slice::new(None, None, 2)])
@@ -140,7 +146,10 @@ mod tests {
 
     #[test]
     fn reassoc_gating() {
-        let strict = RewriteCtx { fast_math: false, ..RewriteCtx::default() };
+        let strict = RewriteCtx {
+            fast_math: false,
+            ..RewriteCtx::default()
+        };
         assert!(reassoc_allowed(&strict, DType::Int32));
         assert!(!reassoc_allowed(&strict, DType::Float64));
         assert!(reassoc_allowed(&RewriteCtx::default(), DType::Float64));

@@ -92,7 +92,7 @@ fn try_merge_at(
         return None;
     }
     // Nearest earlier definition of r.
-    let i = *du.defs(out_b.reg).iter().filter(|&&d| d < j).next_back()?;
+    let i = *du.defs(out_b.reg).iter().rfind(|&&d| d < j)?;
     let a = &instrs[i];
     if a.op != b.op || !mergeable_shape(a) {
         return None;
@@ -129,8 +129,7 @@ fn try_merge_at(
 /// Binary element-wise with exactly one constant input and an associative
 /// (or right-chainable) op.
 fn mergeable_shape(instr: &Instruction) -> bool {
-    let op_ok = instr.op.is_associative()
-        || matches!(instr.op, Opcode::Subtract | Opcode::Divide);
+    let op_ok = instr.op.is_associative() || matches!(instr.op, Opcode::Subtract | Opcode::Divide);
     op_ok
         && instr.op.is_elementwise()
         && instr.op.arity() == 2
@@ -177,7 +176,10 @@ BH_SYNC a0 [0:10:1]
 
     #[test]
     fn strict_ieee_blocks_float_merge_but_not_int() {
-        let strict = RewriteCtx { fast_math: false, ..RewriteCtx::default() };
+        let strict = RewriteCtx {
+            fast_math: false,
+            ..RewriteCtx::default()
+        };
         let (_, n) = optimize_text(LISTING2, &strict); // f64 adds
         assert_eq!(n, 0);
         let (p, n) = optimize_text(
@@ -197,7 +199,9 @@ BH_SYNC a0 [0:10:1]
             &RewriteCtx::default(),
         );
         assert_eq!(n, 1);
-        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_MULTIPLY a0 a0 6"));
+        assert!(p
+            .to_text(PrintStyle::COMPACT)
+            .contains("BH_MULTIPLY a0 a0 6"));
     }
 
     #[test]
@@ -207,7 +211,9 @@ BH_SYNC a0 [0:10:1]
              BH_SUBTRACT a0 a0 2\nBH_SUBTRACT a0 a0 3\nBH_SYNC a0\n",
             &RewriteCtx::default(),
         );
-        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_SUBTRACT a0 a0 5"));
+        assert!(p
+            .to_text(PrintStyle::COMPACT)
+            .contains("BH_SUBTRACT a0 a0 5"));
     }
 
     #[test]

@@ -70,13 +70,9 @@ impl RewriteRule for CopyPropagation {
             }
             // Record fresh full-view same-dtype copies.
             if instr.op == Opcode::Identity {
-                if let (Some(out), Some(input)) =
-                    (instr.out_view(), instr.inputs()[0].as_view())
-                {
-                    let same_dtype =
-                        program.base(out.reg).dtype == program.base(input.reg).dtype;
-                    let same_shape =
-                        program.base(out.reg).shape == program.base(input.reg).shape;
+                if let (Some(out), Some(input)) = (instr.out_view(), instr.inputs()[0].as_view()) {
+                    let same_dtype = program.base(out.reg).dtype == program.base(input.reg).dtype;
+                    let same_shape = program.base(out.reg).shape == program.base(input.reg).shape;
                     if out.reg != input.reg
                         && same_dtype
                         && same_shape
@@ -105,12 +101,10 @@ mod tests {
 
     #[test]
     fn reads_route_around_the_copy() {
-        let (p, n) = run(
-            "BH_IDENTITY a [0:4:1] 5\n\
+        let (p, n) = run("BH_IDENTITY a [0:4:1] 5\n\
              BH_IDENTITY b [0:4:1] a\n\
              BH_ADD c [0:4:1] b b\n\
-             BH_SYNC c\n",
-        );
+             BH_SYNC c\n");
         assert_eq!(n, 2);
         let text = p.to_text(PrintStyle::COMPACT);
         assert!(text.contains("BH_ADD c a a"), "{text}");
@@ -118,26 +112,22 @@ mod tests {
 
     #[test]
     fn write_to_source_invalidates() {
-        let (p, n) = run(
-            "BH_IDENTITY a [0:4:1] 5\n\
+        let (p, n) = run("BH_IDENTITY a [0:4:1] 5\n\
              BH_IDENTITY b [0:4:1] a\n\
              BH_IDENTITY a [0:4:1] 9\n\
              BH_ADD c [0:4:1] b b\n\
-             BH_SYNC c\n",
-        );
+             BH_SYNC c\n");
         assert_eq!(n, 0);
         assert!(p.to_text(PrintStyle::COMPACT).contains("BH_ADD c b b"));
     }
 
     #[test]
     fn write_to_target_invalidates() {
-        let (_, n) = run(
-            "BH_IDENTITY a [0:4:1] 5\n\
+        let (_, n) = run("BH_IDENTITY a [0:4:1] 5\n\
              BH_IDENTITY b [0:4:1] a\n\
              BH_ADD b [0:4:1] b 1\n\
              BH_ADD c [0:4:1] b b\n\
-             BH_SYNC c\n",
-        );
+             BH_SYNC c\n");
         // The read inside `b = b + 1` is rewritten to `a` (valid: it reads
         // the copied value), but after that write, b's uses stay.
         assert_eq!(n, 1);
@@ -145,50 +135,42 @@ mod tests {
 
     #[test]
     fn sliced_reads_not_propagated() {
-        let (p, n) = run(
-            "BH_IDENTITY a [0:8:1] 5\n\
+        let (p, n) = run("BH_IDENTITY a [0:8:1] 5\n\
              BH_IDENTITY b [0:8:1] a\n\
              BH_ADD c [0:4:1] b [0:4:1] b [4:8:1]\n\
-             BH_SYNC c\n",
-        );
+             BH_SYNC c\n");
         assert_eq!(n, 0);
         assert!(p.to_text(PrintStyle::COMPACT).contains("BH_ADD c b"));
     }
 
     #[test]
     fn cast_copies_not_propagated() {
-        let (_, n) = run(
-            ".base a f64[4]\n.base b i32[4]\n.base c i32[4]\n\
+        let (_, n) = run(".base a f64[4]\n.base b i32[4]\n.base c i32[4]\n\
              BH_IDENTITY a 5\n\
              BH_IDENTITY b a\n\
              BH_ADD c b b\n\
-             BH_SYNC c\n",
-        );
+             BH_SYNC c\n");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn free_invalidates_source() {
-        let (p, n) = run(
-            "BH_IDENTITY a [0:4:1] 5\n\
+        let (p, n) = run("BH_IDENTITY a [0:4:1] 5\n\
              BH_IDENTITY b [0:4:1] a\n\
              BH_FREE a\n\
              BH_ADD c [0:4:1] b b\n\
-             BH_SYNC c\n",
-        );
+             BH_SYNC c\n");
         assert_eq!(n, 0);
         assert!(p.to_text(PrintStyle::COMPACT).contains("BH_ADD c b b"));
     }
 
     #[test]
     fn chains_of_copies_propagate_transitively() {
-        let (p, _) = run(
-            "BH_IDENTITY a [0:4:1] 5\n\
+        let (p, _) = run("BH_IDENTITY a [0:4:1] 5\n\
              BH_IDENTITY b [0:4:1] a\n\
              BH_IDENTITY c [0:4:1] b\n\
              BH_ADD d [0:4:1] c c\n\
-             BH_SYNC d\n",
-        );
+             BH_SYNC d\n");
         // c's copy source is rewritten to a, then d's reads chase to a.
         let text = p.to_text(PrintStyle::COMPACT);
         assert!(text.contains("BH_IDENTITY c a"), "{text}");

@@ -32,8 +32,8 @@ impl RewriteRule for CommonSubexpression {
             let mut replaced = false;
             if let (Some(k), Some(out)) = (&key, instr.out_view()) {
                 if let Some(prev_out) = available.get(k) {
-                    let same_dtype = program.base(out.reg).dtype
-                        == program.base(prev_out.reg).dtype;
+                    let same_dtype =
+                        program.base(out.reg).dtype == program.base(prev_out.reg).dtype;
                     // Writing over one of our own inputs would also
                     // invalidate the availability; requiring a distinct
                     // output register keeps this simple and sound.
@@ -65,8 +65,10 @@ impl RewriteRule for CommonSubexpression {
 
             // Record this computation as available.
             if !replaced {
-                if let (Some(k), Some(out)) = (expression_key(&program.instrs()[idx]), program.instrs()[idx].out_view())
-                {
+                if let (Some(k), Some(out)) = (
+                    expression_key(&program.instrs()[idx]),
+                    program.instrs()[idx].out_view(),
+                ) {
                     let out = out.clone();
                     for r in program.instrs()[idx].input_regs() {
                         mentions.entry(r).or_default().push(k.clone());
@@ -113,12 +115,10 @@ mod tests {
 
     #[test]
     fn duplicate_computation_becomes_copy() {
-        let (p, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\n\
+        let (p, n) = run("BH_IDENTITY a [0:4:1] 3\n\
              BH_MULTIPLY x [0:4:1] a a\n\
              BH_MULTIPLY y [0:4:1] a a\n\
-             BH_SYNC x\nBH_SYNC y\n",
-        );
+             BH_SYNC x\nBH_SYNC y\n");
         assert_eq!(n, 1);
         let text = p.to_text(PrintStyle::COMPACT);
         assert!(text.contains("BH_IDENTITY y x"), "{text}");
@@ -126,84 +126,70 @@ mod tests {
 
     #[test]
     fn commutative_operands_match_in_either_order() {
-        let (p, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\n\
+        let (p, n) = run("BH_IDENTITY a [0:4:1] 3\n\
              BH_IDENTITY b [0:4:1] 4\n\
              BH_ADD x [0:4:1] a b\n\
              BH_ADD y [0:4:1] b a\n\
-             BH_SYNC x\nBH_SYNC y\n",
-        );
+             BH_SYNC x\nBH_SYNC y\n");
         assert_eq!(n, 1);
         assert!(p.to_text(PrintStyle::COMPACT).contains("BH_IDENTITY y x"));
     }
 
     #[test]
     fn non_commutative_order_matters() {
-        let (_, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\n\
+        let (_, n) = run("BH_IDENTITY a [0:4:1] 3\n\
              BH_IDENTITY b [0:4:1] 4\n\
              BH_SUBTRACT x [0:4:1] a b\n\
              BH_SUBTRACT y [0:4:1] b a\n\
-             BH_SYNC x\nBH_SYNC y\n",
-        );
+             BH_SYNC x\nBH_SYNC y\n");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn intervening_write_invalidates() {
-        let (_, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\n\
+        let (_, n) = run("BH_IDENTITY a [0:4:1] 3\n\
              BH_MULTIPLY x [0:4:1] a a\n\
              BH_ADD a a 1\n\
              BH_MULTIPLY y [0:4:1] a a\n\
-             BH_SYNC x\nBH_SYNC y\n",
-        );
+             BH_SYNC x\nBH_SYNC y\n");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn overwritten_result_invalidates() {
-        let (_, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\n\
+        let (_, n) = run("BH_IDENTITY a [0:4:1] 3\n\
              BH_MULTIPLY x [0:4:1] a a\n\
              BH_IDENTITY x 0\n\
              BH_MULTIPLY y [0:4:1] a a\n\
-             BH_SYNC x\nBH_SYNC y\n",
-        );
+             BH_SYNC x\nBH_SYNC y\n");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn self_updates_never_keyed() {
         // a = a + 1 twice is NOT the same value twice.
-        let (_, n) = run(
-            "BH_IDENTITY a [0:4:1] 0\n\
+        let (_, n) = run("BH_IDENTITY a [0:4:1] 0\n\
              BH_ADD a a 1\n\
              BH_ADD a a 1\n\
-             BH_SYNC a\n",
-        );
+             BH_SYNC a\n");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn constants_participate_in_keys() {
-        let (_, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\n\
+        let (_, n) = run("BH_IDENTITY a [0:4:1] 3\n\
              BH_ADD x [0:4:1] a 1\n\
              BH_ADD y [0:4:1] a 2\n\
-             BH_SYNC x\nBH_SYNC y\n",
-        );
+             BH_SYNC x\nBH_SYNC y\n");
         assert_eq!(n, 0); // different constants, different expressions
     }
 
     #[test]
     fn sliced_views_distinguish_expressions() {
-        let (_, n) = run(
-            "BH_IDENTITY a [0:8:1] 3\n\
+        let (_, n) = run("BH_IDENTITY a [0:8:1] 3\n\
              BH_MULTIPLY x [0:4:1] a [0:4:1] a [0:4:1]\n\
              BH_MULTIPLY y [0:4:1] a [4:8:1] a [4:8:1]\n\
-             BH_SYNC x\nBH_SYNC y\n",
-        );
+             BH_SYNC x\nBH_SYNC y\n");
         assert_eq!(n, 0);
     }
 }

@@ -78,7 +78,10 @@ mod tests {
         );
         assert_eq!(n, 1);
         assert_eq!(p.instrs().len(), 2);
-        assert_eq!(p.reg_by_name("b").map(|r| p.base(r).name.clone()).unwrap(), "b");
+        assert_eq!(
+            p.reg_by_name("b").map(|r| p.base(r).name.clone()).unwrap(),
+            "b"
+        );
     }
 
     #[test]
@@ -100,7 +103,10 @@ mod tests {
     fn overwritten_store_removed_under_both_policies() {
         for ctx in [
             RewriteCtx::default(),
-            RewriteCtx { live_at_exit: LiveAtExit::AllRegisters, ..RewriteCtx::default() },
+            RewriteCtx {
+                live_at_exit: LiveAtExit::AllRegisters,
+                ..RewriteCtx::default()
+            },
         ] {
             let (p, n) = run(
                 "BH_IDENTITY a [0:4:1] 1\n\

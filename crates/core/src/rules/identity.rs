@@ -24,8 +24,12 @@ impl RewriteRule for AlgebraicSimplify {
             if !instr.op.is_elementwise() || instr.op.arity() != 2 {
                 continue;
             }
-            let Some(out) = instr.out_view().cloned() else { continue };
-            let Some((const_pos, c)) = instr.sole_const_input() else { continue };
+            let Some(out) = instr.out_view().cloned() else {
+                continue;
+            };
+            let Some((const_pos, c)) = instr.sole_const_input() else {
+                continue;
+            };
             let other = instr.inputs()[1 - const_pos].clone();
             let dtype = program.base(out.reg).dtype;
             let c_typed = c.cast(dtype);
@@ -38,8 +42,8 @@ impl RewriteRule for AlgebraicSimplify {
                 .is_some_and(|e| e == c_typed && (op.is_commutative() || const_pos == 1));
             // `x + 0.0` flips the sign of -0.0; gate float add/sub-zero
             // behind fast_math. `x · 1`, `x / 1`, `x ^ 1` are IEEE-exact.
-            let identity_exact = !matches!(op, Opcode::Add | Opcode::Subtract)
-                || reassoc_allowed(ctx, dtype);
+            let identity_exact =
+                !matches!(op, Opcode::Add | Opcode::Subtract) || reassoc_allowed(ctx, dtype);
             if identity_applies && identity_exact {
                 program.instrs_mut()[idx] = if other
                     .as_view()
@@ -85,7 +89,9 @@ impl RewriteRule for TrivialCopyElision {
             if instr.op != Opcode::Identity {
                 continue;
             }
-            let Some(out) = instr.out_view() else { continue };
+            let Some(out) = instr.out_view() else {
+                continue;
+            };
             if let Some(input) = instr.inputs()[0].as_view() {
                 if views_equivalent(program, input, out)
                     && program.base(input.reg).dtype == program.base(out.reg).dtype
@@ -148,7 +154,10 @@ mod tests {
 
     #[test]
     fn strict_ieee_keeps_add_zero_on_floats() {
-        let strict = RewriteCtx { fast_math: false, ..RewriteCtx::default() };
+        let strict = RewriteCtx {
+            fast_math: false,
+            ..RewriteCtx::default()
+        };
         let (_, n) = apply(
             "BH_IDENTITY a0 [0:4:1] 5\nBH_ADD a0 a0 0\nBH_SYNC a0\n",
             &strict,
@@ -198,7 +207,7 @@ mod tests {
              BH_LOGICAL_AND m m true\n\
              BH_LOGICAL_OR m m true\n\
              BH_SYNC m\n",
-        &RewriteCtx::default(),
+            &RewriteCtx::default(),
         );
         // AND true is an identity (removed); OR true annihilates (fill).
         assert_eq!(n, 2);
@@ -228,10 +237,8 @@ mod tests {
 
     #[test]
     fn trivial_copy_elision() {
-        let mut p = parse_program(
-            "BH_IDENTITY a0 [0:4:1] 1\nBH_IDENTITY a0 a0\nBH_SYNC a0\n",
-        )
-        .unwrap();
+        let mut p =
+            parse_program("BH_IDENTITY a0 [0:4:1] 1\nBH_IDENTITY a0 a0\nBH_SYNC a0\n").unwrap();
         let n = TrivialCopyElision.apply(&mut p, &RewriteCtx::default());
         p.compact();
         assert_eq!(n, 1);

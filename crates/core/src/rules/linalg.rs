@@ -49,30 +49,38 @@ fn find_pattern(program: &Program, du: &DefUse) -> Option<(usize, usize)> {
         }
         // x = t @ B with t the *left* operand (A⁻¹B solves Ax = B; B·A⁻¹
         // would be the transposed system and is out of scope).
-        let Some(t) = mm.inputs()[0].as_view() else { continue };
-        let Some(b) = mm.inputs()[1].as_view() else { continue };
+        let Some(t) = mm.inputs()[0].as_view() else {
+            continue;
+        };
+        let Some(b) = mm.inputs()[1].as_view() else {
+            continue;
+        };
         if !is_full_view(program, t) {
             continue;
         }
         // Find the defining BH_INVERSE of t.
-        let Some(&inv_idx) = du.defs(t.reg).iter().filter(|&&d| d < mm_idx).next_back()
-        else {
+        let Some(&inv_idx) = du.defs(t.reg).iter().rfind(|&&d| d < mm_idx) else {
             continue;
         };
         let inv = &instrs[inv_idx];
         if inv.op != Opcode::Inverse {
             continue;
         }
-        let Some(inv_out) = inv.out_view() else { continue };
+        let Some(inv_out) = inv.out_view() else {
+            continue;
+        };
         if !is_full_view(program, inv_out) {
             continue;
         }
-        let Some(a) = inv.inputs()[0].as_view() else { continue };
+        let Some(a) = inv.inputs()[0].as_view() else {
+            continue;
+        };
         // Side condition 1: the inverse is used *only* by this matmul
         // (later BH_FREEs of t are fine — the value itself is not read).
-        let extra_use = du.uses(t.reg).iter().any(|&u| {
-            u != mm_idx && !matches!(instrs[u].op, Opcode::Free)
-        });
+        let extra_use = du
+            .uses(t.reg)
+            .iter()
+            .any(|&u| u != mm_idx && !matches!(instrs[u].op, Opcode::Free));
         if extra_use {
             continue;
         }
@@ -82,8 +90,7 @@ fn find_pattern(program: &Program, du: &DefUse) -> Option<(usize, usize)> {
             continue;
         }
         // Side condition 3: A and B unchanged between the two sites.
-        if du.written_between(a.reg, inv_idx, mm_idx)
-            || du.written_between(b.reg, inv_idx, mm_idx)
+        if du.written_between(a.reg, inv_idx, mm_idx) || du.written_between(b.reg, inv_idx, mm_idx)
         {
             continue;
         }
@@ -127,8 +134,7 @@ BH_SYNC x
     #[test]
     fn inverse_with_another_use_is_kept() {
         // The paper's side condition: A⁻¹ is used for something else.
-        let (p, n) = run(
-            ".base a f64[8,8] input
+        let (p, n) = run(".base a f64[8,8] input
 .base b f64[8] input
 .base t f64[8,8]
 .base x f64[8]
@@ -138,16 +144,14 @@ BH_MATMUL x t b
 BH_ADD y t t
 BH_SYNC x
 BH_SYNC y
-",
-        );
+");
         assert_eq!(n, 0);
         assert_eq!(p.count_op(Opcode::Inverse), 1);
     }
 
     #[test]
     fn freeing_the_inverse_afterwards_is_fine() {
-        let (p, n) = run(
-            ".base a f64[8,8] input
+        let (p, n) = run(".base a f64[8,8] input
 .base b f64[8] input
 .base t f64[8,8]
 .base x f64[8]
@@ -155,8 +159,7 @@ BH_INVERSE t a
 BH_MATMUL x t b
 BH_FREE t
 BH_SYNC x
-",
-        );
+");
         assert_eq!(n, 1);
         assert!(p.to_text(PrintStyle::COMPACT).contains("BH_SOLVE"));
     }
@@ -164,23 +167,20 @@ BH_SYNC x
     #[test]
     fn right_multiplication_is_out_of_scope() {
         // x = B @ A⁻¹ solves a transposed system; must not rewrite.
-        let (_, n) = run(
-            ".base a f64[8,8] input
+        let (_, n) = run(".base a f64[8,8] input
 .base b f64[8,8] input
 .base t f64[8,8]
 .base x f64[8,8]
 BH_INVERSE t a
 BH_MATMUL x b t
 BH_SYNC x
-",
-        );
+");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn modified_coefficient_matrix_blocks_rewrite() {
-        let (_, n) = run(
-            ".base a f64[8,8] input
+        let (_, n) = run(".base a f64[8,8] input
 .base b f64[8] input
 .base t f64[8,8]
 .base x f64[8]
@@ -188,31 +188,27 @@ BH_INVERSE t a
 BH_ADD a a 1
 BH_MATMUL x t b
 BH_SYNC x
-",
-        );
+");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn matrix_rhs_also_rewrites() {
-        let (p, n) = run(
-            ".base a f64[8,8] input
+        let (p, n) = run(".base a f64[8,8] input
 .base b f64[8,3] input
 .base t f64[8,8]
 .base x f64[8,3]
 BH_INVERSE t a
 BH_MATMUL x t b
 BH_SYNC x
-",
-        );
+");
         assert_eq!(n, 1);
         assert!(p.to_text(PrintStyle::COMPACT).contains("BH_SOLVE x a b"));
     }
 
     #[test]
     fn repeated_patterns_all_rewrite() {
-        let (p, n) = run(
-            ".base a f64[4,4] input
+        let (p, n) = run(".base a f64[4,4] input
 .base b f64[4] input
 .base c f64[4,4] input
 .base d f64[4] input
@@ -226,8 +222,7 @@ BH_INVERSE t2 c
 BH_MATMUL y t2 d
 BH_SYNC x
 BH_SYNC y
-",
-        );
+");
         assert_eq!(n, 2);
         assert_eq!(p.count_op(Opcode::Solve), 2);
     }

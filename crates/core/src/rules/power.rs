@@ -180,8 +180,7 @@ fn match_chain(program: &Program, idx: usize, ctx: &RewriteCtx) -> Option<(usize
         if !views_equivalent(program, out, acc) {
             break;
         }
-        let (Some(x), Some(y)) = (instr.inputs()[0].as_view(), instr.inputs()[1].as_view())
-        else {
+        let (Some(x), Some(y)) = (instr.inputs()[0].as_view(), instr.inputs()[1].as_view()) else {
             break;
         };
         let is_acc = |v: &ViewRef| views_equivalent(program, v, acc);
@@ -283,7 +282,10 @@ mod tests {
              BH_SYNC a1\n",
         )
         .unwrap();
-        let ctx = RewriteCtx { max_power_multiplies: 8, ..RewriteCtx::default() };
+        let ctx = RewriteCtx {
+            max_power_multiplies: 8,
+            ..RewriteCtx::default()
+        };
         assert_eq!(PowerExpansion.apply(&mut p, &ctx), 0);
         assert_eq!(p.count_op(Opcode::Power), 1);
     }
@@ -296,7 +298,10 @@ mod tests {
              BH_SYNC a1\n",
         )
         .unwrap();
-        let strict = RewriteCtx { fast_math: false, ..RewriteCtx::default() };
+        let strict = RewriteCtx {
+            fast_math: false,
+            ..RewriteCtx::default()
+        };
         assert_eq!(PowerExpansion.apply(&mut p, &strict), 0);
         // ... but expands integer powers even under strict IEEE.
         let mut p = parse_program(
@@ -312,9 +317,7 @@ mod tests {
     #[test]
     fn listing4_rerolls_then_expands_to_optimal() {
         // Listing 4: x^10 as nine multiplies.
-        let mut text = String::from(
-            "BH_IDENTITY a0 [0:100:1] 2\nBH_MULTIPLY a1 [0:100:1] a0 a0\n",
-        );
+        let mut text = String::from("BH_IDENTITY a0 [0:100:1] 2\nBH_MULTIPLY a1 [0:100:1] a0 a0\n");
         for _ in 0..8 {
             text.push_str("BH_MULTIPLY a1 a1 a0\n");
         }

@@ -120,9 +120,7 @@ mod tests {
 
     #[test]
     fn multiply_by_two_becomes_add() {
-        let (p, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\nBH_MULTIPLY a a 2\nBH_SYNC a\n",
-        );
+        let (p, n) = run("BH_IDENTITY a [0:4:1] 3\nBH_MULTIPLY a a 2\nBH_SYNC a\n");
         assert_eq!(n, 1);
         let text = p.to_text(PrintStyle::COMPACT);
         assert!(text.contains("BH_ADD a a a"), "{text}");
@@ -130,55 +128,47 @@ mod tests {
 
     #[test]
     fn float_divide_by_power_of_two_becomes_multiply() {
-        let (p, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\nBH_DIVIDE a a 8\nBH_SYNC a\n",
-        );
+        let (p, n) = run("BH_IDENTITY a [0:4:1] 3\nBH_DIVIDE a a 8\nBH_SYNC a\n");
         assert_eq!(n, 1);
-        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_MULTIPLY a a 0.125"));
+        assert!(p
+            .to_text(PrintStyle::COMPACT)
+            .contains("BH_MULTIPLY a a 0.125"));
     }
 
     #[test]
     fn float_divide_by_three_is_kept() {
-        let (_, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\nBH_DIVIDE a a 3\nBH_SYNC a\n",
-        );
+        let (_, n) = run("BH_IDENTITY a [0:4:1] 3\nBH_DIVIDE a a 3\nBH_SYNC a\n");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn unsigned_divide_becomes_shift() {
-        let (p, n) = run(
-            ".base a u32[4]\nBH_IDENTITY a 64\nBH_DIVIDE a a 16\nBH_SYNC a\n",
-        );
+        let (p, n) = run(".base a u32[4]\nBH_IDENTITY a 64\nBH_DIVIDE a a 16\nBH_SYNC a\n");
         assert_eq!(n, 1);
-        assert!(p.to_text(PrintStyle::COMPACT).contains("BH_RIGHT_SHIFT a a 4"));
+        assert!(p
+            .to_text(PrintStyle::COMPACT)
+            .contains("BH_RIGHT_SHIFT a a 4"));
     }
 
     #[test]
     fn signed_divide_is_kept() {
-        let (_, n) = run(
-            ".base a i32[4]\nBH_IDENTITY a -7\nBH_DIVIDE a a 4\nBH_SYNC a\n",
-        );
+        let (_, n) = run(".base a i32[4]\nBH_IDENTITY a -7\nBH_DIVIDE a a 4\nBH_SYNC a\n");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn constant_on_the_left_of_divide_is_kept() {
-        let (_, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\nBH_DIVIDE a 8 a\nBH_SYNC a\n",
-        );
+        let (_, n) = run("BH_IDENTITY a [0:4:1] 3\nBH_DIVIDE a 8 a\nBH_SYNC a\n");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn self_subtract_and_xor_fold_to_zero() {
-        let (p, n) = run(
-            ".base a i64[4]\n.base z i64[4]\n.base w i64[4]\n\
+        let (p, n) = run(".base a i64[4]\n.base z i64[4]\n.base w i64[4]\n\
              BH_IDENTITY a 9\n\
              BH_SUBTRACT z a a\n\
              BH_BITWISE_XOR w a a\n\
-             BH_SYNC z\nBH_SYNC w\n",
-        );
+             BH_SYNC z\nBH_SYNC w\n");
         assert_eq!(n, 2);
         assert_eq!(p.count_op(Opcode::Subtract), 0);
         assert_eq!(p.count_op(Opcode::BitwiseXor), 0);
@@ -186,20 +176,20 @@ mod tests {
 
     #[test]
     fn float_self_subtract_gated_by_fast_math() {
-        let mut p = parse_program(
-            "BH_IDENTITY a [0:4:1] 9\nBH_SUBTRACT z [0:4:1] a a\nBH_SYNC z\n",
-        )
-        .unwrap();
-        let strict = RewriteCtx { fast_math: false, ..RewriteCtx::default() };
+        let mut p =
+            parse_program("BH_IDENTITY a [0:4:1] 9\nBH_SUBTRACT z [0:4:1] a a\nBH_SYNC z\n")
+                .unwrap();
+        let strict = RewriteCtx {
+            fast_math: false,
+            ..RewriteCtx::default()
+        };
         assert_eq!(StrengthReduction.apply(&mut p, &strict), 0);
         assert_eq!(StrengthReduction.apply(&mut p, &RewriteCtx::default()), 1);
     }
 
     #[test]
     fn multiply_by_other_constants_kept() {
-        let (_, n) = run(
-            "BH_IDENTITY a [0:4:1] 3\nBH_MULTIPLY a a 3\nBH_SYNC a\n",
-        );
+        let (_, n) = run("BH_IDENTITY a [0:4:1] 3\nBH_MULTIPLY a a 3\nBH_SYNC a\n");
         assert_eq!(n, 0);
     }
 }

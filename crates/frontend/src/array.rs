@@ -57,13 +57,41 @@ impl BhArray {
     }
 
     /// Synchronise and materialise this array on the host (optimises and
-    /// executes the recorded program).
+    /// executes the recorded program, serving the optimised plan from the
+    /// runtime's transformation cache when the trace has been seen
+    /// before).
     ///
     /// # Errors
     ///
     /// Propagates validation/execution failures.
     pub fn eval(&self) -> Result<Tensor, VmError> {
         self.ctx.eval_reg(self.reg())
+    }
+
+    /// [`BhArray::eval`], additionally returning the
+    /// [`EvalOutcome`](bh_runtime::EvalOutcome) — the optimised plan, its
+    /// transformation report, this run's execution counters and whether
+    /// the plan came from the cache.
+    ///
+    /// ```
+    /// use bh_frontend::Context;
+    /// use bh_tensor::{DType, Shape};
+    ///
+    /// let ctx = Context::new();
+    /// let mut a = ctx.zeros(DType::Float64, Shape::vector(10));
+    /// a += 1.0;
+    /// a += 1.0;
+    /// let (t, outcome) = a.eval_outcome()?;
+    /// assert_eq!(t.to_f64_vec(), vec![2.0; 10]);
+    /// assert!(outcome.report().total_applications() >= 1);
+    /// # Ok::<(), bh_vm::VmError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation/execution failures.
+    pub fn eval_outcome(&self) -> Result<(Tensor, bh_runtime::EvalOutcome), VmError> {
+        self.ctx.eval_reg_outcome(self.reg())
     }
 
     // ---- recording helpers -------------------------------------------
@@ -92,12 +120,7 @@ impl BhArray {
             _ => promoted,
         };
         let out = self.fresh_like(out_dtype, out_shape);
-        self.record_binary(
-            op,
-            Operand::full(lhs.reg()),
-            Operand::full(rhs.reg()),
-            &out,
-        );
+        self.record_binary(op, Operand::full(lhs.reg()), Operand::full(rhs.reg()), &out);
         // Keep the cast temporaries alive until after the instruction is
         // recorded (their BH_FREE must come after the use).
         drop((lhs, rhs));
@@ -359,8 +382,7 @@ impl BhArray {
 }
 
 fn bh_linalg_result_shape(a: &Shape, b: &Shape) -> Shape {
-    bh_linalg::matmul_result_shape(a, b)
-        .expect("matmul operand shapes must be compatible")
+    bh_linalg::matmul_result_shape(a, b).expect("matmul operand shapes must be compatible")
 }
 
 macro_rules! float_unary_methods {

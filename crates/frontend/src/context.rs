@@ -2,30 +2,58 @@
 //!
 //! Every array operation appends byte-code to a growing program instead of
 //! computing anything. When a result is requested ([`crate::BhArray::eval`]
-//! or [`Context::flush`]), the context optimises a snapshot of the program
-//! with `bh-opt` and executes it on `bh-vm`, exactly like Bohrium's
-//! NumPy bridge intercepting calls and handing byte-code to the runtime.
+//! or [`Context::flush`]), the context snapshots the program and hands it
+//! to its [`Runtime`] — the single entry point owning the optimiser, the
+//! transformation cache, the VM pool and the aggregated statistics —
+//! exactly like Bohrium's NumPy bridge intercepting calls and handing
+//! byte-code to the runtime.
+//!
+//! A context is a *thin handle* over an `Arc<Runtime>`: many contexts (and
+//! threads) can share one runtime, so structurally identical traces
+//! recorded anywhere hit one shared transformation cache and aggregate
+//! into one [`bh_runtime::RuntimeStats`] snapshot.
 //!
 //! Execution uses *replay* semantics: each flush re-runs the whole recorded
-//! program on a fresh VM. All sources of data are deterministic (seeded
+//! program on a recycled VM. All sources of data are deterministic (seeded
 //! `BH_RANDOM`, bound host tensors), so replay is semantics-preserving.
+//! The `BH_SYNC` that makes an evaluated register observable is appended
+//! to the evaluation *snapshot*, not to the recording — so evaluating the
+//! same recorded sequence twice produces byte-for-byte identical snapshots
+//! and the second evaluation is a cache hit.
 
 use bh_ir::{Instruction, Opcode, PrintStyle, Program, Reg, ViewRef};
-use bh_opt::{OptOptions, OptReport, Optimizer};
+use bh_opt::OptOptions;
+use bh_runtime::{EvalOutcome, Runtime};
 use bh_tensor::{DType, Scalar, Shape, Tensor};
-use bh_vm::{Engine, ExecStats, Vm, VmError};
+use bh_vm::{Engine, VmError};
 use parking_lot::Mutex;
 use std::sync::{Arc, Weak};
 
 pub(crate) struct Inner {
     pub(crate) program: Program,
-    bound: Vec<(String, Tensor)>,
-    options: OptOptions,
-    engine: Engine,
-    threads: usize,
+    runtime: Arc<Runtime>,
+    // Arc'd so an evaluation can release the recording lock and hand the
+    // bindings to the runtime without deep-copying host tensors.
+    bound: Arc<Vec<(Reg, Tensor)>>,
     next_id: usize,
-    last_report: Option<OptReport>,
-    last_stats: Option<ExecStats>,
+    // (sequence, outcome): concurrent evals through one shared context
+    // finish in arbitrary order; the sequence keeps "last" = latest
+    // *started* rather than latest *finished*.
+    last_outcome: Option<(u64, EvalOutcome)>,
+    eval_seq: u64,
+}
+
+impl Inner {
+    fn next_eval_seq(&mut self) -> u64 {
+        self.eval_seq += 1;
+        self.eval_seq
+    }
+
+    fn store_outcome(&mut self, seq: u64, outcome: EvalOutcome) {
+        if self.last_outcome.as_ref().is_none_or(|(s, _)| *s < seq) {
+            self.last_outcome = Some((seq, outcome));
+        }
+    }
 }
 
 impl Inner {
@@ -82,6 +110,25 @@ impl std::fmt::Debug for RegGuard {
 /// assert_eq!(t.to_f64_vec(), vec![3.0; 10]);
 /// # Ok::<(), bh_vm::VmError>(())
 /// ```
+///
+/// Sharing one runtime (one cache, one stats aggregate) between contexts:
+///
+/// ```
+/// use bh_frontend::{Context, Runtime};
+/// use bh_tensor::{DType, Shape};
+///
+/// let rt = Runtime::builder().build_shared();
+/// let ctx1 = Context::with_runtime(rt.clone());
+/// let ctx2 = Context::with_runtime(rt.clone());
+/// let mut a = ctx1.zeros(DType::Float64, Shape::vector(4));
+/// a += 1.0;
+/// let mut b = ctx2.zeros(DType::Float64, Shape::vector(4));
+/// b += 1.0;
+/// a.eval()?;
+/// b.eval()?; // same structure → served from the shared cache
+/// assert_eq!(rt.stats().cache_hits, 1);
+/// # Ok::<(), bh_vm::VmError>(())
+/// ```
 #[derive(Clone)]
 pub struct Context {
     pub(crate) inner: Arc<Mutex<Inner>>,
@@ -106,41 +153,85 @@ impl std::fmt::Debug for Context {
 }
 
 impl Context {
-    /// A context with default (O2, fast-math) optimisation and the naive
-    /// engine — Bohrium's defaults per the paper's §4.
+    /// A context over its own default runtime (O2, fast-math, naive
+    /// engine — Bohrium's defaults per the paper's §4).
     pub fn new() -> Context {
-        Context::with_options(OptOptions::default())
+        Context::with_runtime(Runtime::builder().build_shared())
     }
 
-    /// A context with explicit optimisation options.
-    pub fn with_options(options: OptOptions) -> Context {
+    /// A context sharing an existing runtime. All contexts handed the same
+    /// `Arc` share one transformation cache and one stats aggregate.
+    pub fn with_runtime(runtime: Arc<Runtime>) -> Context {
         Context {
             inner: Arc::new(Mutex::new(Inner {
                 program: Program::new(),
-                bound: Vec::new(),
-                options,
-                engine: Engine::Naive,
-                threads: 1,
+                runtime,
+                bound: Arc::new(Vec::new()),
                 next_id: 0,
-                last_report: None,
-                last_stats: None,
+                last_outcome: None,
+                eval_seq: 0,
             })),
         }
     }
 
-    /// Select the execution engine (naive / fusing).
+    /// A context over a dedicated runtime with explicit optimisation
+    /// options. Prefer [`Context::with_runtime`] +
+    /// [`Runtime::builder`](bh_runtime::Runtime::builder) when you also
+    /// want a non-default engine, thread count or cache capacity.
+    pub fn with_options(options: OptOptions) -> Context {
+        Context::with_runtime(Runtime::builder().options(options).build_shared())
+    }
+
+    /// The runtime this context records for.
+    pub fn runtime(&self) -> Arc<Runtime> {
+        Arc::clone(&self.inner.lock().runtime)
+    }
+
+    /// Replace this context's runtime by a rebuilt one with a different
+    /// engine. The old runtime's cache/stats no longer apply to this
+    /// context.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a Runtime with the engine you want and use Context::with_runtime"
+    )]
     pub fn set_engine(&self, engine: Engine) {
-        self.inner.lock().engine = engine;
+        self.rebuild_runtime(|builder| builder.engine(engine));
     }
 
-    /// Set the worker-thread count for large element-wise operations.
+    /// Replace this context's runtime by a rebuilt one with a different
+    /// worker-thread count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure threads on Runtime::builder and use Context::with_runtime"
+    )]
     pub fn set_threads(&self, threads: usize) {
-        self.inner.lock().threads = threads.max(1);
+        self.rebuild_runtime(|builder| builder.threads(threads));
     }
 
-    /// Replace the optimisation options used at flush time.
+    /// Replace this context's runtime by a rebuilt one with different
+    /// optimisation options.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure options on Runtime::builder and use Context::with_runtime"
+    )]
     pub fn set_options(&self, options: OptOptions) {
-        self.inner.lock().options = options;
+        self.rebuild_runtime(|builder| builder.options(options));
+    }
+
+    fn rebuild_runtime(
+        &self,
+        tweak: impl FnOnce(bh_runtime::RuntimeBuilder) -> bh_runtime::RuntimeBuilder,
+    ) {
+        let mut inner = self.inner.lock();
+        let mut builder = Runtime::builder()
+            .options(inner.runtime.options().clone())
+            .engine(inner.runtime.engine())
+            .threads(inner.runtime.threads())
+            .cache_capacity(inner.runtime.cache_capacity());
+        if let Some(sink) = inner.runtime.stats_sink() {
+            builder = builder.stats_sink_shared(sink);
+        }
+        inner.runtime = tweak(builder).build_shared();
     }
 
     pub(crate) fn make_array(&self, dtype: DType, shape: Shape) -> crate::BhArray {
@@ -165,7 +256,11 @@ impl Context {
 
     /// Record `BH_IDENTITY target <value>`.
     pub(crate) fn fill(&self, reg: Reg, value: Scalar) {
-        self.push(Instruction::unary(Opcode::Identity, ViewRef::full(reg), value));
+        self.push(Instruction::unary(
+            Opcode::Identity,
+            ViewRef::full(reg),
+            value,
+        ));
     }
 
     /// All-zeros array, like `np.zeros`.
@@ -218,7 +313,7 @@ impl Context {
             .expect("fresh names never collide");
         let dtype = tensor.dtype();
         let shape = tensor.shape().clone();
-        inner.bound.push((name, tensor));
+        Arc::make_mut(&mut inner.bound).push((reg, tensor));
         drop(inner);
         crate::BhArray::from_parts(
             self.clone(),
@@ -241,60 +336,94 @@ impl Context {
         self.inner.lock().program.instrs().len()
     }
 
-    /// Optimise a snapshot of the recorded program and execute it,
-    /// returning the tensor value of `reg`.
+    /// Evaluate `reg`: snapshot the recording, append the `BH_SYNC` that
+    /// makes the register observable, and hand the snapshot to the
+    /// runtime (which serves the optimised plan from its cache when the
+    /// structure has been seen before).
     ///
     /// # Errors
     ///
-    /// Propagates validation or execution failures from the VM.
-    pub(crate) fn eval_reg(&self, reg: Reg) -> Result<Tensor, VmError> {
+    /// Propagates validation or execution failures from the runtime.
+    pub(crate) fn eval_reg_outcome(&self, reg: Reg) -> Result<(Tensor, EvalOutcome), VmError> {
         let mut inner = self.inner.lock();
-        // Record the sync that makes this register observable.
-        inner.program.push(Instruction::sync(ViewRef::full(reg)));
+        let seq = inner.next_eval_seq();
         let mut snapshot = inner.program.clone();
-        let optimizer = Optimizer::new(inner.options.clone());
-        let report = optimizer.run(&mut snapshot);
-        let mut vm = Vm::with_engine(inner.engine);
-        vm.set_threads(inner.threads);
-        for (name, tensor) in &inner.bound {
-            vm.bind_by_name(&snapshot, name, tensor)?;
-        }
-        vm.run(&snapshot)?;
-        let result = vm.read(&snapshot, reg)?;
-        inner.last_report = Some(report);
-        inner.last_stats = Some(*vm.stats());
-        Ok(result)
+        snapshot.push(Instruction::sync(ViewRef::full(reg)));
+        let runtime = Arc::clone(&inner.runtime);
+        // Release the recording lock while the runtime works, so sibling
+        // contexts on other threads keep recording/evaluating; the Arc
+        // clone shares, not copies, the bound host tensors.
+        let bound = Arc::clone(&inner.bound);
+        drop(inner);
+        let (value, outcome) = runtime.eval(&snapshot, &bound, reg)?;
+        self.inner.lock().store_outcome(seq, outcome.clone());
+        Ok((value, outcome))
     }
 
-    /// Force optimisation + execution of everything recorded (without
-    /// reading a result).
+    pub(crate) fn eval_reg(&self, reg: Reg) -> Result<Tensor, VmError> {
+        self.eval_reg_outcome(reg).map(|(tensor, _)| tensor)
+    }
+
+    /// Force optimisation + execution of everything recorded. Registers
+    /// not yet freed are treated as observable (transient `BH_SYNC`s are
+    /// appended to the snapshot), so their computation is not dead-code
+    /// eliminated.
     ///
     /// # Errors
     ///
-    /// Propagates validation or execution failures from the VM.
-    pub fn flush(&self) -> Result<(), VmError> {
+    /// Propagates validation or execution failures from the runtime.
+    pub fn flush(&self) -> Result<EvalOutcome, VmError> {
         let mut inner = self.inner.lock();
+        let seq = inner.next_eval_seq();
         let mut snapshot = inner.program.clone();
-        let optimizer = Optimizer::new(inner.options.clone());
-        let report = optimizer.run(&mut snapshot);
-        let mut vm = Vm::with_engine(inner.engine);
-        vm.set_threads(inner.threads);
-        for (name, tensor) in &inner.bound {
-            vm.bind_by_name(&snapshot, name, tensor)?;
+        let mut freed = vec![false; snapshot.bases().len()];
+        for instr in snapshot.instrs() {
+            if instr.op == Opcode::Free {
+                if let Some(v) = instr.operands.first().and_then(|o| o.as_view()) {
+                    freed[v.reg.index()] = true;
+                }
+            }
         }
-        vm.run(&snapshot)?;
-        inner.last_report = Some(report);
-        inner.last_stats = Some(*vm.stats());
-        Ok(())
+        for (index, freed) in freed.iter().enumerate() {
+            if !freed {
+                snapshot.push(Instruction::sync(ViewRef::full(Reg(index as u32))));
+            }
+        }
+        let runtime = Arc::clone(&inner.runtime);
+        let bound = Arc::clone(&inner.bound);
+        drop(inner);
+        let outcome = runtime.execute(&snapshot, &bound)?;
+        self.inner.lock().store_outcome(seq, outcome.clone());
+        Ok(outcome)
+    }
+
+    /// The [`EvalOutcome`] of the most recent evaluation or flush through
+    /// this context (prefer the outcome returned by
+    /// [`crate::BhArray::eval_outcome`] directly, and
+    /// [`Runtime::stats`](bh_runtime::Runtime::stats) for aggregates).
+    pub fn last_outcome(&self) -> Option<EvalOutcome> {
+        self.inner
+            .lock()
+            .last_outcome
+            .as_ref()
+            .map(|(_, o)| o.clone())
     }
 
     /// The optimisation report of the most recent flush.
-    pub fn last_report(&self) -> Option<OptReport> {
-        self.inner.lock().last_report.clone()
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BhArray::eval_outcome / Context::last_outcome; the report is outcome.report()"
+    )]
+    pub fn last_report(&self) -> Option<bh_opt::OptReport> {
+        self.last_outcome().map(|o| o.report().clone())
     }
 
     /// The execution statistics of the most recent flush.
-    pub fn last_stats(&self) -> Option<ExecStats> {
-        self.inner.lock().last_stats
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BhArray::eval_outcome / Context::last_outcome; per-run counters are outcome.exec"
+    )]
+    pub fn last_stats(&self) -> Option<bh_vm::ExecStats> {
+        self.last_outcome().map(|o| o.exec)
     }
 }

@@ -3,9 +3,12 @@
 //! The "programmer only has to change the import from numpy to bohrium"
 //! half of the paper: a NumPy-like array API whose operations record
 //! descriptive vector byte-code (`bh-ir`) instead of computing. On
-//! evaluation the recorded sequence is algebraically transformed
-//! (`bh-opt`) and executed (`bh-vm`) — so unchanged high-productivity code
-//! gets the optimised byte-code of Listings 3 and 5 automatically.
+//! evaluation the recorded sequence is handed to a [`Runtime`]
+//! (`bh-runtime`) that algebraically transforms it (`bh-opt`) — serving
+//! already-seen traces from its transformation cache — and executes it
+//! (`bh-vm`). Unchanged high-productivity code gets the optimised
+//! byte-code of Listings 3 and 5 automatically, and repeated traffic pays
+//! for the transformation only once.
 //!
 //! # Example — the paper's Listing 1
 //!
@@ -25,10 +28,13 @@
 //! assert!(text.contains("BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0"));
 //!
 //! // ... and evaluation optimises it to Listing 3 before running.
-//! let t = a.eval()?;
+//! let (t, outcome) = a.eval_outcome()?;
 //! assert_eq!(t.to_f64_vec(), vec![3.0; 10]);
-//! let report = ctx.last_report().unwrap();
-//! assert!(report.total_applications() >= 2); // the two merged adds
+//! assert!(outcome.report().total_applications() >= 2); // the merged adds
+//!
+//! // Evaluating the same trace again skips the rewrite fixpoint.
+//! let (_, again) = a.eval_outcome()?;
+//! assert!(again.cache_hit);
 //! # Ok::<(), bh_vm::VmError>(())
 //! ```
 
@@ -41,6 +47,8 @@ mod ops;
 
 pub use array::BhArray;
 pub use context::Context;
+// The runtime types a front-end user configures and inspects.
+pub use bh_runtime::{EvalOutcome, EvalPlan, Runtime, RuntimeBuilder, RuntimeStats};
 
 #[cfg(test)]
 mod tests {
@@ -67,10 +75,14 @@ BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0
 BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0
 ";
         assert_eq!(text, expected);
-        assert_eq!(f64s(&a.eval().unwrap()), vec![3.0; 10]);
+        let (t, outcome) = a.eval_outcome().unwrap();
+        assert_eq!(f64s(&t), vec![3.0; 10]);
         // Optimisation merged the adds.
-        let stats = ctx.last_stats().unwrap();
-        assert!(stats.kernels <= 2, "kernels: {}", stats.kernels);
+        assert!(
+            outcome.exec.kernels <= 2,
+            "kernels: {}",
+            outcome.exec.kernels
+        );
     }
 
     #[test]
@@ -86,10 +98,11 @@ BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0
         let ctx = Context::new();
         let x = ctx.full(DType::Float64, Shape::vector(8), Scalar::F64(2.0));
         let y = x.powi(10);
-        assert_eq!(f64s(&y.eval().unwrap()), vec![1024.0; 8]);
+        let (t, outcome) = y.eval_outcome().unwrap();
+        assert_eq!(f64s(&t), vec![1024.0; 8]);
         // Expansion: no BH_POWER survived in the optimised program.
-        let report = ctx.last_report().unwrap();
-        let fired: Vec<&str> = report
+        let fired: Vec<&str> = outcome
+            .report()
             .by_rule
             .iter()
             .filter(|(_, n)| *n > 0)
@@ -107,15 +120,15 @@ BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0
         let b = ctx.array(Tensor::from_vec(vec![3.0f64, 5.0]));
         // The "textbook" formulation: x = A^-1 · B.
         let x = a.inv().matmul(&b);
-        let t = x.eval().unwrap();
+        let (t, outcome) = x.eval_outcome().unwrap();
         assert!((t.to_f64_vec()[0] - 0.8).abs() < 1e-12);
         assert!((t.to_f64_vec()[1] - 1.4).abs() < 1e-12);
-        let report = ctx.last_report().unwrap();
-        let solved = report
+        let solved = outcome
+            .report()
             .by_rule
             .iter()
             .any(|(name, n)| name == "inverse-solve" && *n > 0);
-        assert!(solved, "{report}");
+        assert!(solved, "{}", outcome.report());
     }
 
     #[test]
@@ -215,14 +228,101 @@ BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0
 
     #[test]
     fn fused_engine_through_frontend() {
-        let ctx = Context::new();
-        ctx.set_engine(bh_vm::Engine::Fusing { block: 256 });
+        let rt = Runtime::builder()
+            .engine(bh_vm::Engine::Fusing { block: 256 })
+            .build_shared();
+        let ctx = Context::with_runtime(rt);
         let x = ctx.arange(DType::Float64, 1000);
         let y = ((&x * 2.0) + 3.0).sqrt();
-        let t = y.eval().unwrap();
+        let (t, outcome) = y.eval_outcome().unwrap();
         assert!((t.to_f64_vec()[499] - (2.0f64 * 499.0 + 3.0).sqrt()).abs() < 1e-12);
+        assert!(outcome.exec.fused_groups >= 1);
+    }
+
+    #[test]
+    fn contexts_sharing_a_runtime_share_cache_and_stats() {
+        let rt = Runtime::builder().build_shared();
+        let record = |seed: f64| {
+            let ctx = Context::with_runtime(rt.clone());
+            let mut a = ctx.zeros(DType::Float64, Shape::vector(16));
+            a += seed;
+            a += seed;
+            a
+        };
+        let a = record(2.0);
+        let b = record(2.0);
+        let (ta, oa) = a.eval_outcome().unwrap();
+        let (tb, ob) = b.eval_outcome().unwrap();
+        assert_eq!(f64s(&ta), f64s(&tb));
+        // Identical structure from a *different* context: cache hit.
+        assert!(!oa.cache_hit);
+        assert!(ob.cache_hit);
+        // ... and the stats snapshot aggregates both contexts' evals.
+        let stats = rt.stats();
+        assert_eq!(stats.evals, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        // A different constant is a different structure → distinct entry.
+        let c = record(3.0);
+        let (_, oc) = c.eval_outcome().unwrap();
+        assert!(!oc.cache_hit);
+    }
+
+    #[test]
+    fn repeated_eval_is_a_cache_hit() {
+        let ctx = Context::new();
+        let mut a = ctx.zeros(DType::Float64, Shape::vector(8));
+        a += 1.0;
+        let (_, first) = a.eval_outcome().unwrap();
+        let (_, second) = a.eval_outcome().unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit, "unchanged recording must re-use its plan");
+        // Recording more byte-code invalidates nothing — it's a new key.
+        a += 1.0;
+        let (t, third) = a.eval_outcome().unwrap();
+        assert_eq!(f64s(&t), vec![2.0; 8]);
+        assert!(!third.cache_hit);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let seen = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen2 = std::sync::Arc::clone(&seen);
+        let rt = Runtime::builder()
+            .cache_capacity(7)
+            .stats_sink(move |_| {
+                seen2.fetch_add(1, Ordering::SeqCst);
+            })
+            .build_shared();
+        let ctx = Context::with_runtime(rt);
+        ctx.set_engine(bh_vm::Engine::Fusing { block: 64 });
+        ctx.set_threads(2);
+        // The rebuild shims must round-trip the full configuration, not
+        // just options/engine/threads.
+        assert_eq!(ctx.runtime().cache_capacity(), 7);
+        assert!(ctx.runtime().stats_sink().is_some());
+        let x = ctx.arange(DType::Float64, 512);
+        let y = (&x + 1.0) * 2.0;
+        assert_eq!(f64s(&y.eval().unwrap())[0], 2.0);
+        let report = ctx.last_report().unwrap();
+        assert!(report.total_applications() < 100);
         let stats = ctx.last_stats().unwrap();
-        assert!(stats.fused_groups >= 1);
+        assert!(stats.fused_groups >= 1, "{stats}");
+        // ... and the original sink still observed the eval.
+        assert!(seen.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn flush_executes_everything_recorded() {
+        let ctx = Context::new();
+        let a = ctx.ones(DType::Float64, Shape::vector(4));
+        let b = &a + 1.0;
+        let outcome = ctx.flush().unwrap();
+        assert!(outcome.exec.kernels >= 1);
+        // Live registers were treated as observable, not dead-code.
+        assert_eq!(f64s(&b.eval().unwrap()), vec![2.0; 4]);
     }
 
     #[test]

@@ -29,7 +29,7 @@ impl DefUse {
                 defs[r.index()].push(i);
             }
             for r in instr.input_regs() {
-                if !uses[r.index()].last().is_some_and(|&last| last == i) {
+                if uses[r.index()].last().is_none_or(|&last| last != i) {
                     uses[r.index()].push(i);
                 }
             }
@@ -147,11 +147,13 @@ pub fn is_full_write(program: &Program, instr: &Instruction) -> bool {
     match instr.out_view() {
         None => false,
         Some(v) => match program.resolve_view(v) {
-            Ok(geom) => geom.nelem() == program.base(v.reg).shape.nelem() && {
-                // Same element count and contiguity from offset 0 ⇒ covers
-                // the base exactly.
-                geom.offset() == 0 && geom.is_contiguous()
-            },
+            Ok(geom) => {
+                geom.nelem() == program.base(v.reg).shape.nelem() && {
+                    // Same element count and contiguity from offset 0 ⇒ covers
+                    // the base exactly.
+                    geom.offset() == 0 && geom.is_contiguous()
+                }
+            }
             Err(_) => false,
         },
     }

@@ -29,7 +29,10 @@ impl Instruction {
 
     /// `op out, a` — unary element-wise / generator-with-arg.
     pub fn unary(op: Opcode, out: ViewRef, a: impl Into<Operand>) -> Instruction {
-        Instruction { op, operands: vec![Operand::View(out), a.into()] }
+        Instruction {
+            op,
+            operands: vec![Operand::View(out), a.into()],
+        }
     }
 
     /// `op out, a, b` — binary element-wise, reduction, scan or 2-input
@@ -40,28 +43,43 @@ impl Instruction {
         a: impl Into<Operand>,
         b: impl Into<Operand>,
     ) -> Instruction {
-        Instruction { op, operands: vec![Operand::View(out), a.into(), b.into()] }
+        Instruction {
+            op,
+            operands: vec![Operand::View(out), a.into(), b.into()],
+        }
     }
 
     /// `BH_SYNC target`.
     pub fn sync(target: ViewRef) -> Instruction {
-        Instruction { op: Opcode::Sync, operands: vec![Operand::View(target)] }
+        Instruction {
+            op: Opcode::Sync,
+            operands: vec![Operand::View(target)],
+        }
     }
 
     /// `BH_FREE target`.
     pub fn free(target: ViewRef) -> Instruction {
-        Instruction { op: Opcode::Free, operands: vec![Operand::View(target)] }
+        Instruction {
+            op: Opcode::Free,
+            operands: vec![Operand::View(target)],
+        }
     }
 
     /// `BH_NONE` — the no-op left behind by rewrites before dead-code
     /// elimination sweeps it away.
     pub fn noop() -> Instruction {
-        Instruction { op: Opcode::NoOp, operands: Vec::new() }
+        Instruction {
+            op: Opcode::NoOp,
+            operands: Vec::new(),
+        }
     }
 
     /// `BH_RANGE out`.
     pub fn range(out: ViewRef) -> Instruction {
-        Instruction { op: Opcode::Range, operands: vec![Operand::View(out)] }
+        Instruction {
+            op: Opcode::Range,
+            operands: vec![Operand::View(out)],
+        }
     }
 
     /// The result view, for ops that produce data.

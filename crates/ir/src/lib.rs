@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+mod digest;
 mod instr;
 mod opcode;
 mod operand;
@@ -40,6 +41,7 @@ mod program;
 pub mod validate;
 
 pub use analysis::{is_full_write, DefUse, Liveness};
+pub use digest::ProgramDigest;
 pub use instr::Instruction;
 pub use opcode::{OpKind, Opcode, OpcodeTypeError, ParseOpcodeError, TypeRule, ALL_OPCODES};
 pub use operand::{Operand, Reg, ViewRef};

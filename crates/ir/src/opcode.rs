@@ -265,8 +265,12 @@ impl Opcode {
     /// The constant `e` with `x ⊕ e == x`, if the op has a right identity.
     pub fn identity_scalar(self, dtype: DType) -> Option<Scalar> {
         match self {
-            Opcode::Add | Opcode::Subtract | Opcode::BitwiseOr | Opcode::BitwiseXor
-            | Opcode::LeftShift | Opcode::RightShift => Some(Scalar::zero(dtype)),
+            Opcode::Add
+            | Opcode::Subtract
+            | Opcode::BitwiseOr
+            | Opcode::BitwiseXor
+            | Opcode::LeftShift
+            | Opcode::RightShift => Some(Scalar::zero(dtype)),
             Opcode::Multiply | Opcode::Divide | Opcode::Power => Some(Scalar::one(dtype)),
             Opcode::LogicalOr | Opcode::LogicalXor => Some(Scalar::Bool(false)),
             Opcode::LogicalAnd => Some(Scalar::Bool(true)),
@@ -343,29 +347,65 @@ impl Opcode {
     pub const fn unit_cost(self) -> u64 {
         match self {
             Opcode::Identity | Opcode::NoOp | Opcode::Sync | Opcode::Free => 1,
-            Opcode::Add | Opcode::Subtract | Opcode::Maximum | Opcode::Minimum
-            | Opcode::BitwiseAnd | Opcode::BitwiseOr | Opcode::BitwiseXor
-            | Opcode::LeftShift | Opcode::RightShift | Opcode::LogicalAnd
-            | Opcode::LogicalOr | Opcode::LogicalXor | Opcode::LogicalNot
-            | Opcode::Invert | Opcode::Absolute | Opcode::Sign
-            | Opcode::Greater | Opcode::GreaterEqual | Opcode::Less
-            | Opcode::LessEqual | Opcode::Equal | Opcode::NotEqual
-            | Opcode::IsNan | Opcode::IsInf | Opcode::Ceil | Opcode::Floor
-            | Opcode::Trunc | Opcode::Rint => 1,
+            Opcode::Add
+            | Opcode::Subtract
+            | Opcode::Maximum
+            | Opcode::Minimum
+            | Opcode::BitwiseAnd
+            | Opcode::BitwiseOr
+            | Opcode::BitwiseXor
+            | Opcode::LeftShift
+            | Opcode::RightShift
+            | Opcode::LogicalAnd
+            | Opcode::LogicalOr
+            | Opcode::LogicalXor
+            | Opcode::LogicalNot
+            | Opcode::Invert
+            | Opcode::Absolute
+            | Opcode::Sign
+            | Opcode::Greater
+            | Opcode::GreaterEqual
+            | Opcode::Less
+            | Opcode::LessEqual
+            | Opcode::Equal
+            | Opcode::NotEqual
+            | Opcode::IsNan
+            | Opcode::IsInf
+            | Opcode::Ceil
+            | Opcode::Floor
+            | Opcode::Trunc
+            | Opcode::Rint => 1,
             Opcode::Multiply => 1,
             Opcode::Divide | Opcode::Mod => 4,
             Opcode::Sqrt => 6,
-            Opcode::Exp | Opcode::Exp2 | Opcode::Expm1 | Opcode::Log
-            | Opcode::Log2 | Opcode::Log10 | Opcode::Log1p | Opcode::Sin
-            | Opcode::Cos | Opcode::Tan | Opcode::Sinh | Opcode::Cosh
-            | Opcode::Tanh | Opcode::Arcsin | Opcode::Arccos | Opcode::Arctan
-            | Opcode::Arcsinh | Opcode::Arccosh | Opcode::Arctanh
+            Opcode::Exp
+            | Opcode::Exp2
+            | Opcode::Expm1
+            | Opcode::Log
+            | Opcode::Log2
+            | Opcode::Log10
+            | Opcode::Log1p
+            | Opcode::Sin
+            | Opcode::Cos
+            | Opcode::Tan
+            | Opcode::Sinh
+            | Opcode::Cosh
+            | Opcode::Tanh
+            | Opcode::Arcsin
+            | Opcode::Arccos
+            | Opcode::Arctan
+            | Opcode::Arcsinh
+            | Opcode::Arccosh
+            | Opcode::Arctanh
             | Opcode::Arctan2 => 20,
             // pow(x, y) via exp/log on the slow path — the cost the paper's
             // §4 benchmark claim hinges on.
             Opcode::Power => 40,
-            Opcode::AddReduce | Opcode::MultiplyReduce | Opcode::MinimumReduce
-            | Opcode::MaximumReduce | Opcode::AddAccumulate
+            Opcode::AddReduce
+            | Opcode::MultiplyReduce
+            | Opcode::MinimumReduce
+            | Opcode::MaximumReduce
+            | Opcode::AddAccumulate
             | Opcode::MultiplyAccumulate => 1,
             Opcode::Range | Opcode::Random => 2,
             // LinAlg ops are super-linear; cost handled separately by the
@@ -436,7 +476,13 @@ mod tests {
     #[test]
     fn paper_opcodes_present() {
         // Every op-code appearing in the paper's listings or prose.
-        for name in ["BH_IDENTITY", "BH_ADD", "BH_SYNC", "BH_MULTIPLY", "BH_POWER"] {
+        for name in [
+            "BH_IDENTITY",
+            "BH_ADD",
+            "BH_SYNC",
+            "BH_MULTIPLY",
+            "BH_POWER",
+        ] {
             assert!(name.parse::<Opcode>().is_ok(), "{name}");
         }
     }
@@ -480,10 +526,27 @@ mod tests {
     fn identities_are_identities() {
         // x + 0 == x, x * 1 == x, x ^ 1 == x over f64 samples.
         let x = 3.7f64;
-        assert_eq!(x + Opcode::Add.identity_scalar(DType::Float64).unwrap().as_f64(), x);
-        assert_eq!(x * Opcode::Multiply.identity_scalar(DType::Float64).unwrap().as_f64(), x);
         assert_eq!(
-            x.powf(Opcode::Power.identity_scalar(DType::Float64).unwrap().as_f64()),
+            x + Opcode::Add
+                .identity_scalar(DType::Float64)
+                .unwrap()
+                .as_f64(),
+            x
+        );
+        assert_eq!(
+            x * Opcode::Multiply
+                .identity_scalar(DType::Float64)
+                .unwrap()
+                .as_f64(),
+            x
+        );
+        assert_eq!(
+            x.powf(
+                Opcode::Power
+                    .identity_scalar(DType::Float64)
+                    .unwrap()
+                    .as_f64()
+            ),
             x
         );
         assert_eq!(Opcode::Greater.identity_scalar(DType::Float64), None);
@@ -498,12 +561,21 @@ mod tests {
 
     #[test]
     fn type_rules() {
-        assert_eq!(Opcode::Add.result_dtype(DType::Float64).unwrap(), DType::Float64);
-        assert_eq!(Opcode::Greater.result_dtype(DType::Int32).unwrap(), DType::Bool);
+        assert_eq!(
+            Opcode::Add.result_dtype(DType::Float64).unwrap(),
+            DType::Float64
+        );
+        assert_eq!(
+            Opcode::Greater.result_dtype(DType::Int32).unwrap(),
+            DType::Bool
+        );
         assert!(Opcode::Sqrt.result_dtype(DType::Int32).is_err());
         assert!(Opcode::LogicalAnd.result_dtype(DType::Float64).is_err());
         assert!(Opcode::BitwiseAnd.result_dtype(DType::Float32).is_err());
-        assert_eq!(Opcode::BitwiseAnd.result_dtype(DType::Bool).unwrap(), DType::Bool);
+        assert_eq!(
+            Opcode::BitwiseAnd.result_dtype(DType::Bool).unwrap(),
+            DType::Bool
+        );
         for &d in &ALL_DTYPES {
             assert!(Opcode::Identity.result_dtype(d).is_ok());
         }

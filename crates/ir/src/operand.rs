@@ -46,7 +46,10 @@ impl ViewRef {
 
     /// A sliced view of `reg`.
     pub fn sliced(reg: Reg, slices: Vec<Slice>) -> ViewRef {
-        ViewRef { reg, slices: Some(slices) }
+        ViewRef {
+            reg,
+            slices: Some(slices),
+        }
     }
 
     /// True when this view covers the entire base (explicitly or by
@@ -173,10 +176,7 @@ mod tests {
 
     #[test]
     fn multi_axis_display() {
-        let v = ViewRef::sliced(
-            Reg(2),
-            vec![Slice::range(1, 3), Slice::new(None, None, 2)],
-        );
+        let v = ViewRef::sliced(Reg(2), vec![Slice::range(1, 3), Slice::new(None, None, 2)]);
         assert_eq!(v.to_string(), "r2[1:3:1,::2]");
     }
 

@@ -37,7 +37,10 @@ pub struct ParseOptions {
 
 impl Default for ParseOptions {
     fn default() -> ParseOptions {
-        ParseOptions { default_dtype: DType::Float64, default_shape: None }
+        ParseOptions {
+            default_dtype: DType::Float64,
+            default_shape: None,
+        }
     }
 }
 
@@ -191,7 +194,10 @@ enum Token {
 }
 
 fn tokenize(line: &str, lineno: usize) -> Result<Vec<Token>, ParseError> {
-    let err = |m: String| ParseError { line: lineno, message: m };
+    let err = |m: String| ParseError {
+        line: lineno,
+        message: m,
+    };
     let mut tokens = Vec::new();
     let mut rest = line.trim();
     let mut first = true;
@@ -217,9 +223,7 @@ fn tokenize(line: &str, lineno: usize) -> Result<Vec<Token>, ParseError> {
             continue;
         }
         if first {
-            let op: Opcode = word
-                .parse()
-                .map_err(|e| err(format!("{e}")))?;
+            let op: Opcode = word.parse().map_err(|e| err(format!("{e}")))?;
             tokens.push(Token::Mnemonic(op));
             first = false;
         } else if word
@@ -229,15 +233,10 @@ fn tokenize(line: &str, lineno: usize) -> Result<Vec<Token>, ParseError> {
             || word == "true"
             || word == "false"
         {
-            let c: Scalar = word
-                .parse()
-                .map_err(|e| err(format!("{e}")))?;
+            let c: Scalar = word.parse().map_err(|e| err(format!("{e}")))?;
             tokens.push(Token::Const(c));
         } else {
-            if !word
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_')
-            {
+            if !word.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                 return Err(err(format!("invalid register name `{word}`")));
             }
             tokens.push(Token::Ident(word.to_owned()));
@@ -253,7 +252,10 @@ fn tokenize(line: &str, lineno: usize) -> Result<Vec<Token>, ParseError> {
 }
 
 fn parse_slices(inner: &str, lineno: usize) -> Result<Vec<Slice>, ParseError> {
-    let err = |m: String| ParseError { line: lineno, message: m };
+    let err = |m: String| ParseError {
+        line: lineno,
+        message: m,
+    };
     inner
         .split(',')
         .map(|axis| {
@@ -271,17 +273,17 @@ fn parse_slices(inner: &str, lineno: usize) -> Result<Vec<Slice>, ParseError> {
             };
             match parts.len() {
                 1 => {
-                    let idx = parse_part(parts[0])?
-                        .ok_or_else(|| err("empty slice".into()))?;
+                    let idx = parse_part(parts[0])?.ok_or_else(|| err("empty slice".into()))?;
                     Ok(Slice::index(idx))
                 }
                 2 => Ok(Slice::new(parse_part(parts[0])?, parse_part(parts[1])?, 1)),
                 3 => {
-                    let step = match parse_part(parts[2])? {
-                        None => 1,
-                        Some(s) => s,
-                    };
-                    Ok(Slice::new(parse_part(parts[0])?, parse_part(parts[1])?, step))
+                    let step = parse_part(parts[2])?.unwrap_or(1);
+                    Ok(Slice::new(
+                        parse_part(parts[0])?,
+                        parse_part(parts[1])?,
+                        step,
+                    ))
                 }
                 _ => Err(err(format!("malformed slice `{axis}`"))),
             }
@@ -405,7 +407,10 @@ BH_SYNC a0
         };
         let p = parse_program_with(text, &opts).unwrap();
         assert_eq!(p.instrs().len(), 3);
-        assert_eq!(p.base(p.reg_by_name("a0").unwrap()).shape, Shape::vector(10));
+        assert_eq!(
+            p.base(p.reg_by_name("a0").unwrap()).shape,
+            Shape::vector(10)
+        );
     }
 
     #[test]

@@ -88,7 +88,12 @@ impl Program {
         }
         let reg = Reg(self.bases.len() as u32);
         self.names.insert(name.to_owned(), reg);
-        self.bases.push(BaseDecl { name: name.to_owned(), dtype, shape, is_input });
+        self.bases.push(BaseDecl {
+            name: name.to_owned(),
+            dtype,
+            shape,
+            is_input,
+        });
         Some(reg)
     }
 
@@ -311,11 +316,20 @@ pub struct PrintStyle {
 
 impl PrintStyle {
     /// Listing 2 style: explicit views, no declarations.
-    pub const LISTING: PrintStyle = PrintStyle { decls: false, explicit_views: true };
+    pub const LISTING: PrintStyle = PrintStyle {
+        decls: false,
+        explicit_views: true,
+    };
     /// Listing 3–5 style: views elided.
-    pub const COMPACT: PrintStyle = PrintStyle { decls: false, explicit_views: false };
+    pub const COMPACT: PrintStyle = PrintStyle {
+        decls: false,
+        explicit_views: false,
+    };
     /// Round-trippable: declarations + explicit views.
-    pub const FULL: PrintStyle = PrintStyle { decls: true, explicit_views: true };
+    pub const FULL: PrintStyle = PrintStyle {
+        decls: true,
+        explicit_views: true,
+    };
 }
 
 impl fmt::Display for Program {
@@ -337,7 +351,11 @@ impl ProgramBuilder {
     /// Start a builder whose registers share one dtype and shape, matching
     /// the paper's "the view is the same for all registers" convention.
     pub fn new(dtype: DType, shape: Shape) -> ProgramBuilder {
-        ProgramBuilder { program: Program::new(), dtype, shape }
+        ProgramBuilder {
+            program: Program::new(),
+            dtype,
+            shape,
+        }
     }
 
     /// Declare (or fetch) a register by name.
@@ -360,8 +378,11 @@ impl ProgramBuilder {
 
     /// `BH_IDENTITY out <const>` — initialise a register.
     pub fn identity_const(&mut self, out: Reg, value: Scalar) -> &mut Self {
-        self.program
-            .push(Instruction::unary(Opcode::Identity, ViewRef::full(out), value));
+        self.program.push(Instruction::unary(
+            Opcode::Identity,
+            ViewRef::full(out),
+            value,
+        ));
         self
     }
 
@@ -373,13 +394,15 @@ impl ProgramBuilder {
         a: impl Into<Operand>,
         b: impl Into<Operand>,
     ) -> &mut Self {
-        self.program.push(Instruction::binary(op, ViewRef::full(out), a, b));
+        self.program
+            .push(Instruction::binary(op, ViewRef::full(out), a, b));
         self
     }
 
     /// Unary op on full views / constants.
     pub fn unary(&mut self, op: Opcode, out: Reg, a: impl Into<Operand>) -> &mut Self {
-        self.program.push(Instruction::unary(op, ViewRef::full(out), a));
+        self.program
+            .push(Instruction::unary(op, ViewRef::full(out), a));
         self
     }
 
@@ -423,7 +446,9 @@ mod tests {
         assert_eq!(p.reg_by_name("a0"), Some(r));
         assert_eq!(p.base(r).name, "a0");
         assert!(!p.base(r).is_input);
-        assert!(p.try_declare("a0", DType::Float64, Shape::vector(4), false).is_none());
+        assert!(p
+            .try_declare("a0", DType::Float64, Shape::vector(4), false)
+            .is_none());
     }
 
     #[test]
@@ -498,7 +523,10 @@ BH_SYNC a0 [0:10:1]
         let mut p = Program::new();
         let r = p.declare("a0", DType::Int32, Shape::vector(2));
         assert_eq!(p.operand_dtype(&Operand::full(r)), DType::Int32);
-        assert_eq!(p.operand_dtype(&Operand::from(Scalar::F64(1.0))), DType::Float64);
+        assert_eq!(
+            p.operand_dtype(&Operand::from(Scalar::F64(1.0))),
+            DType::Float64
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub fn validate(program: &Program) -> Result<(), Vec<ValidationError>> {
     }
     for (i, instr) in program.instrs().iter().enumerate() {
         if let Err(msg) = validate_instr(program, instr) {
-            errors.push(ValidationError { instr: i, message: msg });
+            errors.push(ValidationError {
+                instr: i,
+                message: msg,
+            });
         }
         // Read-before-write (skip FREE: freeing an unwritten base is legal).
         if instr.op != Opcode::Free {
@@ -173,9 +176,7 @@ fn validate_elementwise(
     }
     // With only constants, the output dtype governs.
     let in_dtype = in_view_dtype.unwrap_or(out_dtype);
-    let result = op
-        .result_dtype(in_dtype)
-        .map_err(|e| e.to_string())?;
+    let result = op.result_dtype(in_dtype).map_err(|e| e.to_string())?;
     let expected_out = if op.type_rule() == crate::opcode::TypeRule::Cast {
         out_dtype // BH_IDENTITY casts to whatever the output is
     } else {
@@ -239,7 +240,9 @@ fn validate_scan(op: Opcode, instr: &Instruction, shapes: &[Option<Shape>]) -> R
     }
     let out_shape = shapes[0].as_ref().expect("output is a view");
     if out_shape != in_shape {
-        return Err(format!("scan preserves shape: output {out_shape} vs input {in_shape}"));
+        return Err(format!(
+            "scan preserves shape: output {out_shape} vs input {in_shape}"
+        ));
     }
     Ok(())
 }
@@ -311,7 +314,11 @@ fn validate_linalg(
                 return Err("BH_TRANSPOSE operates on matrices".into());
             }
             if out.dim(0) != a.dim(1) || out.dim(1) != a.dim(0) {
-                return Err(format!("BH_TRANSPOSE output shape {out} should be ({},{})", a.dim(1), a.dim(0)));
+                return Err(format!(
+                    "BH_TRANSPOSE output shape {out} should be ({},{})",
+                    a.dim(1),
+                    a.dim(0)
+                ));
             }
             Ok(())
         }
@@ -328,7 +335,9 @@ fn validate_linalg(
         Opcode::Solve => {
             let (out, a, b) = (shape(0), shape(1), shape(2));
             if !is_square(&a) {
-                return Err(format!("BH_SOLVE coefficient matrix must be square, found {a}"));
+                return Err(format!(
+                    "BH_SOLVE coefficient matrix must be square, found {a}"
+                ));
             }
             let n = a.dim(0);
             let b_rows = match b.rank() {
@@ -352,13 +361,9 @@ fn reduce_axis_const(instr: &Instruction) -> Result<usize, String> {
     let c = instr.operands[2]
         .as_const()
         .ok_or("axis operand must be a constant")?;
-    let v = c
-        .as_integral()
-        .ok_or("axis operand must be integral")?;
+    let v = c.as_integral().ok_or("axis operand must be integral")?;
     usize::try_from(v).map_err(|_| "axis operand must be non-negative".into())
 }
-
-
 
 fn is_square(s: &Shape) -> bool {
     s.rank() == 2 && s.dim(0) == s.dim(1)

@@ -57,7 +57,9 @@ mod tests {
     fn display_messages() {
         let e = LinalgError::Singular { column: 2 };
         assert_eq!(e.to_string(), "matrix is singular: zero pivot in column 2");
-        let e = LinalgError::NotSquare { shape: Shape::from([2, 3]) };
+        let e = LinalgError::NotSquare {
+            shape: Shape::from([2, 3]),
+        };
         assert!(e.to_string().contains("(2,3)"));
     }
 }

@@ -99,7 +99,12 @@ mod tests {
     use bh_tensor::{random_tensor, Distribution, Scalar, Shape};
 
     fn random_well_conditioned(n: usize, seed: u64) -> Tensor {
-        let mut t = random_tensor(DType::Float64, Shape::matrix(n, n), seed, Distribution::Uniform);
+        let mut t = random_tensor(
+            DType::Float64,
+            Shape::matrix(n, n),
+            seed,
+            Distribution::Uniform,
+        );
         for i in 0..n {
             let v = t.get(&[i, i]).unwrap().as_f64();
             t.set(&[i, i], Scalar::F64(v + n as f64)).unwrap();
@@ -113,7 +118,10 @@ mod tests {
             let a = random_well_conditioned(n, n as u64);
             let inv = inverse(&a).unwrap();
             let prod = matmul(&a, &inv).unwrap();
-            assert!(prod.allclose(&Tensor::eye(DType::Float64, n), 1e-9), "n={n}");
+            assert!(
+                prod.allclose(&Tensor::eye(DType::Float64, n), 1e-9),
+                "n={n}"
+            );
         }
     }
 
@@ -123,10 +131,19 @@ mod tests {
         for seed in 0..5u64 {
             let n = 10;
             let a = random_well_conditioned(n, seed);
-            let b = random_tensor(DType::Float64, Shape::vector(n), seed + 50, Distribution::Uniform);
+            let b = random_tensor(
+                DType::Float64,
+                Shape::vector(n),
+                seed + 50,
+                Distribution::Uniform,
+            );
             let x1 = solve_via_inverse(&a, &b).unwrap();
             let x2 = solve_lu(&a, &b).unwrap();
-            assert!(x1.allclose(&x2, 1e-9), "seed {seed}: {}", x1.max_abs_diff(&x2));
+            assert!(
+                x1.allclose(&x2, 1e-9),
+                "seed {seed}: {}",
+                x1.max_abs_diff(&x2)
+            );
         }
     }
 
@@ -134,7 +151,12 @@ mod tests {
     fn both_solvers_agree_matrix_rhs() {
         let n = 8;
         let a = random_well_conditioned(n, 7);
-        let b = random_tensor(DType::Float64, Shape::matrix(n, 4), 77, Distribution::Uniform);
+        let b = random_tensor(
+            DType::Float64,
+            Shape::matrix(n, 4),
+            77,
+            Distribution::Uniform,
+        );
         let x1 = solve_via_inverse(&a, &b).unwrap();
         let x2 = solve_lu(&a, &b).unwrap();
         assert_eq!(x1.shape(), &Shape::matrix(n, 4));

@@ -87,7 +87,12 @@ impl LuFactorization {
                 }
             }
         }
-        Ok(LuFactorization { n, packed, perm, swaps })
+        Ok(LuFactorization {
+            n,
+            packed,
+            perm,
+            swaps,
+        })
     }
 
     /// Matrix dimension `n`.
@@ -152,7 +157,9 @@ impl LuFactorization {
             }
         }
         Tensor::from_shape_vec(Shape::matrix(self.n, k), out).map_err(|_| {
-            LinalgError::DimensionMismatch { constraint: "internal shape bookkeeping".into() }
+            LinalgError::DimensionMismatch {
+                constraint: "internal shape bookkeeping".into(),
+            }
         })
     }
 
@@ -163,8 +170,8 @@ impl LuFactorization {
         let mut y = vec![0.0f64; n];
         for i in 0..n {
             let mut s = b[self.perm[i]];
-            for j in 0..i {
-                s -= self.packed[i * n + j] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.packed[i * n + j] * yj;
             }
             y[i] = s;
         }
@@ -172,8 +179,8 @@ impl LuFactorization {
         let mut x = vec![0.0f64; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in i + 1..n {
-                s -= self.packed[i * n + j] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.packed[i * n + j] * xj;
             }
             x[i] = s / self.packed[i * n + i];
         }
@@ -231,10 +238,16 @@ mod tests {
 
     fn random_spd_ish(n: usize, seed: u64) -> Tensor {
         // Random + n·I: comfortably non-singular.
-        let mut t = random_tensor(DType::Float64, Shape::matrix(n, n), seed, Distribution::Uniform);
+        let mut t = random_tensor(
+            DType::Float64,
+            Shape::matrix(n, n),
+            seed,
+            Distribution::Uniform,
+        );
         for i in 0..n {
             let v = t.get(&[i, i]).unwrap().as_f64();
-            t.set(&[i, i], bh_tensor::Scalar::F64(v + n as f64)).unwrap();
+            t.set(&[i, i], bh_tensor::Scalar::F64(v + n as f64))
+                .unwrap();
         }
         t
     }
@@ -268,7 +281,12 @@ mod tests {
         for seed in 0..5u64 {
             let n = 16;
             let a = random_spd_ish(n, seed);
-            let b = random_tensor(DType::Float64, Shape::vector(n), seed + 100, Distribution::Uniform);
+            let b = random_tensor(
+                DType::Float64,
+                Shape::vector(n),
+                seed + 100,
+                Distribution::Uniform,
+            );
             let lu = LuFactorization::factorize(&a).unwrap();
             let x = lu.solve_vec(&b).unwrap();
             // residual r = Ax - b
@@ -284,16 +302,19 @@ mod tests {
     fn solve_mat_matches_columnwise() {
         let n = 6;
         let a = random_spd_ish(n, 9);
-        let b = random_tensor(DType::Float64, Shape::matrix(n, 3), 10, Distribution::Uniform);
+        let b = random_tensor(
+            DType::Float64,
+            Shape::matrix(n, 3),
+            10,
+            Distribution::Uniform,
+        );
         let lu = LuFactorization::factorize(&a).unwrap();
         let x = lu.solve_mat(&b).unwrap();
         for j in 0..3 {
             let bj = Tensor::from_fn(Shape::vector(n), |i| b.get(&[i[0], j]).unwrap().as_f64());
             let xj = lu.solve_vec(&bj).unwrap();
             for i in 0..n {
-                assert!(
-                    (x.get(&[i, j]).unwrap().as_f64() - xj.to_f64_vec()[i]).abs() < 1e-12
-                );
+                assert!((x.get(&[i, j]).unwrap().as_f64() - xj.to_f64_vec()[i]).abs() < 1e-12);
             }
         }
     }

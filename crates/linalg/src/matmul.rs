@@ -75,8 +75,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, LinalgError> {
         (true, false) => Shape::vector(bc),
         (true, true) => Shape::vector(1),
     };
-    let t = Tensor::from_shape_vec(shape, out)
-        .expect("output buffer sized from dims");
+    let t = Tensor::from_shape_vec(shape, out).expect("output buffer sized from dims");
     Ok(cast_like(t, a))
 }
 
@@ -131,7 +130,6 @@ pub fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
     2 * m as u64 * k as u64 * n as u64
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,7 +150,12 @@ mod tests {
 
     #[test]
     fn identity_is_neutral() {
-        let a = random_tensor(DType::Float64, Shape::matrix(5, 5), 4, Distribution::Uniform);
+        let a = random_tensor(
+            DType::Float64,
+            Shape::matrix(5, 5),
+            4,
+            Distribution::Uniform,
+        );
         let i = Tensor::eye(DType::Float64, 5);
         assert!(matmul(&a, &i).unwrap().allclose(&a, 1e-14));
         assert!(matmul(&i, &a).unwrap().allclose(&a, 1e-14));
@@ -177,9 +180,24 @@ mod tests {
 
     #[test]
     fn associativity_numerical() {
-        let a = random_tensor(DType::Float64, Shape::matrix(4, 4), 1, Distribution::Uniform);
-        let b = random_tensor(DType::Float64, Shape::matrix(4, 4), 2, Distribution::Uniform);
-        let c = random_tensor(DType::Float64, Shape::matrix(4, 4), 3, Distribution::Uniform);
+        let a = random_tensor(
+            DType::Float64,
+            Shape::matrix(4, 4),
+            1,
+            Distribution::Uniform,
+        );
+        let b = random_tensor(
+            DType::Float64,
+            Shape::matrix(4, 4),
+            2,
+            Distribution::Uniform,
+        );
+        let c = random_tensor(
+            DType::Float64,
+            Shape::matrix(4, 4),
+            3,
+            Distribution::Uniform,
+        );
         let left = matmul(&matmul(&a, &b).unwrap(), &c).unwrap();
         let right = matmul(&a, &matmul(&b, &c).unwrap()).unwrap();
         assert!(left.allclose(&right, 1e-10));

@@ -1,0 +1,227 @@
+//! The transformation cache: structural digest → optimised plan.
+//!
+//! The paper's rewrite fixpoint runs in time proportional to program
+//! length × rule count × sweeps; under repeated traffic the same traced
+//! byte-code sequences arrive over and over, so the runtime memoises the
+//! *result* of transformation the way a JVM verifies byte-code once at
+//! load time rather than per execution. Keys are
+//! [`bh_ir::ProgramDigest`]s (canonical structure, register names
+//! ignored) paired with the full optimisation options, so the same
+//! sequence optimised under different levels/knobs occupies distinct
+//! entries. Eviction is least-recently-used.
+
+use bh_ir::{Program, ProgramDigest};
+use bh_opt::{OptOptions, OptReport};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An optimised, validated, ready-to-execute program plus the report of
+/// how it got that way. Immutable once built; shared via `Arc` between
+/// the cache and every [`crate::EvalOutcome`] that used it.
+#[derive(Debug)]
+pub struct EvalPlan {
+    /// The transformed program (validated at plan-build time, so
+    /// execution can skip re-validation).
+    pub program: Program,
+    /// What the optimiser did to produce it.
+    pub report: OptReport,
+    /// Fingerprint of the source program's structural digest, for logs.
+    pub source_fingerprint: u64,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub digest: ProgramDigest,
+    // The full options value, not a hand-rolled fingerprint: a field
+    // added to `OptOptions` participates in the key automatically.
+    pub options: OptOptions,
+}
+
+struct Entry {
+    plan: Arc<EvalPlan>,
+    last_used: u64,
+}
+
+/// LRU map from `(structural digest, options)` to optimised plans.
+pub(crate) struct TransformCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+}
+
+impl TransformCache {
+    pub fn new(capacity: usize) -> TransformCache {
+        TransformCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<EvalPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.plan)
+        })
+    }
+
+    /// Insert `plan` under `key`, evicting the least-recently-used entry
+    /// when full. If a racing thread inserted the same key first, its plan
+    /// wins (and is returned) so all callers share one allocation.
+    pub fn insert(&mut self, key: CacheKey, plan: Arc<EvalPlan>) -> Arc<EvalPlan> {
+        if self.capacity == 0 {
+            return plan;
+        }
+        self.tick += 1;
+        if let Some(existing) = self.map.get_mut(&key) {
+            existing.last_used = self.tick;
+            return Arc::clone(&existing.plan);
+        }
+        if self.map.len() >= self.capacity {
+            // O(n) victim scan; capacities are modest (default 256) and
+            // the scan only happens once the cache is full.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                last_used: self.tick,
+            },
+        );
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::parse_program;
+    use bh_opt::Optimizer;
+
+    fn plan_for(text: &str) -> (CacheKey, Arc<EvalPlan>) {
+        let source = parse_program(text).unwrap();
+        let digest = source.structural_digest();
+        let mut program = source.clone();
+        let report = Optimizer::default().run(&mut program);
+        let fp = digest.fingerprint();
+        (
+            CacheKey {
+                digest,
+                options: OptOptions::default(),
+            },
+            Arc::new(EvalPlan {
+                program,
+                report,
+                source_fingerprint: fp,
+            }),
+        )
+    }
+
+    #[test]
+    fn get_after_insert_returns_same_plan() {
+        let mut cache = TransformCache::new(4);
+        let (key, plan) = plan_for("BH_IDENTITY a [0:4:1] 1\nBH_SYNC a\n");
+        assert!(cache.get(&key).is_none());
+        cache.insert(
+            CacheKey {
+                digest: key.digest.clone(),
+                options: OptOptions::default(),
+            },
+            Arc::clone(&plan),
+        );
+        let got = cache.get(&key).unwrap();
+        assert!(Arc::ptr_eq(&got, &plan));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let mut cache = TransformCache::new(2);
+        let (k1, p1) = plan_for("BH_IDENTITY a [0:1:1] 1\nBH_SYNC a\n");
+        let (k2, p2) = plan_for("BH_IDENTITY a [0:2:1] 1\nBH_SYNC a\n");
+        let (k3, p3) = plan_for("BH_IDENTITY a [0:3:1] 1\nBH_SYNC a\n");
+        cache.insert(
+            CacheKey {
+                digest: k1.digest.clone(),
+                options: OptOptions::default(),
+            },
+            p1,
+        );
+        cache.insert(
+            CacheKey {
+                digest: k2.digest.clone(),
+                options: OptOptions::default(),
+            },
+            p2,
+        );
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(cache.get(&k1).is_some());
+        cache.insert(
+            CacheKey {
+                digest: k3.digest.clone(),
+                options: OptOptions::default(),
+            },
+            p3,
+        );
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k2).is_none());
+        assert!(cache.get(&k3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = TransformCache::new(0);
+        let (key, plan) = plan_for("BH_IDENTITY a [0:4:1] 1\nBH_SYNC a\n");
+        cache.insert(
+            CacheKey {
+                digest: key.digest.clone(),
+                options: OptOptions::default(),
+            },
+            plan,
+        );
+        assert_eq!(cache.len(), 0);
+        assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn racing_insert_keeps_first_plan() {
+        let mut cache = TransformCache::new(4);
+        let (key, plan_a) = plan_for("BH_IDENTITY a [0:4:1] 1\nBH_SYNC a\n");
+        let (_, plan_b) = plan_for("BH_IDENTITY a [0:4:1] 1\nBH_SYNC a\n");
+        cache.insert(
+            CacheKey {
+                digest: key.digest.clone(),
+                options: OptOptions::default(),
+            },
+            Arc::clone(&plan_a),
+        );
+        let winner = cache.insert(
+            CacheKey {
+                digest: key.digest.clone(),
+                options: OptOptions::default(),
+            },
+            plan_b,
+        );
+        assert!(Arc::ptr_eq(&winner, &plan_a));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,659 @@
+//! The unified runtime: optimise → plan → execute behind one handle.
+
+use crate::cache::{CacheKey, EvalPlan, TransformCache};
+use crate::stats::RuntimeStats;
+use bh_ir::Program;
+use bh_opt::{OptLevel, OptOptions, Optimizer, RewriteCtx};
+use bh_tensor::Tensor;
+use bh_vm::{Engine, Vm, VmError};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Observer invoked after every evaluation, for metrics export.
+pub type StatsSink = Arc<dyn Fn(&EvalOutcome) + Send + Sync>;
+
+/// Upper bound on pooled VMs kept for reuse across evaluations.
+const VM_POOL_LIMIT: usize = 8;
+
+/// What one evaluation did: the plan it ran (shared with the cache), the
+/// VM counters it accumulated, and whether the rewrite fixpoint was
+/// skipped. Returned alongside the tensor by [`Runtime::eval`] — this
+/// replaces the old `last_report`/`last_stats` mutable-context API.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// The optimised plan that executed.
+    pub plan: Arc<EvalPlan>,
+    /// Execution counters for this evaluation only.
+    pub exec: bh_vm::ExecStats,
+    /// True when the plan came from the transformation cache.
+    pub cache_hit: bool,
+}
+
+impl EvalOutcome {
+    /// The optimisation report of the plan that ran (produced once, when
+    /// the plan was first built — on a cache hit it describes the original
+    /// transformation, not re-done work).
+    pub fn report(&self) -> &bh_opt::OptReport {
+        &self.plan.report
+    }
+}
+
+/// The single entry point of the stack: owns the optimiser schedule, the
+/// execution-engine configuration, the transformation cache and the
+/// aggregated statistics. Thread-safe; share one behind an `Arc` across
+/// as many recording contexts or request handlers as you like.
+///
+/// # Examples
+///
+/// ```
+/// use bh_ir::parse_program;
+/// use bh_runtime::Runtime;
+///
+/// let rt = Runtime::new();
+/// let program = parse_program(
+///     "BH_IDENTITY a0 [0:10:1] 0\n\
+///      BH_ADD a0 a0 1\nBH_ADD a0 a0 1\nBH_ADD a0 a0 1\n\
+///      BH_SYNC a0\n")?;
+/// let reg = program.reg_by_name("a0").unwrap();
+///
+/// let (value, outcome) = rt.eval(&program, &[], reg)?;
+/// assert_eq!(value.to_f64_vec(), vec![3.0; 10]);
+/// assert!(!outcome.cache_hit);
+///
+/// // Same structure again: the rewrite fixpoint is skipped entirely.
+/// let (_, outcome) = rt.eval(&program, &[], reg)?;
+/// assert!(outcome.cache_hit);
+/// assert_eq!(rt.stats().cache_hits, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Runtime {
+    options: OptOptions,
+    engine: Engine,
+    threads: usize,
+    cache_capacity: usize,
+    cache: Mutex<TransformCache>,
+    stats: Mutex<RuntimeStats>,
+    vm_pool: Mutex<Vec<Vm>>,
+    sink: Option<StatsSink>,
+}
+
+impl Default for Runtime {
+    fn default() -> Runtime {
+        Runtime::builder().build()
+    }
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("options", &self.options)
+            .field("engine", &self.engine)
+            .field("threads", &self.threads)
+            .field("cached_plans", &self.cache.lock().len())
+            .field("stats", &*self.stats.lock())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// A runtime with Bohrium's defaults (O2, fast-math, naive engine).
+    pub fn new() -> Runtime {
+        Runtime::default()
+    }
+
+    /// Start configuring a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// The optimisation options applied to every plan (unless overridden
+    /// per call with [`Runtime::eval_with`]).
+    pub fn options(&self) -> &OptOptions {
+        &self.options
+    }
+
+    /// The execution engine evaluations run on.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Worker threads handed to each VM.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured capacity of the transformation cache (0 = disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// The configured per-eval observer, if any (shareable; lets a
+    /// rebuilt runtime keep reporting to the same sink).
+    pub fn stats_sink(&self) -> Option<StatsSink> {
+        self.sink.clone()
+    }
+
+    /// Snapshot of the aggregated counters.
+    pub fn stats(&self) -> RuntimeStats {
+        *self.stats.lock()
+    }
+
+    /// Zero the aggregated counters (the cache is untouched).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = RuntimeStats::new();
+    }
+
+    /// Number of optimised plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Drop every cached plan (counters are untouched).
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Optimise `program` into an executable plan — or fetch the plan the
+    /// cache already holds for a structurally identical program. The
+    /// returned flag is true on a cache hit.
+    ///
+    /// The plan is validated once here; execution skips re-validation,
+    /// like a byte-code verifier running at load time rather than per run.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Invalid`] when the optimised program fails validation.
+    pub fn prepare(&self, program: &Program) -> Result<(Arc<EvalPlan>, bool), VmError> {
+        self.prepare_with(program, &self.options)
+    }
+
+    /// [`Runtime::prepare`] under explicit options (cached separately per
+    /// options value, so callers can mix levels on one runtime).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Invalid`] when the optimised program fails validation.
+    pub fn prepare_with(
+        &self,
+        program: &Program,
+        options: &OptOptions,
+    ) -> Result<(Arc<EvalPlan>, bool), VmError> {
+        let digest = program.structural_digest();
+        let key = CacheKey {
+            digest,
+            options: options.clone(),
+        };
+        if let Some(plan) = self.cache.lock().get(&key) {
+            self.stats.lock().cache_hits += 1;
+            return Ok((plan, true));
+        }
+        // Optimise outside the cache lock: a concurrent miss on the same
+        // key duplicates work once, but never blocks other keys.
+        let mut optimised = program.clone();
+        let report = Optimizer::new(options.clone()).run(&mut optimised);
+        {
+            // Record the miss before validation can bail: the optimiser
+            // *did* run, and an invalid program re-fed forever should show
+            // up as misses on a dashboard, not as a free 100% hit rate.
+            let mut stats = self.stats.lock();
+            stats.cache_misses += 1;
+            stats.rules_fired += report.total_applications() as u64;
+            stats.opt_iterations += report.iterations as u64;
+        }
+        bh_ir::validate(&optimised).map_err(VmError::Invalid)?;
+        let plan = Arc::new(EvalPlan {
+            program: optimised,
+            report,
+            source_fingerprint: key.digest.fingerprint(),
+        });
+        let plan = self.cache.lock().insert(key, plan);
+        Ok((plan, false))
+    }
+
+    /// Optimise (or fetch) and execute `program`, binding `bindings`
+    /// (register → input tensor) first, and read back `result`.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures of the optimised program, binding mismatches,
+    /// or execution failures.
+    pub fn eval(
+        &self,
+        program: &Program,
+        bindings: &[(bh_ir::Reg, Tensor)],
+        result: bh_ir::Reg,
+    ) -> Result<(Tensor, EvalOutcome), VmError> {
+        self.eval_with(program, bindings, result, &self.options)
+    }
+
+    /// [`Runtime::eval`] under explicit options.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::eval`].
+    pub fn eval_with(
+        &self,
+        program: &Program,
+        bindings: &[(bh_ir::Reg, Tensor)],
+        result: bh_ir::Reg,
+        options: &OptOptions,
+    ) -> Result<(Tensor, EvalOutcome), VmError> {
+        let (outcome, value) = self.run_plan(program, bindings, Some(result), options)?;
+        Ok((value.expect("result register requested"), outcome))
+    }
+
+    /// Optimise (or fetch) and execute `program` without reading a result
+    /// — the old `Context::flush` shape.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::eval`].
+    pub fn execute(
+        &self,
+        program: &Program,
+        bindings: &[(bh_ir::Reg, Tensor)],
+    ) -> Result<EvalOutcome, VmError> {
+        let (outcome, _) = self.run_plan(program, bindings, None, &self.options)?;
+        Ok(outcome)
+    }
+
+    fn run_plan(
+        &self,
+        program: &Program,
+        bindings: &[(bh_ir::Reg, Tensor)],
+        result: Option<bh_ir::Reg>,
+        options: &OptOptions,
+    ) -> Result<(EvalOutcome, Option<Tensor>), VmError> {
+        let (plan, cache_hit) = self.prepare_with(program, options)?;
+        let mut vm = self.checkout_vm();
+        let run = (|| -> Result<Option<Tensor>, VmError> {
+            for (reg, tensor) in bindings {
+                vm.bind(&plan.program, *reg, tensor)?;
+            }
+            // Validated at plan-build time; skip re-validation per run.
+            vm.run_unchecked(&plan.program)?;
+            match result {
+                Some(reg) => Ok(Some(vm.read(&plan.program, reg)?)),
+                None => Ok(None),
+            }
+        })();
+        let exec = *vm.stats();
+        self.checkin_vm(vm);
+        let value = run?;
+        {
+            let mut stats = self.stats.lock();
+            stats.evals += 1;
+            stats.exec += exec;
+        }
+        let outcome = EvalOutcome {
+            plan,
+            exec,
+            cache_hit,
+        };
+        if let Some(sink) = &self.sink {
+            sink(&outcome);
+        }
+        Ok((outcome, value))
+    }
+
+    /// Grab a recycled VM (engine/threads refreshed) or build one.
+    fn checkout_vm(&self) -> Vm {
+        let mut vm = self
+            .vm_pool
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Vm::with_engine(self.engine));
+        vm.recycle();
+        vm.set_engine(self.engine);
+        vm.set_threads(self.threads);
+        vm
+    }
+
+    fn checkin_vm(&self, mut vm: Vm) {
+        // Recycle on the way *in*, not just out: an idle pooled VM must
+        // not pin the base buffers of the last program it executed.
+        vm.recycle();
+        let mut pool = self.vm_pool.lock();
+        if pool.len() < VM_POOL_LIMIT {
+            pool.push(vm);
+        }
+    }
+}
+
+/// Configures and builds a [`Runtime`].
+///
+/// # Examples
+///
+/// ```
+/// use bh_opt::OptLevel;
+/// use bh_runtime::Runtime;
+/// use bh_vm::Engine;
+///
+/// let rt = Runtime::builder()
+///     .opt_level(OptLevel::O2)
+///     .engine(Engine::Fusing { block: 4096 })
+///     .threads(4)
+///     .cache_capacity(512)
+///     .build_shared();
+/// assert_eq!(rt.threads(), 4);
+/// ```
+pub struct RuntimeBuilder {
+    options: OptOptions,
+    engine: Engine,
+    threads: usize,
+    cache_capacity: usize,
+    sink: Option<StatsSink>,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> RuntimeBuilder {
+        RuntimeBuilder {
+            options: OptOptions::default(),
+            engine: Engine::Naive,
+            threads: 1,
+            cache_capacity: 256,
+            sink: None,
+        }
+    }
+}
+
+impl fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("options", &self.options)
+            .field("engine", &self.engine)
+            .field("threads", &self.threads)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("has_sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl RuntimeBuilder {
+    /// Replace the full optimisation options.
+    pub fn options(mut self, options: OptOptions) -> RuntimeBuilder {
+        self.options = options;
+        self
+    }
+
+    /// Set just the optimisation level.
+    pub fn opt_level(mut self, level: OptLevel) -> RuntimeBuilder {
+        self.options.level = level;
+        self
+    }
+
+    /// Replace the rewrite-context knobs (fast-math policy, expansion
+    /// budget, observability).
+    pub fn rewrite_ctx(mut self, ctx: RewriteCtx) -> RuntimeBuilder {
+        self.options.ctx = ctx;
+        self
+    }
+
+    /// Strict IEEE float semantics (no re-associating rewrites on floats).
+    pub fn strict_math(mut self) -> RuntimeBuilder {
+        self.options.ctx.fast_math = false;
+        self
+    }
+
+    /// Select the execution engine for every evaluation.
+    pub fn engine(mut self, engine: Engine) -> RuntimeBuilder {
+        self.engine = engine;
+        self
+    }
+
+    /// Worker threads per VM for large element-wise operations.
+    pub fn threads(mut self, threads: usize) -> RuntimeBuilder {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Plans kept in the transformation cache (0 disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> RuntimeBuilder {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Observer called after every evaluation with its [`EvalOutcome`]
+    /// (metrics export, logging).
+    pub fn stats_sink(
+        mut self,
+        sink: impl Fn(&EvalOutcome) + Send + Sync + 'static,
+    ) -> RuntimeBuilder {
+        self.sink = Some(Arc::new(sink));
+        self
+    }
+
+    /// Install an already-shared observer (e.g. one taken from another
+    /// runtime via [`Runtime::stats_sink`]).
+    pub fn stats_sink_shared(mut self, sink: StatsSink) -> RuntimeBuilder {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Build the runtime.
+    pub fn build(self) -> Runtime {
+        Runtime {
+            options: self.options,
+            engine: self.engine,
+            threads: self.threads,
+            cache_capacity: self.cache_capacity,
+            cache: Mutex::new(TransformCache::new(self.cache_capacity)),
+            stats: Mutex::new(RuntimeStats::new()),
+            vm_pool: Mutex::new(Vec::new()),
+            sink: self.sink,
+        }
+    }
+
+    /// Build the runtime already wrapped for sharing across contexts and
+    /// threads.
+    pub fn build_shared(self) -> Arc<Runtime> {
+        Arc::new(self.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::parse_program;
+    use bh_tensor::{DType, Shape, Tensor};
+
+    fn listing2() -> Program {
+        parse_program(
+            "BH_IDENTITY a0 [0:10:1] 0\n\
+             BH_ADD a0 a0 1\nBH_ADD a0 a0 1\nBH_ADD a0 a0 1\n\
+             BH_SYNC a0\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn second_eval_hits_the_cache_and_matches() {
+        let rt = Runtime::new();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        let (v1, o1) = rt.eval(&p, &[], reg).unwrap();
+        let (v2, o2) = rt.eval(&p, &[], reg).unwrap();
+        assert_eq!(v1, v2);
+        assert!(!o1.cache_hit);
+        assert!(o2.cache_hit);
+        assert!(Arc::ptr_eq(&o1.plan, &o2.plan));
+        let stats = rt.stats();
+        assert_eq!(stats.evals, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        // The fixpoint ran exactly once.
+        assert_eq!(stats.rules_fired, o1.report().total_applications() as u64);
+    }
+
+    #[test]
+    fn renamed_registers_share_a_plan() {
+        let rt = Runtime::new();
+        let p = listing2();
+        let q = parse_program(
+            "BH_IDENTITY z [0:10:1] 0\n\
+             BH_ADD z z 1\nBH_ADD z z 1\nBH_ADD z z 1\n\
+             BH_SYNC z\n",
+        )
+        .unwrap();
+        rt.eval(&p, &[], p.reg_by_name("a0").unwrap()).unwrap();
+        let (v, o) = rt.eval(&q, &[], q.reg_by_name("z").unwrap()).unwrap();
+        assert!(o.cache_hit);
+        assert_eq!(v.to_f64_vec(), vec![3.0; 10]);
+    }
+
+    #[test]
+    fn options_fingerprints_partition_the_cache() {
+        let rt = Runtime::new();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        let (_, o2) = rt.eval(&p, &[], reg).unwrap();
+        let (_, o0) = rt
+            .eval_with(&p, &[], reg, &OptOptions::level(OptLevel::O0))
+            .unwrap();
+        assert!(!o2.cache_hit);
+        assert!(!o0.cache_hit);
+        assert_eq!(rt.cached_plans(), 2);
+        // O0 kept all three adds; O2 merged them.
+        assert!(o0.plan.program.instrs().len() > o2.plan.program.instrs().len());
+    }
+
+    #[test]
+    fn bindings_feed_input_registers() {
+        let rt = Runtime::new();
+        let p = parse_program(".base x f64[4] input\n.base y f64[4]\nBH_ADD y x 1\nBH_SYNC y\n")
+            .unwrap();
+        let x = p.reg_by_name("x").unwrap();
+        let y = p.reg_by_name("y").unwrap();
+        let input = Tensor::from_vec(vec![1.0f64, 2.0, 3.0, 4.0]);
+        let (v, _) = rt.eval(&p, &[(x, input)], y).unwrap();
+        assert_eq!(v.to_f64_vec(), vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn execute_runs_without_reading() {
+        let rt = Runtime::new();
+        let outcome = rt.execute(&listing2(), &[]).unwrap();
+        assert!(!outcome.cache_hit);
+        assert!(outcome.exec.kernels > 0);
+        assert_eq!(rt.stats().evals, 1);
+    }
+
+    #[test]
+    fn invalid_program_is_rejected_at_prepare() {
+        let rt = Runtime::new();
+        // Reads a never-written register; at O0 nothing rewrites the read
+        // away, so plan validation must reject it (at O2 dead-code
+        // elimination would legitimately leave an empty, valid plan).
+        let p = parse_program("BH_ADD a0 [0:4:1] a0 [0:4:1] 1\n").unwrap();
+        let o0 = OptOptions::level(OptLevel::O0);
+        assert!(matches!(rt.prepare_with(&p, &o0), Err(VmError::Invalid(_))));
+        assert_eq!(rt.cached_plans(), 0);
+        // The optimiser ran even though validation failed: that's a miss.
+        assert_eq!(rt.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn stats_sink_sees_every_outcome() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let rt = Runtime::builder()
+            .stats_sink(move |_| {
+                seen2.fetch_add(1, Ordering::SeqCst);
+            })
+            .build();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        rt.eval(&p, &[], reg).unwrap();
+        rt.eval(&p, &[], reg).unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn fusing_engine_runtime_fuses() {
+        let rt = Runtime::builder()
+            .engine(Engine::Fusing { block: 128 })
+            .build();
+        let p = parse_program(
+            "BH_IDENTITY a0 [0:1000:1] 1\nBH_ADD a0 a0 2\nBH_MULTIPLY a0 a0 a0\nBH_SYNC a0\n",
+        )
+        .unwrap();
+        let (v, o) = rt.eval(&p, &[], p.reg_by_name("a0").unwrap()).unwrap();
+        assert_eq!(v.to_f64_vec()[0], 9.0);
+        assert!(o.exec.fused_groups >= 1);
+    }
+
+    #[test]
+    fn vm_pool_recycles_without_leaking_state() {
+        let rt = Runtime::new();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        for _ in 0..(VM_POOL_LIMIT + 3) {
+            let (v, _) = rt.eval(&p, &[], reg).unwrap();
+            assert_eq!(v.to_f64_vec(), vec![3.0; 10]);
+        }
+        assert!(rt.vm_pool.lock().len() <= VM_POOL_LIMIT);
+        // A different program through the same pooled VMs still computes
+        // correctly (no stale bindings).
+        let q = parse_program("BH_IDENTITY b [0:4:1] 7\nBH_SYNC b\n").unwrap();
+        let (v, _) = rt.eval(&q, &[], q.reg_by_name("b").unwrap()).unwrap();
+        assert_eq!(v.to_f64_vec(), vec![7.0; 4]);
+    }
+
+    #[test]
+    fn shared_runtime_is_thread_safe() {
+        let rt = Runtime::builder().build_shared();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let rt = Arc::clone(&rt);
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let (v, _) = rt.eval(&p, &[], reg).unwrap();
+                        assert_eq!(v.to_f64_vec(), vec![3.0; 10]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.evals, 80);
+        // At most a couple of racing misses; everything else hit.
+        assert!(stats.cache_hits >= 78 - stats.cache_misses, "{stats}");
+        assert_eq!(rt.cached_plans(), 1);
+    }
+
+    #[test]
+    fn builder_knobs_are_applied() {
+        let rt = Runtime::builder()
+            .opt_level(OptLevel::O1)
+            .strict_math()
+            .threads(3)
+            .cache_capacity(7)
+            .build();
+        assert_eq!(rt.options().level, OptLevel::O1);
+        assert!(!rt.options().ctx.fast_math);
+        assert_eq!(rt.threads(), 3);
+        let _ = Shape::vector(1);
+        let _ = DType::Float64;
+    }
+
+    #[test]
+    fn clear_cache_forces_reoptimisation() {
+        let rt = Runtime::new();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        rt.eval(&p, &[], reg).unwrap();
+        assert_eq!(rt.cached_plans(), 1);
+        rt.clear_cache();
+        assert_eq!(rt.cached_plans(), 0);
+        let (_, o) = rt.eval(&p, &[], reg).unwrap();
+        assert!(!o.cache_hit);
+        assert_eq!(rt.stats().cache_misses, 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Aggregated runtime statistics.
+//!
+//! One `Runtime` serves many evaluations from many contexts/threads; the
+//! counters here aggregate across all of them so a serving process can
+//! export one snapshot (evals, cache effectiveness, rewrite activity and
+//! the VM's execution counters) instead of the per-flush `last_*` state
+//! the old three-object API kept on each context.
+
+use bh_vm::ExecStats;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Snapshot of everything a [`crate::Runtime`] has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RuntimeStats {
+    /// Evaluations served (`eval` + `execute` calls).
+    pub evals: u64,
+    /// Evaluations whose optimised plan came from the transformation
+    /// cache (the rewrite fixpoint was skipped entirely).
+    pub cache_hits: u64,
+    /// Plan lookups that had to run the optimiser.
+    pub cache_misses: u64,
+    /// Total rewrite-rule applications across all cache misses.
+    pub rules_fired: u64,
+    /// Fixpoint sweeps performed across all cache misses.
+    pub opt_iterations: u64,
+    /// Aggregated VM execution counters (kernels launched, fused groups,
+    /// memory traffic, flops, syncs) across all evaluations.
+    pub exec: ExecStats,
+}
+
+impl RuntimeStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> RuntimeStats {
+        RuntimeStats::default()
+    }
+
+    /// Fraction of plan lookups served from the cache (0.0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
+impl Add for RuntimeStats {
+    type Output = RuntimeStats;
+
+    fn add(self, rhs: RuntimeStats) -> RuntimeStats {
+        RuntimeStats {
+            evals: self.evals + rhs.evals,
+            cache_hits: self.cache_hits + rhs.cache_hits,
+            cache_misses: self.cache_misses + rhs.cache_misses,
+            rules_fired: self.rules_fired + rhs.rules_fired,
+            opt_iterations: self.opt_iterations + rhs.opt_iterations,
+            exec: self.exec + rhs.exec,
+        }
+    }
+}
+
+impl AddAssign for RuntimeStats {
+    fn add_assign(&mut self, rhs: RuntimeStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "evals={} hits={} misses={} hit-rate={:.0}% rules={} [{}]",
+            self.evals,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0,
+            self.rules_fired,
+            self.exec
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(RuntimeStats::new().hit_rate(), 0.0);
+        let s = RuntimeStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn add_combines_fieldwise() {
+        let a = RuntimeStats {
+            evals: 1,
+            cache_hits: 1,
+            ..Default::default()
+        };
+        let b = RuntimeStats {
+            evals: 2,
+            rules_fired: 5,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.evals, 3);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.rules_fired, 5);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_mentions_hit_rate() {
+        let s = RuntimeStats {
+            cache_hits: 1,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("hit-rate=50%"), "{s}");
+    }
+}

@@ -192,12 +192,24 @@ impl Buffer {
 
     /// Typed read access; `None` when `T` does not match the dtype.
     pub fn as_slice<T: Element>(&self) -> Option<&[T]> {
-        for_each_variant!(self, v, (v as &dyn Any).downcast_ref::<Vec<T>>().map(|v| v.as_slice()))
+        for_each_variant!(
+            self,
+            v,
+            (v as &dyn Any)
+                .downcast_ref::<Vec<T>>()
+                .map(|v| v.as_slice())
+        )
     }
 
     /// Typed write access; `None` when `T` does not match the dtype.
     pub fn as_mut_slice<T: Element>(&mut self) -> Option<&mut [T]> {
-        for_each_variant!(self, v, (v as &mut dyn Any).downcast_mut::<Vec<T>>().map(|v| v.as_mut_slice()))
+        for_each_variant!(
+            self,
+            v,
+            (v as &mut dyn Any)
+                .downcast_mut::<Vec<T>>()
+                .map(|v| v.as_mut_slice())
+        )
     }
 
     /// Read one element as a [`Scalar`].
@@ -207,7 +219,10 @@ impl Buffer {
     /// [`TensorError::OutOfBounds`] if `idx >= len`.
     pub fn get_scalar(&self, idx: usize) -> Result<Scalar, TensorError> {
         if idx >= self.len() {
-            return Err(TensorError::OutOfBounds { offset: idx, len: self.len() });
+            return Err(TensorError::OutOfBounds {
+                offset: idx,
+                len: self.len(),
+            });
         }
         Ok(match self {
             Buffer::Bool(v) => Scalar::Bool(v[idx]),
@@ -231,7 +246,10 @@ impl Buffer {
     /// [`TensorError::OutOfBounds`] if `idx >= len`.
     pub fn set_scalar(&mut self, idx: usize, value: Scalar) -> Result<(), TensorError> {
         if idx >= self.len() {
-            return Err(TensorError::OutOfBounds { offset: idx, len: self.len() });
+            return Err(TensorError::OutOfBounds {
+                offset: idx,
+                len: self.len(),
+            });
         }
         let v = value.cast(self.dtype());
         match self {

@@ -96,12 +96,18 @@ impl DType {
 
     /// True for signed integers.
     pub const fn is_signed_integer(self) -> bool {
-        matches!(self, DType::Int8 | DType::Int16 | DType::Int32 | DType::Int64)
+        matches!(
+            self,
+            DType::Int8 | DType::Int16 | DType::Int32 | DType::Int64
+        )
     }
 
     /// True for unsigned integers.
     pub const fn is_unsigned_integer(self) -> bool {
-        matches!(self, DType::UInt8 | DType::UInt16 | DType::UInt32 | DType::UInt64)
+        matches!(
+            self,
+            DType::UInt8 | DType::UInt16 | DType::UInt32 | DType::UInt64
+        )
     }
 
     /// True if the type is ordered and supports `<`-style comparisons
@@ -165,7 +171,11 @@ impl DType {
         }
         // Float beats everything; wider float wins.
         if a.is_float() || b.is_float() {
-            return if a == Float64 || b == Float64 { Float64 } else { Float32 };
+            return if a == Float64 || b == Float64 {
+                Float64
+            } else {
+                Float32
+            };
         }
         // Both integers.
         let (sa, sb) = (a.size_of(), b.size_of());
@@ -174,7 +184,11 @@ impl DType {
             (false, false) => unsigned_of_size(sa.max(sb)),
             // Mixed signedness.
             (true, false) | (false, true) => {
-                let (signed, unsigned) = if a.is_signed_integer() { (a, b) } else { (b, a) };
+                let (signed, unsigned) = if a.is_signed_integer() {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 if signed.size_of() > unsigned.size_of() {
                     signed
                 } else if unsigned.size_of() < 8 {
@@ -263,7 +277,9 @@ impl FromStr for DType {
 /// dynamically typed [`DType`] world.
 ///
 /// Sealed: implemented exactly for the eleven supported element types.
-pub trait Element: Copy + PartialEq + PartialOrd + fmt::Debug + fmt::Display + Send + Sync + 'static + private::Sealed {
+pub trait Element:
+    Copy + PartialEq + PartialOrd + fmt::Debug + fmt::Display + Send + Sync + 'static + private::Sealed
+{
     /// The dynamic dtype tag corresponding to `Self`.
     const DTYPE: DType;
     /// Additive identity.
@@ -418,7 +434,7 @@ mod tests {
     #[test]
     fn element_conversions() {
         assert_eq!(<i32 as Element>::from_f64(3.7), 3);
-        assert_eq!(<bool as Element>::from_f64(2.0), true);
+        assert!(<bool as Element>::from_f64(2.0));
         assert_eq!(true.to_f64(), 1.0);
         assert_eq!(<f32 as Element>::one().to_f64(), 1.0);
     }

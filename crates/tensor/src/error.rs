@@ -56,7 +56,10 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch: expected {expected}, found {found}")
             }
             TensorError::OutOfBounds { offset, len } => {
-                write!(f, "element offset {offset} out of bounds for buffer of length {len}")
+                write!(
+                    f,
+                    "element offset {offset} out of bounds for buffer of length {len}"
+                )
             }
         }
     }
@@ -75,7 +78,10 @@ mod tests {
             found: DType::Int32,
         };
         assert_eq!(e.to_string(), "dtype mismatch: expected f64, found i32");
-        let e = TensorError::OutOfBounds { offset: 12, len: 10 };
+        let e = TensorError::OutOfBounds {
+            offset: 12,
+            len: 10,
+        };
         assert!(e.to_string().contains("12"));
     }
 }

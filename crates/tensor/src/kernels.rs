@@ -53,7 +53,7 @@ pub fn zip_offsets<const N: usize>(views: [&ViewGeom; N], mut f: impl FnMut([usi
     for (k, v) in views.iter().enumerate() {
         inner_strides[k] = v.dims()[rank - 1].stride;
     }
-    let outer_count = if inner_len == 0 { 0 } else { nelem / inner_len };
+    let outer_count = nelem.checked_div(inner_len).unwrap_or(0);
     let mut idx = vec![0usize; rank.saturating_sub(1)];
     for _ in 0..outer_count {
         let mut cur = offs;
@@ -238,7 +238,11 @@ pub fn reduce_axis<T: Element>(
     let axis_len = iv.dims()[axis].len;
     let axis_stride = iv.dims()[axis].stride;
     let reduced = remove_axis(iv, axis);
-    assert_eq!(ov.shape(), reduced.shape(), "output shape must drop the reduced axis");
+    assert_eq!(
+        ov.shape(),
+        reduced.shape(),
+        "output shape must drop the reduced axis"
+    );
     let optr = out.as_mut_ptr();
     let (olen, ilen) = (out.len(), input.len());
     zip_offsets([ov, &reduced], |[o, base]| {
@@ -337,7 +341,8 @@ mod tests {
         let mut buf = vec![0.0f64; 10];
         fill(&mut buf, &vg(&[10]), 1.0);
         assert!(buf.iter().all(|&x| x == 1.0));
-        let stride2 = ViewGeom::from_slices(&Shape::vector(10), &[Slice::new(None, None, 2)]).unwrap();
+        let stride2 =
+            ViewGeom::from_slices(&Shape::vector(10), &[Slice::new(None, None, 2)]).unwrap();
         fill(&mut buf, &stride2, 5.0);
         assert_eq!(buf, vec![5.0, 1.0, 5.0, 1.0, 5.0, 1.0, 5.0, 1.0, 5.0, 1.0]);
     }
@@ -422,7 +427,9 @@ mod tests {
         let input = vec![3i64, 1, 4, 1, 5, 9];
         let iv = vg(&[2, 3]);
         let mut out = vec![i64::MIN; 2];
-        reduce_axis(&mut out, &vg(&[2]), &input, &iv, 1, i64::MIN, |a, x| a.max(x));
+        reduce_axis(&mut out, &vg(&[2]), &input, &iv, 1, i64::MIN, |a, x| {
+            a.max(x)
+        });
         assert_eq!(out, vec![4, 9]);
     }
 
@@ -438,7 +445,9 @@ mod tests {
     fn accumulate_axis1_of_matrix() {
         let input = vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0];
         let mut out = vec![0.0f64; 6];
-        accumulate_axis(&mut out, &vg(&[2, 3]), &input, &vg(&[2, 3]), 1, |a, x| a * x);
+        accumulate_axis(&mut out, &vg(&[2, 3]), &input, &vg(&[2, 3]), 1, |a, x| {
+            a * x
+        });
         assert_eq!(out, vec![1.0, 2.0, 6.0, 4.0, 20.0, 120.0]);
     }
 
@@ -460,7 +469,8 @@ mod tests {
     #[test]
     fn zip_offsets_matches_offsets_iter() {
         let base = Shape::from([3, 4]);
-        let v = ViewGeom::from_slices(&base, &[Slice::new(None, None, 2), Slice::range(1, 4)]).unwrap();
+        let v =
+            ViewGeom::from_slices(&base, &[Slice::new(None, None, 2), Slice::range(1, 4)]).unwrap();
         let mut a = Vec::new();
         zip_offsets([&v], |[o]| a.push(o));
         let b: Vec<_> = v.offsets().collect();

@@ -123,7 +123,12 @@ mod tests {
 
     #[test]
     fn range_respected_for_ints() {
-        let t = random_tensor(DType::Int32, Shape::vector(128), 11, Distribution::Range(-5.0, 5.0));
+        let t = random_tensor(
+            DType::Int32,
+            Shape::vector(128),
+            11,
+            Distribution::Range(-5.0, 5.0),
+        );
         for v in t.to_f64_vec() {
             assert!((-5.0..5.0).contains(&v), "{v}");
         }
@@ -139,7 +144,12 @@ mod tests {
 
     #[test]
     fn shape_preserved() {
-        let t = random_tensor(DType::Float64, Shape::from([3, 4]), 1, Distribution::Uniform);
+        let t = random_tensor(
+            DType::Float64,
+            Shape::from([3, 4]),
+            1,
+            Distribution::Uniform,
+        );
         assert_eq!(t.shape(), &Shape::from([3, 4]));
     }
 }

@@ -300,10 +300,15 @@ impl FromStr for Scalar {
             _ => {}
         }
         // Typed suffix? Find a suffix among known dtype short names.
-        for d in ["bool", "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64", "f32", "f64"] {
+        for d in [
+            "bool", "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64", "f32", "f64",
+        ] {
             if let Some(body) = t.strip_suffix(d) {
                 if !body.is_empty()
-                    && body.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                    && body
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
                 {
                     let dtype: DType = d.parse().map_err(|_| err())?;
                     if let Ok(i) = body.parse::<i64>() {
@@ -436,7 +441,7 @@ mod tests {
     fn get_typed() {
         assert_eq!(Scalar::F64(2.5).get::<f64>(), 2.5);
         assert_eq!(Scalar::I32(-9).get::<i32>(), -9);
-        assert_eq!(Scalar::Bool(true).get::<bool>(), true);
+        assert!(Scalar::Bool(true).get::<bool>());
     }
 
     #[test]
@@ -448,7 +453,10 @@ mod tests {
     #[test]
     fn ordering() {
         use std::cmp::Ordering::*;
-        assert_eq!(Scalar::I64(1).partial_cmp_value(Scalar::F64(2.0)), Some(Less));
+        assert_eq!(
+            Scalar::I64(1).partial_cmp_value(Scalar::F64(2.0)),
+            Some(Less)
+        );
         assert_eq!(
             Scalar::F64(f64::NAN).partial_cmp_value(Scalar::F64(1.0)),
             None

@@ -76,10 +76,18 @@ impl Shape {
     pub fn broadcast(&self, other: &Shape) -> Result<Shape, TensorError> {
         let rank = self.rank().max(other.rank());
         let mut out = vec![0usize; rank];
-        for i in 0..rank {
-            let a = if i < rank - self.rank() { 1 } else { self.0[i - (rank - self.rank())] };
-            let b = if i < rank - other.rank() { 1 } else { other.0[i - (rank - other.rank())] };
-            out[i] = match (a, b) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let a = if i < rank - self.rank() {
+                1
+            } else {
+                self.0[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                1
+            } else {
+                other.0[i - (rank - other.rank())]
+            };
+            *slot = match (a, b) {
                 (x, y) if x == y => x,
                 (1, y) => y,
                 (x, 1) => x,

@@ -34,7 +34,10 @@ impl Tensor {
     /// All-zeros tensor.
     pub fn zeros(dtype: DType, shape: Shape) -> Tensor {
         let n = shape.nelem();
-        Tensor { buffer: Buffer::zeros(dtype, n), shape }
+        Tensor {
+            buffer: Buffer::zeros(dtype, n),
+            shape,
+        }
     }
 
     /// All-ones tensor.
@@ -45,13 +48,19 @@ impl Tensor {
     /// Tensor filled with `value` (cast to `dtype`).
     pub fn full(dtype: DType, shape: Shape, value: Scalar) -> Tensor {
         let n = shape.nelem();
-        Tensor { buffer: Buffer::full(dtype, n, value), shape }
+        Tensor {
+            buffer: Buffer::full(dtype, n, value),
+            shape,
+        }
     }
 
     /// 1-D tensor from a typed vector.
     pub fn from_vec<T: Element>(v: Vec<T>) -> Tensor {
         let shape = Shape::vector(v.len());
-        Tensor { buffer: Buffer::from_vec(v), shape }
+        Tensor {
+            buffer: Buffer::from_vec(v),
+            shape,
+        }
     }
 
     /// Tensor of `shape` from a typed vector in row-major order.
@@ -66,7 +75,10 @@ impl Tensor {
                 found: Shape::vector(v.len()),
             });
         }
-        Ok(Tensor { buffer: Buffer::from_vec(v), shape })
+        Ok(Tensor {
+            buffer: Buffer::from_vec(v),
+            shape,
+        })
     }
 
     /// Tensor of `shape` computed element-wise from the multi-index.
@@ -76,7 +88,10 @@ impl Tensor {
         for flat in 0..n {
             data.push(f(&shape.unravel(flat)));
         }
-        Tensor { buffer: Buffer::from_vec(data), shape }
+        Tensor {
+            buffer: Buffer::from_vec(data),
+            shape,
+        }
     }
 
     /// `[0, 1, …, n-1]` as `dtype`.
@@ -87,7 +102,10 @@ impl Tensor {
                 .set_scalar(i, Scalar::from_i64(i as i64, dtype))
                 .expect("index in range");
         }
-        Tensor { buffer, shape: Shape::vector(n) }
+        Tensor {
+            buffer,
+            shape: Shape::vector(n),
+        }
     }
 
     /// `n` evenly spaced f64 samples over `[start, stop]` inclusive.
@@ -217,21 +235,33 @@ impl Tensor {
     /// [`TensorError::ShapeMismatch`] if the counts differ.
     pub fn reshape(self, shape: Shape) -> Result<Tensor, TensorError> {
         if shape.nelem() != self.nelem() {
-            return Err(TensorError::ShapeMismatch { expected: shape, found: self.shape });
+            return Err(TensorError::ShapeMismatch {
+                expected: shape,
+                found: self.shape,
+            });
         }
-        Ok(Tensor { buffer: self.buffer, shape })
+        Ok(Tensor {
+            buffer: self.buffer,
+            shape,
+        })
     }
 
     /// Copy cast to another dtype.
     pub fn cast(&self, dtype: DType) -> Tensor {
-        Tensor { buffer: self.buffer.cast(dtype), shape: self.shape.clone() }
+        Tensor {
+            buffer: self.buffer.cast(dtype),
+            shape: self.shape.clone(),
+        }
     }
 
     /// New tensor with `f` applied to every element (dtype preserved).
     pub fn map<T: Element>(&self, f: impl Fn(T) -> T) -> Option<Tensor> {
         let data = self.as_slice::<T>()?;
         let mapped: Vec<T> = data.iter().map(|&x| f(x)).collect();
-        Some(Tensor { buffer: Buffer::from_vec(mapped), shape: self.shape.clone() })
+        Some(Tensor {
+            buffer: Buffer::from_vec(mapped),
+            shape: self.shape.clone(),
+        })
     }
 
     /// New tensor combining two same-shape, same-dtype tensors element-wise.
@@ -239,7 +269,11 @@ impl Tensor {
     /// # Errors
     ///
     /// Shape or dtype mismatch.
-    pub fn zip<T: Element>(&self, other: &Tensor, f: impl Fn(T, T) -> T) -> Result<Tensor, TensorError> {
+    pub fn zip<T: Element>(
+        &self,
+        other: &Tensor,
+        f: impl Fn(T, T) -> T,
+    ) -> Result<Tensor, TensorError> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 expected: self.shape.clone(),
@@ -255,7 +289,10 @@ impl Tensor {
             found: other.dtype(),
         })?;
         let data: Vec<T> = a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect();
-        Ok(Tensor { buffer: Buffer::from_vec(data), shape: self.shape.clone() })
+        Ok(Tensor {
+            buffer: Buffer::from_vec(data),
+            shape: self.shape.clone(),
+        })
     }
 
     /// All elements as f64 in row-major order.
@@ -291,7 +328,13 @@ impl Tensor {
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor<{} {}> {:?}", self.dtype(), self.shape, self.buffer)
+        write!(
+            f,
+            "Tensor<{} {}> {:?}",
+            self.dtype(),
+            self.shape,
+            self.buffer
+        )
     }
 }
 
@@ -299,7 +342,11 @@ impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         const MAX: usize = 16;
         match self.shape.rank() {
-            0 => write!(f, "{}", self.buffer.get_scalar(0).expect("scalar has one element")),
+            0 => write!(
+                f,
+                "{}",
+                self.buffer.get_scalar(0).expect("scalar has one element")
+            ),
             1 => {
                 write!(f, "[")?;
                 let n = self.nelem();
@@ -441,7 +488,9 @@ mod tests {
 
     #[test]
     fn cast_preserves_shape() {
-        let t = Tensor::arange(DType::Int32, 4).reshape(Shape::from([2, 2])).unwrap();
+        let t = Tensor::arange(DType::Int32, 4)
+            .reshape(Shape::from([2, 2]))
+            .unwrap();
         let c = t.cast(DType::Float64);
         assert_eq!(c.shape(), &Shape::from([2, 2]));
         assert_eq!(c.dtype(), DType::Float64);

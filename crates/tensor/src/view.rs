@@ -45,17 +45,29 @@ impl Slice {
 
     /// The full slice `::1`.
     pub const fn full() -> Slice {
-        Slice { start: None, stop: None, step: 1 }
+        Slice {
+            start: None,
+            stop: None,
+            step: 1,
+        }
     }
 
     /// `start:stop` with step 1.
     pub const fn range(start: i64, stop: i64) -> Slice {
-        Slice { start: Some(start), stop: Some(stop), step: 1 }
+        Slice {
+            start: Some(start),
+            stop: Some(stop),
+            step: 1,
+        }
     }
 
     /// A single index `i` as a length-1 slice (the axis is kept).
     pub const fn index(i: i64) -> Slice {
-        Slice { start: Some(i), stop: Some(i + 1), step: 1 }
+        Slice {
+            start: Some(i),
+            stop: Some(i + 1),
+            step: 1,
+        }
     }
 
     /// Resolve against an axis of length `len`, yielding
@@ -156,14 +168,20 @@ impl ViewGeom {
                 .dims()
                 .iter()
                 .zip(strides)
-                .map(|(&len, s)| ViewDim { len, stride: s as isize })
+                .map(|(&len, s)| ViewDim {
+                    len,
+                    stride: s as isize,
+                })
                 .collect(),
         }
     }
 
     /// A rank-0 (scalar) view at base element `offset`.
     pub fn scalar_at(offset: usize) -> ViewGeom {
-        ViewGeom { offset, dims: Vec::new() }
+        ViewGeom {
+            offset,
+            dims: Vec::new(),
+        }
     }
 
     /// Build from raw parts. `dims` lengths/strides are trusted; prefer
@@ -192,15 +210,18 @@ impl ViewGeom {
         let base_strides = base_shape.row_major_strides();
         let mut offset = 0usize;
         let mut dims = Vec::with_capacity(base_shape.rank());
-        for axis in 0..base_shape.rank() {
+        for (axis, &base_stride) in base_strides.iter().enumerate() {
             let base_len = base_shape.dim(axis);
-            let base_stride = base_strides[axis] as isize;
+            let base_stride = base_stride as isize;
             let slice = slices.get(axis).copied().unwrap_or_else(Slice::full);
             let (first, len, step) = slice.resolve(base_len)?;
             if len > 0 {
                 offset += first * base_stride as usize;
             }
-            dims.push(ViewDim { len, stride: base_stride * step as isize });
+            dims.push(ViewDim {
+                len,
+                stride: base_stride * step as isize,
+            });
         }
         Ok(ViewGeom { offset, dims })
     }
@@ -281,7 +302,10 @@ impl ViewGeom {
                 }
             }
         }
-        Ok(ViewGeom { offset: self.offset, dims })
+        Ok(ViewGeom {
+            offset: self.offset,
+            dims,
+        })
     }
 
     /// Inclusive range of base element offsets this view can touch, or
@@ -413,21 +437,39 @@ mod tests {
     #[test]
     fn slice_resolve_matches_python() {
         // list(range(10))[0:10:1]
-        assert_eq!(Slice::new(Some(0), Some(10), 1).resolve(10).unwrap(), (0, 10, 1));
+        assert_eq!(
+            Slice::new(Some(0), Some(10), 1).resolve(10).unwrap(),
+            (0, 10, 1)
+        );
         // [2:8:3] -> 2,5 -> len 2
-        assert_eq!(Slice::new(Some(2), Some(8), 3).resolve(10).unwrap(), (2, 2, 3));
+        assert_eq!(
+            Slice::new(Some(2), Some(8), 3).resolve(10).unwrap(),
+            (2, 2, 3)
+        );
         // [::-1] on len 4 -> 3,2,1,0
         assert_eq!(Slice::new(None, None, -1).resolve(4).unwrap(), (3, 4, -1));
         // [-3:] on len 10 -> 7,8,9
-        assert_eq!(Slice::new(Some(-3), None, 1).resolve(10).unwrap(), (7, 3, 1));
+        assert_eq!(
+            Slice::new(Some(-3), None, 1).resolve(10).unwrap(),
+            (7, 3, 1)
+        );
         // [5:2] empty
         assert_eq!(Slice::new(Some(5), Some(2), 1).resolve(10).unwrap().1, 0);
         // [8:1:-2] -> 8,6,4,2 -> len 4
-        assert_eq!(Slice::new(Some(8), Some(1), -2).resolve(10).unwrap(), (8, 4, -2));
+        assert_eq!(
+            Slice::new(Some(8), Some(1), -2).resolve(10).unwrap(),
+            (8, 4, -2)
+        );
         // Out-of-range clamping: [0:100] on len 3
-        assert_eq!(Slice::new(Some(0), Some(100), 1).resolve(3).unwrap(), (0, 3, 1));
+        assert_eq!(
+            Slice::new(Some(0), Some(100), 1).resolve(3).unwrap(),
+            (0, 3, 1)
+        );
         // Negative beyond start clamps to 0.
-        assert_eq!(Slice::new(Some(-100), None, 1).resolve(3).unwrap(), (0, 3, 1));
+        assert_eq!(
+            Slice::new(Some(-100), None, 1).resolve(3).unwrap(),
+            (0, 3, 1)
+        );
     }
 
     #[test]
@@ -455,7 +497,8 @@ mod tests {
     fn sliced_geometry() {
         let base = Shape::from([4, 4]);
         // rows 1..3, cols 0..4:2 -> offsets rows {4..8,8..12} cols {0,2}
-        let v = ViewGeom::from_slices(&base, &[Slice::range(1, 3), Slice::new(None, None, 2)]).unwrap();
+        let v =
+            ViewGeom::from_slices(&base, &[Slice::range(1, 3), Slice::new(None, None, 2)]).unwrap();
         assert_eq!(v.shape(), Shape::from([2, 2]));
         assert!(!v.is_contiguous());
         assert_eq!(v.offsets().collect::<Vec<_>>(), vec![4, 6, 8, 10]);
@@ -534,7 +577,8 @@ mod tests {
     #[test]
     fn offsets_len_matches_nelem() {
         let base = Shape::from([3, 5]);
-        let v = ViewGeom::from_slices(&base, &[Slice::new(None, None, 2), Slice::range(1, 4)]).unwrap();
+        let v =
+            ViewGeom::from_slices(&base, &[Slice::new(None, None, 2), Slice::range(1, 4)]).unwrap();
         assert_eq!(v.offsets().len(), v.nelem());
     }
 }

@@ -293,18 +293,18 @@ mod tests {
 
     #[test]
     fn bool_lattice() {
-        assert_eq!(true.vm_add(false), true); // or
-        assert_eq!(true.vm_mul(false), false); // and
-        assert_eq!(true.vm_sub(true), false); // xor
-        assert_eq!(false.vm_pow(false), true); // x^0 == 1
-        assert_eq!(false.vm_pow(true), false);
-        assert_eq!(true.vm_not(), false);
+        assert!(true.vm_add(false)); // or
+        assert!(!true.vm_mul(false)); // and
+        assert!(!true.vm_sub(true)); // xor
+        assert!(false.vm_pow(false)); // x^0 == 1
+        assert!(!false.vm_pow(true));
+        assert!(!true.vm_not());
     }
 
     #[test]
     fn min_max() {
         assert_eq!(3i32.vm_max(5), 5);
         assert_eq!(3.0f64.vm_min(5.0), 3.0);
-        assert_eq!(true.vm_min(false), false);
+        assert!(!true.vm_min(false));
     }
 }

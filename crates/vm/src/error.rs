@@ -25,7 +25,11 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::Invalid(errors) => {
-                write!(f, "program failed validation with {} error(s): ", errors.len())?;
+                write!(
+                    f,
+                    "program failed validation with {} error(s): ",
+                    errors.len()
+                )?;
                 if let Some(first) = errors.first() {
                     write!(f, "{first}")?;
                 }
@@ -66,7 +70,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = VmError::Register { reason: "r0 unbound".into() };
+        let e = VmError::Register {
+            reason: "r0 unbound".into(),
+        };
         assert!(e.to_string().contains("r0 unbound"));
         let e: VmError = TensorError::OutOfBounds { offset: 1, len: 0 }.into();
         assert!(e.to_string().contains("tensor error"));

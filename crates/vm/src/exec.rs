@@ -393,8 +393,22 @@ mod tests {
         let mut par = vec![1.5f64; n];
         let v = ViewGeom::contiguous(&Shape::vector(n));
         let f = binary_fn::<f64>(Opcode::Multiply);
-        exec_binary::<f64>(&mut seq, &v, BinIn::Aliased(v.clone()), BinIn::Const(3.0), f, 1);
-        exec_binary::<f64>(&mut par, &v, BinIn::Aliased(v.clone()), BinIn::Const(3.0), f, 4);
+        exec_binary::<f64>(
+            &mut seq,
+            &v,
+            BinIn::Aliased(v.clone()),
+            BinIn::Const(3.0),
+            f,
+            1,
+        );
+        exec_binary::<f64>(
+            &mut par,
+            &v,
+            BinIn::Aliased(v.clone()),
+            BinIn::Const(3.0),
+            f,
+            4,
+        );
         assert_eq!(seq, par);
     }
 

@@ -98,7 +98,10 @@ mod tests {
         assert_eq!(
             groups,
             vec![
-                Group::Fused { range: 0..4, nelem: 10 },
+                Group::Fused {
+                    range: 0..4,
+                    nelem: 10
+                },
                 Group::Single(4),
             ]
         );
@@ -119,7 +122,10 @@ mod tests {
             vec![
                 Group::Single(0),
                 Group::Single(1),
-                Group::Fused { range: 2..4, nelem: 8 },
+                Group::Fused {
+                    range: 2..4,
+                    nelem: 8
+                },
             ]
         );
     }
@@ -153,7 +159,10 @@ mod tests {
             groups,
             vec![
                 Group::Single(0),
-                Group::Fused { range: 1..3, nelem: 4 },
+                Group::Fused {
+                    range: 1..3,
+                    nelem: 4
+                },
             ]
         );
     }

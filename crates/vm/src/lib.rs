@@ -73,7 +73,10 @@ mod tests {
              BH_ADD a0 [0:10:1] a0 [0:10:1] 1\n\
              BH_SYNC a0 [0:10:1]\n",
         );
-        assert_eq!(vm.read_by_name(&p, "a0").unwrap().to_f64_vec(), vec![3.0; 10]);
+        assert_eq!(
+            vm.read_by_name(&p, "a0").unwrap().to_f64_vec(),
+            vec![3.0; 10]
+        );
         assert_eq!(vm.stats().instructions, 5);
         assert_eq!(vm.stats().kernels, 4);
         assert_eq!(vm.stats().syncs, 1);
@@ -103,7 +106,10 @@ mod tests {
              BH_POWER y [0:4:1] x [0:4:1] 5\n\
              BH_SYNC y\n",
         );
-        assert_eq!(vm.read_by_name(&p, "y").unwrap().to_f64_vec(), vec![243.0; 4]);
+        assert_eq!(
+            vm.read_by_name(&p, "y").unwrap().to_f64_vec(),
+            vec![243.0; 4]
+        );
     }
 
     #[test]
@@ -132,7 +138,10 @@ mod tests {
         vm2.bind_by_name(&p, "a", &Tensor::from_vec(vec![1.0f64, 2.0, 3.0, 4.0]))
             .unwrap();
         vm2.run(&p).unwrap();
-        assert_eq!(vm2.read_by_name(&p, "b").unwrap().to_f64_vec(), vec![4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(
+            vm2.read_by_name(&p, "b").unwrap().to_f64_vec(),
+            vec![4.0, 3.0, 2.0, 1.0]
+        );
         let _ = vm;
     }
 
@@ -172,7 +181,10 @@ mod tests {
              BH_SYNC s\nBH_SYNC c\n",
         );
         // m = [[0,1,2],[3,4,5]]
-        assert_eq!(vm.read_by_name(&p, "s").unwrap().to_f64_vec(), vec![3.0, 12.0]);
+        assert_eq!(
+            vm.read_by_name(&p, "s").unwrap().to_f64_vec(),
+            vec![3.0, 12.0]
+        );
         assert_eq!(
             vm.read_by_name(&p, "c").unwrap().to_f64_vec(),
             vec![0.0, 1.0, 3.0, 3.0, 7.0, 12.0]
@@ -310,7 +322,13 @@ BH_SYNC a1\n";
         assert!(vm
             .bind_by_name(&p, "x", &Tensor::zeros(DType::Float64, Shape::vector(4)))
             .is_ok());
-        assert!(vm.bind_by_name(&p, "nosuch", &Tensor::zeros(DType::Float64, Shape::vector(4))).is_err());
+        assert!(vm
+            .bind_by_name(
+                &p,
+                "nosuch",
+                &Tensor::zeros(DType::Float64, Shape::vector(4))
+            )
+            .is_err());
     }
 
     #[test]
@@ -340,7 +358,10 @@ BH_SYNC a1\n";
         .unwrap();
         let mut vm = Vm::new();
         vm.run(&p).unwrap();
-        assert_eq!(vm.read_by_name(&p, "a0").unwrap().to_f64_vec(), vec![3.0; 16]);
+        assert_eq!(
+            vm.read_by_name(&p, "a0").unwrap().to_f64_vec(),
+            vec![3.0; 16]
+        );
     }
 
     #[test]
@@ -350,6 +371,36 @@ BH_SYNC a1\n";
         vm.reset();
         assert!(vm.read_by_name(&p, "a0").is_err());
         assert_eq!(vm.stats().instructions, 0);
+    }
+
+    #[test]
+    fn recycled_vm_reruns_cleanly() {
+        let (p, mut vm) = run_text("BH_IDENTITY a0 [0:4:1] 1\nBH_ADD a0 a0 2\nBH_SYNC a0\n");
+        let first = vm.read_by_name(&p, "a0").unwrap();
+        let kernels = vm.stats().kernels;
+        vm.recycle();
+        assert_eq!(vm.stats().kernels, 0);
+        assert!(vm.read_by_name(&p, "a0").is_err());
+        vm.run(&p).unwrap();
+        assert_eq!(vm.read_by_name(&p, "a0").unwrap(), first);
+        assert_eq!(vm.stats().kernels, kernels);
+    }
+
+    #[test]
+    fn engine_can_be_switched_between_runs() {
+        let p = parse_program(
+            "BH_IDENTITY a0 [0:512:1] 1\nBH_ADD a0 a0 2\nBH_MULTIPLY a0 a0 a0\nBH_SYNC a0\n",
+        )
+        .unwrap();
+        let mut vm = Vm::new();
+        vm.run(&p).unwrap();
+        let naive = vm.read_by_name(&p, "a0").unwrap();
+        vm.recycle();
+        vm.set_engine(Engine::Fusing { block: 64 });
+        assert_eq!(vm.engine(), Engine::Fusing { block: 64 });
+        vm.run(&p).unwrap();
+        assert_eq!(vm.read_by_name(&p, "a0").unwrap(), naive);
+        assert!(vm.stats().fused_groups >= 1);
     }
 
     #[test]
@@ -402,9 +453,8 @@ BH_SYNC a1\n";
         )
         .unwrap();
         let mut vm = Vm::new();
-        let a =
-            Tensor::from_shape_vec(Shape::matrix(2, 3), vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0])
-                .unwrap();
+        let a = Tensor::from_shape_vec(Shape::matrix(2, 3), vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap();
         vm.bind_by_name(&p, "a", &a).unwrap();
         vm.run(&p).unwrap();
         let t = vm.read_by_name(&p, "t").unwrap();

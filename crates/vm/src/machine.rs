@@ -22,9 +22,10 @@ use bh_tensor::{with_dtype, Buffer, DType, Element, Scalar, Shape, Tensor, ViewG
 use crate::eltops::VmElement;
 
 /// Execution engine selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// One kernel per byte-code (Bohrium without fusion).
+    #[default]
     Naive,
     /// Contract element-wise runs and execute them in cache-sized blocks.
     Fusing {
@@ -32,12 +33,6 @@ pub enum Engine {
         /// i.e. L1-resident.
         block: usize,
     },
-}
-
-impl Default for Engine {
-    fn default() -> Engine {
-        Engine::Naive
-    }
 }
 
 /// The virtual machine.
@@ -106,6 +101,25 @@ impl Vm {
         self.engine
     }
 
+    /// Switch the execution engine. Takes effect on the next `run`;
+    /// existing memory and counters are untouched, which lets a pooled VM
+    /// be re-targeted between runs without reallocating.
+    pub fn set_engine(&mut self, engine: Engine) -> &mut Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Clear memory and counters but keep the base-slot allocation, so a
+    /// pooled VM re-running same-shaped programs avoids re-growing its
+    /// register table. Equivalent to [`Vm::reset`] observationally.
+    pub fn recycle(&mut self) {
+        for slot in &mut self.bases {
+            *slot = None;
+        }
+        self.stats = ExecStats::new();
+        self.count_kernel_per_instr = true;
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> &ExecStats {
         &self.stats
@@ -115,6 +129,7 @@ impl Vm {
     pub fn reset(&mut self) {
         self.bases.clear();
         self.stats = ExecStats::new();
+        self.count_kernel_per_instr = true;
     }
 
     /// Provide input data for a register declared `input`.
@@ -234,17 +249,23 @@ impl Vm {
                 fusion::Group::Fused { range, nelem } => {
                     self.stats.kernels += 1;
                     self.stats.fused_groups += 1;
+                    // Count each instruction once (not once per block);
+                    // restore the flag even if a block errors mid-group,
+                    // so a pooled VM is not left undercounting.
                     self.count_kernel_per_instr = false;
-                    let mut lo = 0usize;
-                    while lo < nelem {
-                        let hi = (lo + block).min(nelem);
-                        for i in range.clone() {
-                            self.exec_instr(program, &program.instrs()[i], Some((lo, hi)))?;
+                    let result = (|| -> Result<(), VmError> {
+                        let mut lo = 0usize;
+                        while lo < nelem {
+                            let hi = (lo + block).min(nelem);
+                            for i in range.clone() {
+                                self.exec_instr(program, &program.instrs()[i], Some((lo, hi)))?;
+                            }
+                            lo = hi;
                         }
-                        lo = hi;
-                    }
-                    // Count each instruction once (not once per block).
+                        Ok(())
+                    })();
                     self.count_kernel_per_instr = true;
+                    result?;
                 }
             }
         }
@@ -318,12 +339,10 @@ impl Vm {
             Opcode::Range => {
                 with_dtype!(dtype, T, {
                     let slice = buffer.as_mut_slice::<T>().expect("dtype matches decl");
-                    let mut counter = 0u64;
                     // Write index values in logical order.
                     let offsets: Vec<usize> = geom.offsets().collect();
-                    for off in offsets {
+                    for (counter, off) in offsets.into_iter().enumerate() {
                         slice[off] = <T as Element>::from_f64(counter as f64);
-                        counter += 1;
                     }
                 });
                 Ok(())
@@ -438,7 +457,11 @@ impl Vm {
                 let a = self.materialize_view(program, view_of(&instr.operands[1]))?;
                 let b = self.materialize_view(program, view_of(&instr.operands[2]))?;
                 let n = a.shape().dim(0);
-                let k = if b.shape().rank() == 2 { b.shape().dim(1) } else { 1 };
+                let k = if b.shape().rank() == 2 {
+                    b.shape().dim(1)
+                } else {
+                    1
+                };
                 self.stats.flops += linalg::lu_solve_flops(n, k);
                 self.account_in_tensor(&a);
                 self.account_in_tensor(&b);
@@ -453,7 +476,9 @@ impl Vm {
         } else {
             result.cast(program.base(out_reg).dtype)
         };
-        let buffer = self.bases[out_reg.index()].as_mut().expect("just allocated");
+        let buffer = self.bases[out_reg.index()]
+            .as_mut()
+            .expect("just allocated");
         write_tensor_into_view(buffer, &out_geom, &result);
         Ok(())
     }
@@ -493,10 +518,7 @@ impl Vm {
         if let Some((lo, hi)) = restrict {
             let len = hi - lo;
             let sub = |g: &ViewGeom| {
-                ViewGeom::from_parts(
-                    g.offset() + lo,
-                    vec![bh_tensor::ViewDim { len, stride: 1 }],
-                )
+                ViewGeom::from_parts(g.offset() + lo, vec![bh_tensor::ViewDim { len, stride: 1 }])
             };
             out_geom = sub(&out_geom);
             for rin in &mut rins {
@@ -562,7 +584,9 @@ impl Vm {
                     let a = gather(&rins[0]);
                     let f = exec::predicate_fn::<T>(instr.op);
                     let (sa, ga) = self.slice_of(&a)?;
-                    let out_slice = out_buf.as_mut_slice::<bool>().expect("compare output is bool");
+                    let out_slice = out_buf
+                        .as_mut_slice::<bool>()
+                        .expect("compare output is bool");
                     match sa {
                         SliceOr::Const(c) => bh_tensor::kernels::fill(out_slice, &out_geom, f(c)),
                         SliceOr::Data(da) => {
@@ -576,7 +600,9 @@ impl Vm {
                     // Resolve both to slices (possibly owned).
                     let (sa, ga) = self.slice_of(&a)?;
                     let (sb, gb) = self.slice_of(&b)?;
-                    let out_slice = out_buf.as_mut_slice::<bool>().expect("compare output is bool");
+                    let out_slice = out_buf
+                        .as_mut_slice::<bool>()
+                        .expect("compare output is bool");
                     match (sa, sb) {
                         (SliceOr::Const(x), SliceOr::Const(y)) => {
                             bh_tensor::kernels::fill(out_slice, &out_geom, f(x, y))
@@ -638,7 +664,9 @@ impl Vm {
                     let a = classify(&rins[0]);
                     let out_slice = out_slice_owner.as_mut_slice::<T>().expect("dtype");
                     match a {
-                        ClassIn::Const(c) => exec::exec_unary(out_slice, &out_geom, BinIn::Const(c), f, threads),
+                        ClassIn::Const(c) => {
+                            exec::exec_unary(out_slice, &out_geom, BinIn::Const(c), f, threads)
+                        }
                         ClassIn::Aliased(g) => {
                             exec::exec_unary(out_slice, &out_geom, BinIn::Aliased(g), f, threads)
                         }
@@ -688,10 +716,7 @@ impl Vm {
         Ok(())
     }
 
-    fn resolve_class<'a, T: VmElement>(
-        &'a self,
-        c: &ClassIn<T>,
-    ) -> Result<BinIn<'a, T>, VmError> {
+    fn resolve_class<'a, T: VmElement>(&'a self, c: &ClassIn<T>) -> Result<BinIn<'a, T>, VmError> {
         Ok(match c {
             ClassIn::Const(v) => BinIn::Const(*v),
             ClassIn::Aliased(g) => BinIn::Aliased(g.clone()),
@@ -812,7 +837,11 @@ fn cast_element<I: Element, O: Element>(x: I) -> O {
 fn write_tensor_into_view(buffer: &mut Buffer, geom: &ViewGeom, data: &Tensor) {
     debug_assert_eq!(geom.nelem(), data.nelem(), "view/tensor size mismatch");
     let dtype = buffer.dtype();
-    let data = if data.dtype() == dtype { data.clone() } else { data.cast(dtype) };
+    let data = if data.dtype() == dtype {
+        data.clone()
+    } else {
+        data.cast(dtype)
+    };
     with_dtype!(dtype, T, {
         let src = data.as_slice::<T>().expect("cast above");
         let dst = buffer.as_mut_slice::<T>().expect("dtype of buffer");

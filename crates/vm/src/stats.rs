@@ -111,8 +111,16 @@ mod tests {
 
     #[test]
     fn add_combines_fieldwise() {
-        let a = ExecStats { instructions: 1, kernels: 2, ..Default::default() };
-        let b = ExecStats { instructions: 10, syncs: 1, ..Default::default() };
+        let a = ExecStats {
+            instructions: 1,
+            kernels: 2,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            instructions: 10,
+            syncs: 1,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.instructions, 11);
         assert_eq!(c.kernels, 2);

@@ -34,12 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mask = corrected.gt_scalar(Scalar::F64(0.5));
 
     let bright = mask.astype(DType::Int64).sum();
-    let count = bright.eval()?.to_f64_vec()[0];
+    let (count_t, outcome) = bright.eval_outcome()?;
+    let count = count_t.to_f64_vec()[0];
 
-    let report = ctx.last_report().expect("eval optimised the pipeline");
+    let report = outcome.report();
     println!("== transformation report ==\n{report}");
-    let stats = ctx.last_stats().expect("eval executed the pipeline");
-    println!("== execution counters ==\n{stats}\n");
+    println!("== execution counters ==\n{}\n", outcome.exec);
 
     let expansion_fired = report
         .by_rule

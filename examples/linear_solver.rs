@@ -9,7 +9,12 @@ use bh_tensor::{random_tensor, DType, Distribution, Scalar, Shape, Tensor};
 use std::time::Instant;
 
 fn well_conditioned(m: usize, seed: u64) -> Tensor {
-    let mut a = random_tensor(DType::Float64, Shape::matrix(m, m), seed, Distribution::Uniform);
+    let mut a = random_tensor(
+        DType::Float64,
+        Shape::matrix(m, m),
+        seed,
+        Distribution::Uniform,
+    );
     for i in 0..m {
         let v = a.get(&[i, i]).expect("diag").as_f64();
         a.set(&[i, i], Scalar::F64(v + m as f64)).expect("diag");
@@ -27,9 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a_arr = ctx.array(a.clone());
     let b_arr = ctx.array(b.clone());
     let x = a_arr.inv().matmul(&b_arr); // x = A^-1 · B, Eq. 2 left side
-    let solved = x.eval()?;
+    let (solved, outcome) = x.eval_outcome()?;
 
-    let report = ctx.last_report().expect("eval optimised the program");
+    let report = outcome.report();
     println!("== transformation report ==\n{report}");
     let rewrote = report
         .by_rule

@@ -3,8 +3,10 @@
 //! Run with: `cargo run --example quickstart`
 //!
 //! Reproduces the paper's §3 walk-through: a NumPy-style program records
-//! byte-code (Listing 2), the algebraic transformation engine merges the
-//! constants (Listing 3), and the VM executes the optimised sequence.
+//! byte-code (Listing 2), the runtime's algebraic transformation engine
+//! merges the constants (Listing 3), and the VM executes the optimised
+//! sequence. A second evaluation of the same trace is served from the
+//! runtime's transformation cache — the fixpoint runs once.
 
 use bh_frontend::Context;
 use bh_ir::PrintStyle;
@@ -26,15 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", ctx.recorded_text(PrintStyle::LISTING));
 
     // Evaluation syncs the result, optimises the sequence and executes it.
-    let result = a.eval()?;
+    let (result, outcome) = a.eval_outcome()?;
     println!("\n== result ==\n{result}");
 
-    let report = ctx.last_report().expect("eval ran the optimizer");
     println!("\n== transformation report (Listing 2 -> Listing 3) ==");
-    print!("{report}");
+    print!("{}", outcome.report());
 
-    let stats = ctx.last_stats().expect("eval executed the program");
-    println!("\n== execution counters ==\n{stats}");
+    println!("\n== execution counters ==\n{}", outcome.exec);
+
+    // Evaluate the same trace again: the runtime recognises the structure
+    // and skips the rewrite fixpoint entirely.
+    let (_, again) = a.eval_outcome()?;
+    assert!(
+        again.cache_hit,
+        "second eval must hit the transformation cache"
+    );
+    println!(
+        "\n== runtime stats after a repeat eval ==\n{}",
+        ctx.runtime().stats()
+    );
 
     assert_eq!(result.to_f64_vec(), vec![3.0; 10]);
     Ok(())

@@ -21,6 +21,7 @@ fn main() {
     e6_solve();
     e7_fusion();
     e8_pipeline_summary();
+    e9_transformation_cache();
 }
 
 /// Median wall-clock seconds of `runs` executions of `program` on `engine`.
@@ -29,7 +30,8 @@ fn time_program(program: &Program, engine: Engine, runs: usize) -> f64 {
     for _ in 0..runs {
         let mut vm = Vm::with_engine(engine);
         let start = Instant::now();
-        vm.run_unchecked(program).expect("experiment programs are valid");
+        vm.run_unchecked(program)
+            .expect("experiment programs are valid");
         samples.push(start.elapsed().as_secs_f64());
     }
     samples.sort_by(f64::total_cmp);
@@ -38,7 +40,8 @@ fn time_program(program: &Program, engine: Engine, runs: usize) -> f64 {
 
 fn kernels_of(program: &Program) -> u64 {
     let mut vm = Vm::new();
-    vm.run_unchecked(program).expect("experiment programs are valid");
+    vm.run_unchecked(program)
+        .expect("experiment programs are valid");
     vm.stats().kernels
 }
 
@@ -62,11 +65,11 @@ fn e1_listing_lowering() {
     print!("{}", ctx.recorded_text(PrintStyle::LISTING));
     println!("BH_SYNC a0 [0:10:1]   # appended by eval()");
     println!("```");
-    let t = a.eval().expect("listing 1 executes");
+    let (t, outcome) = a.eval_outcome().expect("listing 1 executes");
     println!(
         "result: all elements == {}; kernels after optimisation: {}\n",
         t.to_f64_vec()[0],
-        ctx.last_stats().expect("flushed").kernels
+        outcome.exec.kernels
     );
 }
 
@@ -141,7 +144,11 @@ fn e3_e4_power_schedules() {
     println!("|----------|-------------------|-----------------|---------------------|-------------------------------|");
     for &n in &[4u64, 8, 10, 15, 16, 31, 32, 63, 64, 100] {
         let naive = chains::naive_chain(n).expect("n >= 2").multiplies();
-        let listing5 = if n == 10 { "5".to_owned() } else { "—".to_owned() };
+        let listing5 = if n == 10 {
+            "5".to_owned()
+        } else {
+            "—".to_owned()
+        };
         let opt = chains::optimal_multiplies(n).expect("n >= 2");
         let binary = chains::binary_method_multiplies(n).expect("n >= 1");
         println!("| {n} | {naive} | {listing5} | {opt} | {binary} |");
@@ -157,9 +164,15 @@ fn e3_e4_power_schedules() {
         time_program(&power, Engine::Naive, 5) * 1e3
     );
     for (label, chain) in [
-        ("Listing 4 (naive)", chains::naive_chain(10).expect("n >= 2")),
+        (
+            "Listing 4 (naive)",
+            chains::naive_chain(10).expect("n >= 2"),
+        ),
         ("Listing 5 (paper)", chains::listing5_chain()),
-        ("optimal (this work)", chains::optimal_chain(10).expect("n >= 2")),
+        (
+            "optimal (this work)",
+            chains::optimal_chain(10).expect("n >= 2"),
+        ),
     ] {
         let p = power_chain_program(n_elems, &chain);
         println!(
@@ -198,10 +211,19 @@ fn e5_power_crossover() {
 fn e6_solve() {
     use bh_linalg::{inverse_solve_flops, lu_solve_flops, solve_lu, solve_via_inverse};
     println!("## E6 — Eq. 2: solve Ax=B via inverse vs LU factorisation\n");
-    println!("| m | flops inverse | flops LU | flop ratio | t_inverse (ms) | t_lu (ms) | speed-up |");
-    println!("|---|---------------|----------|------------|----------------|-----------|----------|");
+    println!(
+        "| m | flops inverse | flops LU | flop ratio | t_inverse (ms) | t_lu (ms) | speed-up |"
+    );
+    println!(
+        "|---|---------------|----------|------------|----------------|-----------|----------|"
+    );
     for &m in &[16usize, 32, 64, 128, 256] {
-        let mut a = random_tensor(DType::Float64, Shape::matrix(m, m), 7, Distribution::Uniform);
+        let mut a = random_tensor(
+            DType::Float64,
+            Shape::matrix(m, m),
+            7,
+            Distribution::Uniform,
+        );
         for i in 0..m {
             let v = a.get(&[i, i]).expect("diag").as_f64();
             a.set(&[i, i], Scalar::F64(v + m as f64)).expect("diag");
@@ -319,13 +341,62 @@ BH_SYNC x
     println!();
 }
 
+// --- E9: transformation-cache amortisation -------------------------------
+
+fn e9_transformation_cache() {
+    use bohrium_repro::runtime::Runtime;
+    println!("## E9 — transformation cache: fixpoint cost amortised over repeated traffic\n");
+    println!("k-add chains over 1000 f64 elements (small arrays: optimisation time");
+    println!("is comparable to execution time, the serving regime the cache targets):\n");
+    println!("| adds k | evals | t_uncached (ms) | t_cached (ms) | speed-up | hit rate |");
+    println!("|--------|-------|-----------------|---------------|----------|----------|");
+    let evals = 200;
+    for &k in &[8usize, 32, 128] {
+        let program = add_chain_program(1000, k);
+        let reg = program.reg_by_name("a0").expect("declared");
+
+        let uncached = Runtime::builder().cache_capacity(0).build();
+        let t_un = {
+            let start = Instant::now();
+            for _ in 0..evals {
+                uncached.eval(&program, &[], reg).expect("valid program");
+            }
+            start.elapsed().as_secs_f64()
+        };
+
+        let cached = Runtime::new();
+        let t_ca = {
+            let start = Instant::now();
+            for _ in 0..evals {
+                cached.eval(&program, &[], reg).expect("valid program");
+            }
+            start.elapsed().as_secs_f64()
+        };
+
+        let stats = cached.stats();
+        println!(
+            "| {k} | {evals} | {:.2} | {:.2} | {:.1}× | {:.1}% |",
+            t_un * 1e3,
+            t_ca * 1e3,
+            t_un / t_ca,
+            stats.hit_rate() * 100.0
+        );
+    }
+    println!();
+}
+
 fn time_with_inputs(program: &Program) -> f64 {
     let mut samples = Vec::new();
     for _ in 0..5 {
         let mut vm = Vm::new();
         for (i, base) in program.bases().iter().enumerate() {
             if base.is_input {
-                let mut t = random_tensor(base.dtype, base.shape.clone(), i as u64, Distribution::Uniform);
+                let mut t = random_tensor(
+                    base.dtype,
+                    base.shape.clone(),
+                    i as u64,
+                    Distribution::Uniform,
+                );
                 // Diagonal boost keeps matrices comfortably non-singular.
                 if base.shape.rank() == 2 && base.shape.dim(0) == base.shape.dim(1) {
                     let m = base.shape.dim(0);
@@ -334,7 +405,8 @@ fn time_with_inputs(program: &Program) -> f64 {
                         t.set(&[d, d], Scalar::F64(v + m as f64)).expect("diag");
                     }
                 }
-                vm.bind_by_name(program, &base.name, &t).expect("binding inputs");
+                vm.bind_by_name(program, &base.name, &t)
+                    .expect("binding inputs");
             }
         }
         let start = Instant::now();

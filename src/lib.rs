@@ -9,6 +9,8 @@
 //!   contribution (`bh-opt`)
 //! * [`linalg`] — LU/solve/inverse substrate (`bh-linalg`)
 //! * [`vm`] — the instrumented byte-code VM (`bh-vm`)
+//! * [`runtime`] — the unified optimise → plan → execute entry point with
+//!   the transformation cache (`bh-runtime`)
 //! * [`frontend`] — the lazy NumPy-flavoured front-end (`bh-frontend`)
 //!
 //! plus [`testing`], the cross-crate semantic-equivalence harness used by
@@ -23,6 +25,7 @@ pub use bh_frontend as frontend;
 pub use bh_ir as ir;
 pub use bh_linalg as linalg;
 pub use bh_opt as opt;
+pub use bh_runtime as runtime;
 pub use bh_tensor as tensor;
 pub use bh_vm as vm;
 
@@ -129,10 +132,8 @@ mod tests {
 
     #[test]
     fn run_synced_collects_only_synced_regs() {
-        let p = parse_program(
-            "BH_IDENTITY a [0:4:1] 1\nBH_IDENTITY b [0:4:1] 2\nBH_SYNC a\n",
-        )
-        .unwrap();
+        let p =
+            parse_program("BH_IDENTITY a [0:4:1] 1\nBH_IDENTITY b [0:4:1] 2\nBH_SYNC a\n").unwrap();
         let out = run_synced(&p, 1, Engine::Naive).unwrap();
         assert!(out.contains_key("a"));
         assert!(!out.contains_key("b"));
@@ -145,10 +146,7 @@ mod tests {
              BH_ADD a0 a0 1\nBH_ADD a0 a0 1\nBH_ADD a0 a0 1\nBH_SYNC a0\n",
         )
         .unwrap();
-        let opt = parse_program(
-            "BH_IDENTITY a0 [0:10:1] 0\nBH_ADD a0 a0 3\nBH_SYNC a0\n",
-        )
-        .unwrap();
+        let opt = parse_program("BH_IDENTITY a0 [0:10:1] 0\nBH_ADD a0 a0 3\nBH_SYNC a0\n").unwrap();
         assert_equivalent(&unopt, &opt, 7, 0.0);
     }
 

@@ -3,8 +3,8 @@
 
 use bohrium_repro::ir::{parse_program, parse_program_with, Opcode, ParseOptions, PrintStyle};
 use bohrium_repro::opt::{optimize, optimize_at, OptLevel};
-use bohrium_repro::testing::assert_equivalent;
 use bohrium_repro::tensor::{DType, Shape};
+use bohrium_repro::testing::assert_equivalent;
 use bohrium_repro::vm::Vm;
 
 /// Listing 2 — "Adding three ones with Bohrium", exactly as printed.
@@ -48,7 +48,10 @@ fn listing2_parses_validates_and_executes() {
     bohrium_repro::ir::validate(&p).unwrap();
     let mut vm = Vm::new();
     vm.run(&p).unwrap();
-    assert_eq!(vm.read_by_name(&p, "a0").unwrap().to_f64_vec(), vec![3.0; 10]);
+    assert_eq!(
+        vm.read_by_name(&p, "a0").unwrap().to_f64_vec(),
+        vec![3.0; 10]
+    );
 }
 
 #[test]

@@ -7,7 +7,12 @@ use bohrium_repro::tensor::{DType, Scalar, Shape, Slice};
 use proptest::prelude::*;
 
 /// Reference slicing: enumerate the selected indices the way Python does.
-fn python_slice_indices(len: usize, start: Option<i64>, stop: Option<i64>, step: i64) -> Vec<usize> {
+fn python_slice_indices(
+    len: usize,
+    start: Option<i64>,
+    stop: Option<i64>,
+    step: i64,
+) -> Vec<usize> {
     assert_ne!(step, 0);
     let n = len as i64;
     let norm = |v: i64, lower: i64, upper: i64| -> i64 {
@@ -17,11 +22,23 @@ fn python_slice_indices(len: usize, start: Option<i64>, stop: Option<i64>, step:
     let (lower, upper) = if step > 0 { (0, n) } else { (-1, n - 1) };
     let start = match start {
         Some(s) => norm(s, lower, upper),
-        None => if step > 0 { 0 } else { n - 1 },
+        None => {
+            if step > 0 {
+                0
+            } else {
+                n - 1
+            }
+        }
     };
     let stop = match stop {
         Some(s) => norm(s, lower, upper),
-        None => if step > 0 { n } else { -1 },
+        None => {
+            if step > 0 {
+                n
+            } else {
+                -1
+            }
+        }
     };
     let mut out = Vec::new();
     let mut i = start;

@@ -26,8 +26,7 @@ fn pricing_pipeline_matches_direct_computation_at_all_levels() {
     for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
         let ctx = Context::with_options(OptOptions::level(level));
         let spot = ctx.array(spot_host.clone());
-        let d1 = ((&spot / strike).ln() + (rate + vol * vol / 2.0) * time)
-            / (vol * time.sqrt());
+        let d1 = ((&spot / strike).ln() + (rate + vol * vol / 2.0) * time) / (vol * time.sqrt());
         let got = d1.eval().expect("pipeline executes");
         let expected = Tensor::from_vec(direct.clone());
         assert!(
@@ -43,7 +42,12 @@ fn pricing_pipeline_matches_direct_computation_at_all_levels() {
 #[test]
 fn three_ways_to_solve_agree() {
     let m = 24;
-    let mut a_host = random_tensor(DType::Float64, Shape::matrix(m, m), 5, Distribution::Uniform);
+    let mut a_host = random_tensor(
+        DType::Float64,
+        Shape::matrix(m, m),
+        5,
+        Distribution::Uniform,
+    );
     for i in 0..m {
         let v = a_host.get(&[i, i]).unwrap().as_f64();
         a_host.set(&[i, i], Scalar::F64(v + m as f64)).unwrap();
@@ -117,7 +121,11 @@ BH_SYNC w
     vm_fused.run(&optimized).unwrap();
     let got = vm_fused.read_by_name(&optimized, "w").unwrap();
 
-    assert!(expected.allclose(&got, 1e-6), "diff {}", expected.max_abs_diff(&got));
+    assert!(
+        expected.allclose(&got, 1e-6),
+        "diff {}",
+        expected.max_abs_diff(&got)
+    );
     // The optimised program does strictly less work.
     assert!(vm_fused.stats().flops < vm_ref.stats().flops);
 }

@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of criterion's API the workspace benches use —
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{throughput,
+//! sample_size, bench_with_input, bench_function, finish}`, `Bencher::iter`
+//! and the `criterion_group!` / `criterion_main!` macros — with a plain
+//! median-of-samples timer instead of criterion's statistical machinery.
+//! `cargo bench --no-run` type-checks the real bench shapes; `cargo bench`
+//! prints one median line per benchmark.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 10, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchmarkGroup").finish_non_exhaustive()
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.label, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (reporting happens as benches run).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples,
+        medians: Vec::new(),
+    };
+    f(&mut bencher);
+    let median = bencher.medians.last().copied().unwrap_or(f64::NAN);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:.1} Melem/s", n as f64 / median / 1e6)
+        }
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) if median > 0.0 => {
+            format!("  {:.1} MB/s", n as f64 / median / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("  {label}: median {:.3} ms{rate}", median * 1e3);
+}
+
+/// Per-iteration work units, used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration (binary units in criterion proper).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal units).
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: function label plus parameter display.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    medians: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, recording the median of this bencher's sample count.
+    /// One warm-up call runs untimed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        self.medians.push(times[times.len() / 2]);
+    }
+}
+
+/// Opaque value sink preventing the optimiser from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions (stand-in for criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point (stand-in for criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bench_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10)).sample_size(3);
+        let input = 21u64;
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("double", input), &input, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                n * 2
+            })
+        });
+        group.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}
