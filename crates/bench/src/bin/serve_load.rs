@@ -1,0 +1,247 @@
+//! Closed-loop multi-tenant load generator for `bh-serve`.
+//!
+//! Drives the same request trace through two configurations and writes
+//! `BENCH_serve.json` (throughput + latency percentiles) so the repo has
+//! a perf trajectory for the serving layer:
+//!
+//! * **naive** — the one-eval-per-request loop: every request pays its
+//!   own digest computation, plan-cache lookup and VM checkout via
+//!   `Runtime::eval`, in the round-robin tenant order an unbatched
+//!   server would process them.
+//! * **serve** — the batching [`Server`]: per-tenant closed-loop clients
+//!   submit bursts; same-digest requests group into micro-batches that
+//!   share one plan lookup and one pinned VM.
+//!
+//! Two workloads are measured. `churn` is the serving regime the
+//! scheduler exists for: the tenant-program population (one program per
+//! tenant) exceeds the plan-cache capacity, so the naive loop re-runs
+//! the optimiser per request while the batcher amortises it per batch.
+//! `hot` is the all-cache-hit regime (a single shared program), where
+//! batching only amortises per-eval bookkeeping.
+
+use bh_runtime::Runtime;
+use bh_serve::{ProgramHandle, Request, Server};
+use bh_tensor::Tensor;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TENANTS: usize = 16;
+const ROUNDS: usize = 48; // requests per tenant
+const BURST: usize = 16; // in-flight requests per closed-loop client
+const CACHE_CAPACITY: usize = 8; // < TENANTS: the churn regime
+const MAX_BATCH: usize = 16;
+const WORKERS: usize = 2;
+
+/// One tenant's program: `k` adds over its own vector length, so every
+/// tenant has a distinct structural digest but comparable work.
+fn tenant_program(tenant: usize) -> ProgramHandle {
+    let n = 48 + tenant;
+    let mut text = format!(".base x f64[{n}] input\n.base a f64[{n}]\nBH_IDENTITY a 0\n");
+    for _ in 0..24 {
+        text.push_str("BH_ADD a a 1\n");
+    }
+    text.push_str("BH_ADD a a x\nBH_SYNC a\n");
+    ProgramHandle::new(bh_ir::parse_program(&text).expect("generated program parses"))
+}
+
+fn runtime() -> Arc<Runtime> {
+    Runtime::builder()
+        .cache_capacity(CACHE_CAPACITY)
+        .build_shared()
+}
+
+struct Measured {
+    requests: usize,
+    elapsed: Duration,
+    mean_batch: f64,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+}
+
+impl Measured {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// The one-eval-per-request loop over the interleaved tenant trace.
+fn run_naive(handles: &[ProgramHandle], rounds: usize) -> Measured {
+    let rt = runtime();
+    let inputs: Vec<Tensor> = handles
+        .iter()
+        .map(|h| {
+            let x = h.program().reg_by_name("x").expect("input register");
+            Tensor::from_vec(vec![1.0f64; h.program().base(x).shape.nelem()])
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(rounds * handles.len());
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for (t, h) in handles.iter().enumerate() {
+            let x = h.program().reg_by_name("x").expect("input register");
+            let a = h.program().reg_by_name("a").expect("result register");
+            let begun = Instant::now();
+            let (value, _) = rt
+                .eval(h.program(), &[(x, inputs[t].clone())], a)
+                .expect("bench program evaluates");
+            assert_eq!(value.to_f64_vec()[0], 25.0);
+            latencies.push(begun.elapsed());
+        }
+    }
+    let elapsed = start.elapsed();
+    latencies.sort();
+    let pick =
+        |q: f64| latencies[((q * (latencies.len() - 1) as f64) as usize).min(latencies.len() - 1)];
+    Measured {
+        requests: latencies.len(),
+        elapsed,
+        mean_batch: 1.0,
+        p50: pick(0.50),
+        p95: pick(0.95),
+        p99: pick(0.99),
+    }
+}
+
+/// The same trace through the batching server: one closed-loop client
+/// thread per tenant, submitting `BURST` tickets then waiting for them.
+fn run_serve(handles: &[ProgramHandle], rounds: usize) -> Measured {
+    let server = Arc::new(
+        Server::builder(runtime())
+            .workers(WORKERS)
+            .queue_capacity(TENANTS * BURST * 2)
+            .max_batch(MAX_BATCH)
+            .build(),
+    );
+    let start = Instant::now();
+    let clients: Vec<_> = handles
+        .iter()
+        .enumerate()
+        .map(|(t, h)| {
+            let server = Arc::clone(&server);
+            let h = h.clone();
+            std::thread::spawn(move || {
+                let x = h.program().reg_by_name("x").expect("input register");
+                let a = h.program().reg_by_name("a").expect("result register");
+                let n = h.program().base(x).shape.nelem();
+                let input = Tensor::from_vec(vec![1.0f64; n]);
+                let tenant = format!("tenant-{t}");
+                let mut remaining = rounds;
+                while remaining > 0 {
+                    let burst = remaining.min(BURST);
+                    let tickets: Vec<_> = (0..burst)
+                        .map(|_| {
+                            server
+                                .submit(
+                                    Request::with_handle(&*tenant, &h)
+                                        .bind(x, input.clone())
+                                        .read(a),
+                                )
+                                .expect("queue sized for every in-flight request")
+                        })
+                        .collect();
+                    for ticket in tickets {
+                        let r = ticket.wait().expect("bench program evaluates");
+                        assert_eq!(r.value.expect("read requested").to_f64_vec()[0], 25.0);
+                    }
+                    remaining -= burst;
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+    Measured {
+        requests: (rounds * handles.len()),
+        elapsed,
+        mean_batch: stats.mean_batch_size(),
+        p50: stats.latency.p50(),
+        p95: stats.latency.p95(),
+        p99: stats.latency.p99(),
+    }
+}
+
+fn json_section(out: &mut String, name: &str, naive: &Measured, serve: &Measured) {
+    let speedup = serve.rps() / naive.rps();
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let _ = write!(
+        out,
+        "  \"{name}\": {{\n    \"requests\": {},\n    \"naive_rps\": {:.1},\n    \
+         \"serve_rps\": {:.1},\n    \"speedup\": {:.2},\n    \"mean_batch\": {:.2},\n    \
+         \"naive_p50_us\": {:.1},\n    \"serve_p50_us\": {:.1},\n    \
+         \"serve_p95_us\": {:.1},\n    \"serve_p99_us\": {:.1}\n  }}",
+        serve.requests,
+        naive.rps(),
+        serve.rps(),
+        speedup,
+        serve.mean_batch,
+        us(naive.p50),
+        us(serve.p50),
+        us(serve.p95),
+        us(serve.p99),
+    );
+}
+
+fn main() {
+    // Distinct program per tenant (churn: population > cache capacity).
+    let churn_handles: Vec<ProgramHandle> = (0..TENANTS).map(tenant_program).collect();
+    // One shared program for every tenant (hot: pure cache hits).
+    let hot_handles: Vec<ProgramHandle> = (0..TENANTS).map(|_| tenant_program(0)).collect();
+
+    eprintln!(
+        "serve_load: {TENANTS} tenants x {ROUNDS} requests, burst {BURST}, \
+         max_batch {MAX_BATCH}, plan cache {CACHE_CAPACITY}"
+    );
+
+    // Warm-up pass so one-time costs (thread spawn paths, allocator)
+    // don't skew whichever side runs first.
+    run_naive(&churn_handles[..2], 4);
+    run_serve(&churn_handles[..2], 4);
+
+    let churn_naive = run_naive(&churn_handles, ROUNDS);
+    let churn_serve = run_serve(&churn_handles, ROUNDS);
+    let hot_naive = run_naive(&hot_handles, ROUNDS);
+    let hot_serve = run_serve(&hot_handles, ROUNDS);
+
+    let churn_speedup = churn_serve.rps() / churn_naive.rps();
+    let hot_speedup = hot_serve.rps() / hot_naive.rps();
+    eprintln!(
+        "churn: naive {:.0} req/s vs serve {:.0} req/s ({:.2}x, mean batch {:.1})",
+        churn_naive.rps(),
+        churn_serve.rps(),
+        churn_speedup,
+        churn_serve.mean_batch,
+    );
+    eprintln!(
+        "hot:   naive {:.0} req/s vs serve {:.0} req/s ({:.2}x, mean batch {:.1})",
+        hot_naive.rps(),
+        hot_serve.rps(),
+        hot_speedup,
+        hot_serve.mean_batch,
+    );
+
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "  \"config\": {{\n    \"tenants\": {TENANTS},\n    \"rounds\": {ROUNDS},\n    \
+         \"burst\": {BURST},\n    \"max_batch\": {MAX_BATCH},\n    \
+         \"workers\": {WORKERS},\n    \"plan_cache_capacity\": {CACHE_CAPACITY}\n  }},\n"
+    );
+    json_section(&mut out, "churn", &churn_naive, &churn_serve);
+    out.push_str(",\n");
+    json_section(&mut out, "hot", &hot_naive, &hot_serve);
+    out.push_str("\n}\n");
+    std::fs::write("BENCH_serve.json", &out).expect("write BENCH_serve.json");
+    eprintln!("wrote BENCH_serve.json");
+
+    assert!(
+        churn_speedup >= 2.0,
+        "digest batching must be >= 2x the naive loop on the repeated-program \
+         (churn) workload, measured {churn_speedup:.2}x"
+    );
+}

@@ -141,6 +141,52 @@ impl Liveness {
     }
 }
 
+/// True when re-executing `program` on a VM that still holds base
+/// buffers from a previous run of the *same* program is observationally
+/// identical to executing it on a fresh VM — **provided every base
+/// declared `input` is re-bound wholesale before the run**.
+///
+/// A re-run only observes leftover state through a read of a non-input
+/// register position the current run has not yet defined. So the program
+/// is re-run safe when every read of a non-input register is preceded by
+/// a *full* write ([`is_full_write`]) or a `BH_FREE` (a freed base
+/// re-allocates zero-filled, exactly the state a first run sees).
+/// Partial-view writes define nothing for this purpose: validation
+/// accepts `write a[0:2] ; read a[0:4]`, whose untouched tail would leak
+/// the previous run's values.
+///
+/// Batched serving uses this to decide whether a pinned VM may run a
+/// plan back-to-back without recycling between requests; a `false`
+/// answer costs a recycle, never correctness.
+pub fn rerun_safe(program: &Program) -> bool {
+    use crate::opcode::Opcode;
+    use crate::operand::Operand;
+    // `fresh[r]`: the current content of `r` is independent of pre-run
+    // VM state (input rebound, fully rewritten, or discarded).
+    let mut fresh: Vec<bool> = program.bases().iter().map(|b| b.is_input).collect();
+    for instr in program.instrs() {
+        if instr.op == Opcode::Free {
+            if let Some(v) = instr.operands.first().and_then(|o| o.as_view()) {
+                fresh[v.reg.index()] = true;
+            }
+            continue;
+        }
+        for o in instr.inputs() {
+            if let Operand::View(v) = o {
+                if !fresh[v.reg.index()] {
+                    return false;
+                }
+            }
+        }
+        if let Some(v) = instr.out_view() {
+            if is_full_write(program, instr) {
+                fresh[v.reg.index()] = true;
+            }
+        }
+    }
+    true
+}
+
 /// True when the instruction's output view covers its whole base, so the
 /// write fully replaces the register's previous value.
 pub fn is_full_write(program: &Program, instr: &Instruction) -> bool {
@@ -271,5 +317,56 @@ mod tests {
         let p = b.build();
         let du = DefUse::compute(&p);
         assert_eq!(du.uses(a1), &[1]);
+    }
+
+    #[test]
+    fn rerun_safe_full_write_chains() {
+        // Listing 2 fully initialises before every read.
+        assert!(rerun_safe(&listing2()));
+    }
+
+    #[test]
+    fn rerun_safe_rejects_partial_write_then_full_read() {
+        // `y[0:2] = 5; y[0:4] += 1; sync y` validates (the partial write
+        // marks y written) but the untouched tail of y would carry a
+        // previous run's residue.
+        let p = crate::parse_program(
+            ".base y f64[4]\n\
+             BH_IDENTITY y [0:2:1] 5\n\
+             BH_ADD y y 1\n\
+             BH_SYNC y\n",
+        )
+        .unwrap();
+        assert!(crate::validate(&p).is_ok());
+        assert!(!rerun_safe(&p));
+    }
+
+    #[test]
+    fn rerun_safe_trusts_rebound_inputs() {
+        let p =
+            crate::parse_program(".base x f64[4] input\n.base y f64[4]\nBH_ADD y x 1\nBH_SYNC y\n")
+                .unwrap();
+        assert!(rerun_safe(&p));
+    }
+
+    #[test]
+    fn rerun_safe_rejects_sync_of_partially_written_register() {
+        let p =
+            crate::parse_program(".base y f64[4]\nBH_IDENTITY y [0:2:1] 5\nBH_SYNC y\n").unwrap();
+        assert!(!rerun_safe(&p));
+    }
+
+    #[test]
+    fn rerun_safe_treats_free_as_reset() {
+        // Freed then re-read: both a fresh and a reused VM re-allocate
+        // zero-filled, so the re-run observes nothing stale.
+        let p = crate::parse_program(
+            "BH_IDENTITY a [0:4:1] 1\n\
+             BH_FREE a\n\
+             BH_ADD b [0:4:1] a [0:4:1] 1\n\
+             BH_SYNC b\n",
+        )
+        .unwrap();
+        assert!(rerun_safe(&p));
     }
 }

@@ -40,7 +40,7 @@ mod parse;
 mod program;
 pub mod validate;
 
-pub use analysis::{is_full_write, DefUse, Liveness};
+pub use analysis::{is_full_write, rerun_safe, DefUse, Liveness};
 pub use digest::ProgramDigest;
 pub use instr::Instruction;
 pub use opcode::{OpKind, Opcode, OpcodeTypeError, ParseOpcodeError, TypeRule, ALL_OPCODES};

@@ -5,7 +5,7 @@ use crate::stats::RuntimeStats;
 use bh_ir::Program;
 use bh_opt::{OptLevel, OptOptions, Optimizer, RewriteCtx};
 use bh_tensor::Tensor;
-use bh_vm::{Engine, Vm, VmError};
+use bh_vm::{Engine, PooledVm, Vm, VmError, VmPool};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
@@ -69,12 +69,10 @@ impl EvalOutcome {
 /// ```
 pub struct Runtime {
     options: OptOptions,
-    engine: Engine,
-    threads: usize,
     cache_capacity: usize,
     cache: Mutex<TransformCache>,
     stats: Mutex<RuntimeStats>,
-    vm_pool: Mutex<Vec<Vm>>,
+    vm_pool: VmPool,
     sink: Option<StatsSink>,
 }
 
@@ -88,8 +86,8 @@ impl fmt::Debug for Runtime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Runtime")
             .field("options", &self.options)
-            .field("engine", &self.engine)
-            .field("threads", &self.threads)
+            .field("engine", &self.vm_pool.engine())
+            .field("threads", &self.vm_pool.threads())
             .field("cached_plans", &self.cache.lock().len())
             .field("stats", &*self.stats.lock())
             .finish_non_exhaustive()
@@ -115,12 +113,12 @@ impl Runtime {
 
     /// The execution engine evaluations run on.
     pub fn engine(&self) -> Engine {
-        self.engine
+        self.vm_pool.engine()
     }
 
     /// Worker threads handed to each VM.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.vm_pool.threads()
     }
 
     /// Configured capacity of the transformation cache (0 = disabled).
@@ -266,58 +264,75 @@ impl Runtime {
         options: &OptOptions,
     ) -> Result<(EvalOutcome, Option<Tensor>), VmError> {
         let (plan, cache_hit) = self.prepare_with(program, options)?;
-        let mut vm = self.checkout_vm();
-        let run = (|| -> Result<Option<Tensor>, VmError> {
-            for (reg, tensor) in bindings {
-                vm.bind(&plan.program, *reg, tensor)?;
-            }
-            // Validated at plan-build time; skip re-validation per run.
-            vm.run_unchecked(&plan.program)?;
-            match result {
-                Some(reg) => Ok(Some(vm.read(&plan.program, reg)?)),
-                None => Ok(None),
-            }
-        })();
-        let exec = *vm.stats();
-        self.checkin_vm(vm);
-        let value = run?;
+        let mut vm = self.lease_vm();
+        let (value, outcome) = self.eval_prepared(&plan, &mut vm, bindings, result, cache_hit)?;
+        Ok((outcome, value))
+    }
+
+    /// Check a clean, correctly configured VM out of the runtime's pool.
+    /// Dropping the guard recycles it back in. A serving layer pins one
+    /// lease per micro-batch so the VM's base-slot table — and, across
+    /// same-plan runs, its base buffers — amortise over the batch.
+    pub fn lease_vm(&self) -> PooledVm<'_> {
+        self.vm_pool.checkout()
+    }
+
+    /// Execute an already-prepared plan on a caller-held VM: the
+    /// batched-serving hot path. Skips the digest computation, the cache
+    /// lookup *and* the per-eval VM checkout that [`Runtime::eval`] pays;
+    /// the plan was validated when it was built, so execution is
+    /// unchecked.
+    ///
+    /// The VM is **not** recycled, so back-to-back calls with the *same*
+    /// plan reuse its base buffers. That reuse is only observation-free
+    /// when `bh_ir::analysis::rerun_safe(&plan.program)` holds **and**
+    /// every base declared `input` appears in `bindings` (rebinding
+    /// replaces the buffer wholesale); otherwise — and always when
+    /// switching plans — call [`Vm::recycle`] between runs. The serve
+    /// batcher checks exactly these two conditions per request (see
+    /// DESIGN.md §7).
+    ///
+    /// `cache_hit` is recorded on the returned [`EvalOutcome`] (pass the
+    /// flag [`Runtime::prepare`] returned, or `true` when re-running a
+    /// held plan).
+    ///
+    /// # Errors
+    ///
+    /// Binding mismatches or execution failures. On error the VM may hold
+    /// partial state; recycle it before reuse.
+    pub fn eval_prepared(
+        &self,
+        plan: &Arc<EvalPlan>,
+        vm: &mut Vm,
+        bindings: &[(bh_ir::Reg, Tensor)],
+        result: Option<bh_ir::Reg>,
+        cache_hit: bool,
+    ) -> Result<(Option<Tensor>, EvalOutcome), VmError> {
+        let before = *vm.stats();
+        for (reg, tensor) in bindings {
+            vm.bind(&plan.program, *reg, tensor)?;
+        }
+        // Validated at plan-build time; skip re-validation per run.
+        vm.run_unchecked(&plan.program)?;
+        let value = match result {
+            Some(reg) => Some(vm.read(&plan.program, reg)?),
+            None => None,
+        };
+        let exec = vm.stats().since(&before);
         {
             let mut stats = self.stats.lock();
             stats.evals += 1;
             stats.exec += exec;
         }
         let outcome = EvalOutcome {
-            plan,
+            plan: Arc::clone(plan),
             exec,
             cache_hit,
         };
         if let Some(sink) = &self.sink {
             sink(&outcome);
         }
-        Ok((outcome, value))
-    }
-
-    /// Grab a recycled VM (engine/threads refreshed) or build one.
-    fn checkout_vm(&self) -> Vm {
-        let mut vm = self
-            .vm_pool
-            .lock()
-            .pop()
-            .unwrap_or_else(|| Vm::with_engine(self.engine));
-        vm.recycle();
-        vm.set_engine(self.engine);
-        vm.set_threads(self.threads);
-        vm
-    }
-
-    fn checkin_vm(&self, mut vm: Vm) {
-        // Recycle on the way *in*, not just out: an idle pooled VM must
-        // not pin the base buffers of the last program it executed.
-        vm.recycle();
-        let mut pool = self.vm_pool.lock();
-        if pool.len() < VM_POOL_LIMIT {
-            pool.push(vm);
-        }
+        Ok((value, outcome))
     }
 }
 
@@ -435,12 +450,10 @@ impl RuntimeBuilder {
     pub fn build(self) -> Runtime {
         Runtime {
             options: self.options,
-            engine: self.engine,
-            threads: self.threads,
             cache_capacity: self.cache_capacity,
             cache: Mutex::new(TransformCache::new(self.cache_capacity)),
             stats: Mutex::new(RuntimeStats::new()),
-            vm_pool: Mutex::new(Vec::new()),
+            vm_pool: VmPool::new(self.engine, self.threads, VM_POOL_LIMIT),
             sink: self.sink,
         }
     }
@@ -593,7 +606,7 @@ mod tests {
             let (v, _) = rt.eval(&p, &[], reg).unwrap();
             assert_eq!(v.to_f64_vec(), vec![3.0; 10]);
         }
-        assert!(rt.vm_pool.lock().len() <= VM_POOL_LIMIT);
+        assert!(rt.vm_pool.idle() <= VM_POOL_LIMIT);
         // A different program through the same pooled VMs still computes
         // correctly (no stale bindings).
         let q = parse_program("BH_IDENTITY b [0:4:1] 7\nBH_SYNC b\n").unwrap();
@@ -641,6 +654,48 @@ mod tests {
         assert_eq!(rt.threads(), 3);
         let _ = Shape::vector(1);
         let _ = DType::Float64;
+    }
+
+    #[test]
+    fn eval_prepared_on_a_pinned_vm_matches_eval() {
+        let rt = Runtime::new();
+        let p = parse_program(".base x f64[4] input\n.base y f64[4]\nBH_ADD y x 1\nBH_SYNC y\n")
+            .unwrap();
+        let x = p.reg_by_name("x").unwrap();
+        let y = p.reg_by_name("y").unwrap();
+        let (plan, hit) = rt.prepare(&p).unwrap();
+        assert!(!hit);
+        let mut vm = rt.lease_vm();
+        // A whole batch back-to-back on one pinned VM, rebinding inputs.
+        for i in 0..5 {
+            let input = Tensor::from_vec(vec![i as f64; 4]);
+            let (v, o) = rt
+                .eval_prepared(&plan, &mut vm, &[(x, input)], Some(y), true)
+                .unwrap();
+            assert_eq!(v.unwrap().to_f64_vec(), vec![i as f64 + 1.0; 4]);
+            assert!(o.cache_hit);
+            // Per-run deltas, not accumulated totals.
+            assert_eq!(o.exec.syncs, 1);
+        }
+        assert_eq!(rt.stats().evals, 5);
+        // The prepared path never re-ran the optimiser.
+        assert_eq!(rt.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn eval_prepared_binds_cow_inputs_without_copying() {
+        let rt = Runtime::new();
+        let p = parse_program(".base x f64[8] input\nBH_SYNC x\n").unwrap();
+        let x = p.reg_by_name("x").unwrap();
+        let (plan, _) = rt.prepare(&p).unwrap();
+        let input = Tensor::from_vec(vec![2.5f64; 8]);
+        let mut vm = rt.lease_vm();
+        let (v, _) = rt
+            .eval_prepared(&plan, &mut vm, &[(x, input.clone())], Some(x), true)
+            .unwrap();
+        // Bind and read-back are O(1) Arc bumps: the result still shares
+        // the caller's allocation.
+        assert!(v.unwrap().shares_storage_with(&input));
     }
 
     #[test]

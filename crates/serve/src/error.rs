@@ -1,0 +1,80 @@
+//! Serving-layer errors.
+
+use bh_vm::VmError;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a request was rejected, expired or failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The submission queue was at capacity (backpressure): the request
+    /// was rejected *at submit time* and never enqueued. Retry later or
+    /// shed load upstream.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The request's deadline passed before execution started; it was
+    /// failed fast without occupying a worker.
+    DeadlineExceeded {
+        /// How far past the deadline the scheduler observed it.
+        missed_by: Duration,
+    },
+    /// The server is shutting down (or has shut down) and no longer
+    /// accepts submissions.
+    Shutdown,
+    /// Preparation or execution of the request's program failed.
+    Eval(VmError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServeError::DeadlineExceeded { missed_by } => {
+                write!(f, "deadline exceeded by {missed_by:?}")
+            }
+            ServeError::Shutdown => write!(f, "server is shut down"),
+            ServeError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for ServeError {
+    fn from(e: VmError) -> ServeError {
+        ServeError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServeError::QueueFull { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        let e = ServeError::DeadlineExceeded {
+            missed_by: Duration::from_millis(5),
+        };
+        assert!(e.to_string().contains("deadline"));
+        let e: ServeError = VmError::Register {
+            reason: "r0".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("evaluation failed"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Requests, responses and the completion ticket.
+
+use crate::error::ServeError;
+use bh_ir::{Program, ProgramDigest, Reg};
+use bh_runtime::EvalOutcome;
+use bh_tensor::Tensor;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::{Arc, Condvar};
+use std::time::Duration;
+
+/// A program paired with its precomputed structural digest.
+///
+/// Submitting through a handle makes enqueueing O(1): the digest — the
+/// batching key — is computed once here instead of once per request.
+/// Clients serving repeated traffic should build one handle per logical
+/// program and reuse it.
+#[derive(Clone)]
+pub struct ProgramHandle {
+    program: Arc<Program>,
+    digest: ProgramDigest,
+}
+
+impl ProgramHandle {
+    /// Digest and wrap a program.
+    pub fn new(program: Program) -> ProgramHandle {
+        ProgramHandle::from_arc(Arc::new(program))
+    }
+
+    /// Digest an already-shared program.
+    pub fn from_arc(program: Arc<Program>) -> ProgramHandle {
+        let digest = program.structural_digest();
+        ProgramHandle { program, digest }
+    }
+
+    /// The wrapped program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The structural digest requests made from this handle batch under.
+    pub fn digest(&self) -> &ProgramDigest {
+        &self.digest
+    }
+}
+
+impl fmt::Debug for ProgramHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ProgramHandle({} instrs, digest {})",
+            self.program.instrs().len(),
+            self.digest
+        )
+    }
+}
+
+/// One unit of work for the server: which tenant it belongs to, what to
+/// run, what to bind, what to read back, and how long it may wait.
+pub struct Request {
+    pub(crate) tenant: String,
+    pub(crate) program: Arc<Program>,
+    pub(crate) digest: ProgramDigest,
+    pub(crate) bindings: Vec<(Reg, Tensor)>,
+    pub(crate) result: Option<Reg>,
+    pub(crate) deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request for `tenant` running `program` (digested here; prefer
+    /// [`Request::with_handle`] on repeated traffic).
+    pub fn new(tenant: impl Into<String>, program: Program) -> Request {
+        Request::with_handle(tenant, &ProgramHandle::new(program))
+    }
+
+    /// A request reusing a [`ProgramHandle`]'s program and digest.
+    pub fn with_handle(tenant: impl Into<String>, handle: &ProgramHandle) -> Request {
+        Request {
+            tenant: tenant.into(),
+            program: Arc::clone(handle.program()),
+            digest: handle.digest().clone(),
+            bindings: Vec::new(),
+            result: None,
+            deadline: None,
+        }
+    }
+
+    /// Bind an input tensor to a register (O(1): copy-on-write share).
+    #[must_use]
+    pub fn bind(mut self, reg: Reg, tensor: Tensor) -> Request {
+        self.bindings.push((reg, tensor));
+        self
+    }
+
+    /// Read this register back as [`Response::value`] after execution.
+    #[must_use]
+    pub fn read(mut self, reg: Reg) -> Request {
+        self.result = Some(reg);
+        self
+    }
+
+    /// Fail fast with [`ServeError::DeadlineExceeded`] if execution has
+    /// not *started* within `deadline` of submission (overrides the
+    /// server's default deadline).
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The tenant this request is scheduled under.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The digest this request batches under.
+    pub fn digest(&self) -> &ProgramDigest {
+        &self.digest
+    }
+}
+
+impl fmt::Debug for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Request")
+            .field("tenant", &self.tenant)
+            .field("digest", &self.digest.to_string())
+            .field("bindings", &self.bindings.len())
+            .field("result", &self.result)
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+/// What a completed request resolves to.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The tensor read back, when the request asked for one.
+    pub value: Option<Tensor>,
+    /// Plan, per-run counters and cache-hit flag from the runtime.
+    pub outcome: EvalOutcome,
+    /// How many requests shared this request's batch (including it).
+    pub batch_size: usize,
+    /// Time spent queued before its batch started executing.
+    pub queue_wait: Duration,
+    /// Total time from submission to completion.
+    pub turnaround: Duration,
+}
+
+/// One-shot completion slot shared between a [`Ticket`] and the worker
+/// that resolves it. Every submitted request resolves exactly once.
+pub(crate) struct Slot {
+    state: Mutex<Option<Result<Response, ServeError>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    pub(crate) fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Resolve the request. Panics if it was already resolved — the
+    /// scheduler owns each queued request exclusively, so a double
+    /// completion is a scheduler bug, not a recoverable condition.
+    pub(crate) fn complete(&self, result: Result<Response, ServeError>) {
+        let mut state = self.state.lock();
+        assert!(state.is_none(), "request completed twice");
+        *state = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// Handle returned by a successful submission; redeem it with
+/// [`Ticket::wait`] for the request's outcome.
+pub struct Ticket {
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Block until the request resolves (completion, deadline expiry or
+    /// evaluation failure).
+    ///
+    /// # Errors
+    ///
+    /// The [`ServeError`] the scheduler resolved the request with.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut state = self.slot.state.lock();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            // The vendored parking_lot guard *is* a std guard, so the std
+            // condvar pairs with it; recover rather than propagate poison.
+            state = self.slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// True once the request has resolved ([`Ticket::wait`] won't block).
+    pub fn is_done(&self) -> bool {
+        self.slot.state.lock().is_some()
+    }
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ticket(done: {})", self.is_done())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::parse_program;
+
+    #[test]
+    fn handle_precomputes_the_digest() {
+        let p = parse_program("BH_IDENTITY a [0:4:1] 1\nBH_SYNC a\n").unwrap();
+        let h = ProgramHandle::new(p.clone());
+        assert_eq!(h.digest(), &p.structural_digest());
+        let r = Request::with_handle("acme", &h);
+        assert_eq!(r.digest(), h.digest());
+        assert_eq!(r.tenant(), "acme");
+    }
+
+    #[test]
+    fn ticket_resolves_once() {
+        let slot = Slot::new();
+        let ticket = Ticket {
+            slot: Arc::clone(&slot),
+        };
+        assert!(!ticket.is_done());
+        slot.complete(Err(ServeError::Shutdown));
+        assert!(ticket.is_done());
+        assert!(matches!(ticket.wait(), Err(ServeError::Shutdown)));
+    }
+
+    #[test]
+    fn wait_blocks_until_completed_from_another_thread() {
+        let slot = Slot::new();
+        let ticket = Ticket {
+            slot: Arc::clone(&slot),
+        };
+        let t = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        slot.complete(Err(ServeError::Shutdown));
+        assert!(matches!(t.join().unwrap(), Err(ServeError::Shutdown)));
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_completion_is_a_bug() {
+        let slot = Slot::new();
+        slot.complete(Err(ServeError::Shutdown));
+        slot.complete(Err(ServeError::Shutdown));
+    }
+}

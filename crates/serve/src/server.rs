@@ -1,0 +1,570 @@
+//! The multi-tenant batching server.
+//!
+//! ```text
+//!  submit()──►[tenant queues]──►(round-robin leader pick)
+//!                  │                    │
+//!             backpressure      digest-keyed gather
+//!            (QueueFull when    (same ProgramDigest,
+//!             depth==capacity)   up to max_batch)
+//!                                       │
+//!                                 ┌─────▼─────┐
+//!                                 │ worker(s) │ prepare plan once,
+//!                                 │           │ pin one pooled VM,
+//!                                 └─────┬─────┘ run batch back-to-back
+//!                                       │
+//!                                 Ticket::wait()
+//! ```
+
+use crate::error::ServeError;
+use crate::request::{Request, Response, Slot, Ticket};
+use crate::stats::{ServeReport, ServeStats};
+use bh_ir::{Program, ProgramDigest, Reg};
+use bh_runtime::Runtime;
+use bh_tensor::Tensor;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A submission the server bounced instead of enqueueing; holds the
+/// request so the caller can retry or shed it deliberately.
+#[derive(Debug)]
+pub struct Rejected {
+    /// The request, returned unconsumed.
+    pub request: Request,
+    /// Why it was rejected ([`ServeError::QueueFull`] or
+    /// [`ServeError::Shutdown`]).
+    pub reason: ServeError,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request rejected: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// A request as it sits in a tenant queue.
+struct Queued {
+    program: Arc<Program>,
+    digest: ProgramDigest,
+    bindings: Vec<(Reg, Tensor)>,
+    result: Option<Reg>,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    slot: Arc<Slot>,
+}
+
+/// Scheduler state behind one mutex: per-tenant FIFOs plus the
+/// round-robin service ring. Tenant state is dropped as soon as a
+/// tenant's queue drains, so a long-lived server fed ephemeral tenant
+/// IDs does not accumulate memory or scan cost.
+struct Sched {
+    queues: HashMap<String, VecDeque<Queued>>,
+    /// Tenants awaiting service, in rotation order. May hold stale names
+    /// (tenant drained by a gather) — skipped and discarded on pop.
+    ring: VecDeque<String>,
+    queued: usize,
+}
+
+impl Sched {
+    fn enqueue(&mut self, tenant: &str, request: Queued) {
+        match self.queues.get_mut(tenant) {
+            Some(queue) => queue.push_back(request),
+            None => {
+                self.queues
+                    .insert(tenant.to_owned(), VecDeque::from([request]));
+                self.ring.push_back(tenant.to_owned());
+            }
+        }
+        self.queued += 1;
+    }
+
+    /// Pop the next micro-batch, or `None` when nothing is queued.
+    ///
+    /// The *leader* comes from the tenant at the front of the service
+    /// ring, which rotates — that is the fairness guarantee: a tenant
+    /// flooding its own queue cannot delay another tenant's head-of-line
+    /// request by more than one batch per other waiting tenant. The rest
+    /// of the batch is every queued request (any tenant) whose digest
+    /// matches the leader's, up to `max_batch`; pulling a matching
+    /// request forward never delays anyone else.
+    fn next_batch(&mut self, max_batch: usize) -> Option<Vec<Queued>> {
+        let (tenant, leader) = loop {
+            let name = self.ring.pop_front()?;
+            // Stale ring entries (tenant drained by an earlier gather)
+            // fall through and are dropped.
+            if let Some(queue) = self.queues.get_mut(&name) {
+                let leader = queue.pop_front().expect("empty queues are removed");
+                break (name, leader);
+            }
+        };
+        self.queued -= 1;
+        let mut batch = vec![leader];
+        if max_batch > 1 {
+            for queue in self.queues.values_mut() {
+                while batch.len() < max_batch {
+                    let Some(i) = queue.iter().position(|r| r.digest == batch[0].digest) else {
+                        break;
+                    };
+                    batch.push(queue.remove(i).expect("index in range"));
+                    self.queued -= 1;
+                }
+                if batch.len() >= max_batch {
+                    break;
+                }
+            }
+        }
+        // Drop drained tenants entirely; rotate the leader to the back of
+        // the ring if it still has work.
+        self.queues.retain(|_, queue| !queue.is_empty());
+        if self.queues.contains_key(&tenant) {
+            self.ring.push_back(tenant);
+        }
+        Some(batch)
+    }
+}
+
+struct Shared {
+    runtime: Arc<Runtime>,
+    capacity: usize,
+    max_batch: usize,
+    default_deadline: Option<Duration>,
+    sched: Mutex<Sched>,
+    work: Condvar,
+    stats: Mutex<ServeStats>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn process_batch(&self, batch: Vec<Queued>) {
+        let started = Instant::now();
+        let mut expired = 0u64;
+        let mut live = Vec::with_capacity(batch.len());
+        for r in batch {
+            match r.deadline {
+                Some(d) if d < started => {
+                    expired += 1;
+                    r.slot.complete(Err(ServeError::DeadlineExceeded {
+                        missed_by: started - d,
+                    }));
+                }
+                _ => live.push(r),
+            }
+        }
+        if live.is_empty() {
+            if expired > 0 {
+                self.stats.lock().expired += expired;
+            }
+            return;
+        }
+
+        let batch_size = live.len();
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        let mut latencies: Vec<Duration> = Vec::with_capacity(batch_size);
+
+        // One plan lookup (or one optimiser run) for the whole batch …
+        match self.runtime.prepare(&live[0].program) {
+            Err(e) => {
+                failed = live.len() as u64;
+                for r in live {
+                    r.slot.complete(Err(ServeError::Eval(e.clone())));
+                }
+            }
+            Ok((plan, first_hit)) => {
+                // … and one pinned VM. Same-plan runs back-to-back reuse
+                // its base buffers only when that is provably invisible:
+                // the plan must never read residue (`rerun_safe`, see
+                // DESIGN.md §7) *and* the request must re-bind every
+                // declared input — otherwise a request omitting a binding
+                // would read the previous request's data. Any other case
+                // pays a recycle, never a wrong answer.
+                let plan_reusable = bh_ir::analysis::rerun_safe(&plan.program);
+                let input_regs: Vec<Reg> = plan
+                    .program
+                    .bases()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.is_input)
+                    .map(|(i, _)| Reg(i as u32))
+                    .collect();
+                let mut vm = self.runtime.lease_vm();
+                let mut vm_dirty = false;
+                let mut cache_hit = first_hit;
+                for r in live {
+                    let now = Instant::now();
+                    if let Some(d) = r.deadline {
+                        if d < now {
+                            expired += 1;
+                            r.slot
+                                .complete(Err(ServeError::DeadlineExceeded { missed_by: now - d }));
+                            continue;
+                        }
+                    }
+                    let reuse_ok = plan_reusable
+                        && input_regs
+                            .iter()
+                            .all(|reg| r.bindings.iter().any(|(bound, _)| bound == reg));
+                    if vm_dirty && !reuse_ok {
+                        vm.recycle();
+                    }
+                    vm_dirty = match self.runtime.eval_prepared(
+                        &plan,
+                        &mut vm,
+                        &r.bindings,
+                        r.result,
+                        cache_hit,
+                    ) {
+                        Ok((value, outcome)) => {
+                            let done = Instant::now();
+                            completed += 1;
+                            latencies.push(done - r.submitted);
+                            r.slot.complete(Ok(Response {
+                                value,
+                                outcome,
+                                batch_size,
+                                queue_wait: started.saturating_duration_since(r.submitted),
+                                turnaround: done - r.submitted,
+                            }));
+                            true
+                        }
+                        Err(e) => {
+                            failed += 1;
+                            r.slot.complete(Err(ServeError::Eval(e)));
+                            // A failed run may leave partial register
+                            // state; start the rest of the batch clean.
+                            vm.recycle();
+                            false
+                        }
+                    };
+                    cache_hit = true;
+                }
+            }
+        }
+
+        let mut stats = self.stats.lock();
+        stats.batches += 1;
+        stats.batch_sizes.record(batch_size);
+        stats.completed += completed;
+        stats.failed += failed;
+        stats.expired += expired;
+        for l in latencies {
+            stats.latency.record(l);
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let batch = {
+                let mut sched = self.sched.lock();
+                loop {
+                    if let Some(batch) = sched.next_batch(self.max_batch) {
+                        break batch;
+                    }
+                    // Drain before exit: shutdown only stops the loop once
+                    // the queues are empty.
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    sched = self.work.wait(sched).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            self.process_batch(batch);
+        }
+    }
+}
+
+/// Configures and builds a [`Server`].
+#[derive(Debug)]
+pub struct ServerBuilder {
+    runtime: Arc<Runtime>,
+    workers: usize,
+    queue_capacity: usize,
+    max_batch: usize,
+    default_deadline: Option<Duration>,
+}
+
+impl ServerBuilder {
+    /// Worker threads executing batches. `0` is allowed: no threads are
+    /// spawned and batches run only when [`Server::service_once`] is
+    /// called (deterministic embedding/testing mode).
+    pub fn workers(mut self, workers: usize) -> ServerBuilder {
+        self.workers = workers;
+        self
+    }
+
+    /// Total queued requests across all tenants before submissions are
+    /// rejected with [`ServeError::QueueFull`] (minimum 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> ServerBuilder {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Most requests grouped into one digest-keyed micro-batch
+    /// (minimum 1; 1 disables batching).
+    pub fn max_batch(mut self, max_batch: usize) -> ServerBuilder {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Deadline applied to requests that do not carry their own.
+    pub fn default_deadline(mut self, deadline: Duration) -> ServerBuilder {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Build the server and spawn its workers.
+    pub fn build(self) -> Server {
+        let shared = Arc::new(Shared {
+            runtime: self.runtime,
+            capacity: self.queue_capacity,
+            max_batch: self.max_batch,
+            default_deadline: self.default_deadline,
+            sched: Mutex::new(Sched {
+                queues: HashMap::new(),
+                ring: VecDeque::new(),
+                queued: 0,
+            }),
+            work: Condvar::new(),
+            stats: Mutex::new(ServeStats::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..self.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bh-serve-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+}
+
+/// Multi-tenant batching front door over an [`Arc<Runtime>`].
+///
+/// Concurrent requests whose programs share a structural digest are
+/// grouped and executed back-to-back on one pinned, recycled VM, so plan
+/// lookup and VM setup amortise across the batch; tenants are served
+/// round-robin; a bounded queue rejects (rather than buffers) overload;
+/// per-request deadlines fail fast instead of occupying a worker.
+///
+/// # Examples
+///
+/// ```
+/// use bh_ir::parse_program;
+/// use bh_runtime::Runtime;
+/// use bh_serve::{ProgramHandle, Request, Server};
+///
+/// let server = Server::builder(Runtime::builder().build_shared())
+///     .workers(2)
+///     .queue_capacity(256)
+///     .max_batch(8)
+///     .build();
+///
+/// let handle = ProgramHandle::new(parse_program(
+///     "BH_IDENTITY a [0:16:1] 0\nBH_ADD a a 3\nBH_SYNC a\n",
+/// )?);
+/// let reg = handle.program().reg_by_name("a").unwrap();
+///
+/// let ticket = server
+///     .submit(Request::with_handle("tenant-a", &handle).read(reg))
+///     .map_err(|r| r.reason)?;
+/// let response = ticket.wait()?;
+/// assert_eq!(response.value.unwrap().to_f64_vec(), vec![3.0; 16]);
+/// server.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Start configuring a server over `runtime`.
+    pub fn builder(runtime: Arc<Runtime>) -> ServerBuilder {
+        ServerBuilder {
+            runtime,
+            workers: 1,
+            queue_capacity: 1024,
+            max_batch: 16,
+            default_deadline: None,
+        }
+    }
+
+    /// The runtime requests execute on.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.shared.runtime
+    }
+
+    /// Enqueue a request, returning a [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] with [`ServeError::QueueFull`] when the bounded queue
+    /// is at capacity (backpressure — the request is handed back, not
+    /// buffered), or [`ServeError::Shutdown`] after shutdown began.
+    // Handing the whole Request back by value is the point of the error
+    // type (retry without rebuilding); the fat Err is deliberate.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, request: Request) -> Result<Ticket, Rejected> {
+        let now = Instant::now();
+        let deadline = request
+            .deadline
+            .or(self.shared.default_deadline)
+            .map(|d| now + d);
+        let slot = Slot::new();
+        {
+            let mut sched = self.shared.sched.lock();
+            // Checked *under the sched lock*: shutdown sets the flag under
+            // the same lock, so a submission either sees it (rejected) or
+            // its enqueue is visible to the draining workers — an accepted
+            // ticket can never be left unresolved.
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                drop(sched);
+                self.shared.stats.lock().rejected += 1;
+                return Err(Rejected {
+                    request,
+                    reason: ServeError::Shutdown,
+                });
+            }
+            if sched.queued >= self.shared.capacity {
+                drop(sched);
+                self.shared.stats.lock().rejected += 1;
+                return Err(Rejected {
+                    request,
+                    reason: ServeError::QueueFull {
+                        capacity: self.shared.capacity,
+                    },
+                });
+            }
+            sched.enqueue(
+                &request.tenant,
+                Queued {
+                    program: request.program,
+                    digest: request.digest,
+                    bindings: request.bindings,
+                    result: request.result,
+                    deadline,
+                    submitted: now,
+                    slot: Arc::clone(&slot),
+                },
+            );
+            let depth = sched.queued;
+            // Counted before the enqueue becomes visible to workers (the
+            // sched lock is still held), so a snapshot can never observe
+            // a resolution that outruns its own submission count.
+            let mut stats = self.shared.stats.lock();
+            stats.submitted += 1;
+            stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
+        }
+        self.shared.work.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Submit and block for the outcome (per-call convenience).
+    ///
+    /// # Errors
+    ///
+    /// Rejection reasons or the request's resolution error.
+    pub fn submit_wait(&self, request: Request) -> Result<Response, ServeError> {
+        match self.submit(request) {
+            Ok(ticket) => ticket.wait(),
+            Err(rejected) => Err(rejected.reason),
+        }
+    }
+
+    /// Execute at most one pending micro-batch on the calling thread.
+    /// Returns false when nothing was queued. This is the entire
+    /// scheduling path minus the worker threads — the deterministic mode
+    /// for tests and for embedding the server in an external event loop
+    /// (build with `.workers(0)`).
+    pub fn service_once(&self) -> bool {
+        let batch = self.shared.sched.lock().next_batch(self.shared.max_batch);
+        match batch {
+            Some(batch) => {
+                self.shared.process_batch(batch);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Requests queued right now (across all tenants).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.sched.lock().queued
+    }
+
+    /// Tenants with queued work right now. Tenant state is dropped the
+    /// moment a tenant's queue drains, so this — not the lifetime number
+    /// of distinct tenant IDs — bounds scheduler memory and scan cost.
+    pub fn active_tenants(&self) -> usize {
+        self.shared.sched.lock().queues.len()
+    }
+
+    /// Scheduler-level counters.
+    pub fn stats(&self) -> ServeStats {
+        let mut stats = self.shared.stats.lock().clone();
+        stats.queue_depth = self.shared.sched.lock().queued;
+        stats
+    }
+
+    /// Combined scheduler + runtime snapshot.
+    pub fn report(&self) -> ServeReport {
+        ServeReport {
+            serve: self.stats(),
+            runtime: self.shared.runtime.stats(),
+        }
+    }
+
+    /// Stop accepting submissions, drain every queued request, and join
+    /// the workers. Queued work is *completed*, not dropped; only
+    /// subsequent submissions are rejected (with
+    /// [`ServeError::Shutdown`]). Idempotent; also runs on drop.
+    ///
+    /// Must not be called from a worker-executed callback (it joins the
+    /// worker threads).
+    pub fn shutdown(&self) {
+        {
+            // Under the sched lock, to serialise against submit(): every
+            // request accepted before this point is visible to the drain.
+            let _sched = self.shared.sched.lock();
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.work.notify_all();
+        let workers: Vec<_> = self.workers.lock().drain(..).collect();
+        for w in workers {
+            let _ = w.join();
+        }
+        // With zero workers (or if callers raced a submit past the flag),
+        // drain the remainder on this thread so every accepted request
+        // still resolves exactly once.
+        while self.service_once() {}
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.lock().len())
+            .field("capacity", &self.shared.capacity)
+            .field("max_batch", &self.shared.max_batch)
+            .field("queued", &self.queue_depth())
+            .finish()
+    }
+}

@@ -1,0 +1,346 @@
+//! Serving statistics: throughput counters, queue depth, batch-size
+//! distribution and latency percentiles.
+//!
+//! [`ServeStats`] is the scheduler-level layer; it composes with the
+//! runtime's [`bh_runtime::RuntimeStats`] (optimiser/cache/VM counters)
+//! into one [`ServeReport`] snapshot, so a serving process exports a
+//! single object covering queue → batcher → runtime.
+
+use bh_runtime::RuntimeStats;
+use std::fmt;
+use std::time::Duration;
+
+/// Number of log₂ latency buckets; bucket `i` spans `[2^i, 2^{i+1})`
+/// nanoseconds, so the histogram covers up to ~18 minutes.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Largest batch size tracked exactly; bigger batches land in the last
+/// bucket.
+const BATCH_BUCKETS: usize = 64;
+
+/// Fixed-footprint log-scale latency histogram with percentile
+/// estimation (bucket upper bounds, so estimates are conservative).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    total_nanos: u128,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            total_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, sample: Duration) {
+        let nanos = u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX);
+        let idx = (63 - nanos.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_nanos += u128::from(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of all samples (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.total_nanos / u128::from(self.count)) as u64)
+    }
+
+    /// Largest sample seen (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`), reported as the containing
+    /// bucket's upper bound; zero when empty.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = 1u64 << (i + 1).min(63);
+                return Duration::from_nanos(upper.min(self.max_nanos.max(1)));
+            }
+        }
+        self.max()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Duration {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Duration {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Duration {
+        self.percentile(0.99)
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// How many batches executed at each size (sizes above
+/// [`BatchSizeDist::tracked`] share the overflow bucket).
+#[derive(Clone)]
+pub struct BatchSizeDist {
+    counts: [u64; BATCH_BUCKETS],
+    max_seen: usize,
+    total_requests: u64,
+}
+
+impl Default for BatchSizeDist {
+    fn default() -> BatchSizeDist {
+        BatchSizeDist {
+            counts: [0; BATCH_BUCKETS],
+            max_seen: 0,
+            total_requests: 0,
+        }
+    }
+}
+
+impl BatchSizeDist {
+    /// Record one executed batch of `size` requests.
+    pub fn record(&mut self, size: usize) {
+        debug_assert!(size >= 1, "batches hold at least their leader");
+        self.counts[size.min(BATCH_BUCKETS) - 1] += 1;
+        self.max_seen = self.max_seen.max(size);
+        self.total_requests += size as u64;
+    }
+
+    /// Batches executed at exactly `size` (for `size >=` [`Self::tracked`],
+    /// all larger batches combined).
+    pub fn batches_of(&self, size: usize) -> u64 {
+        if size == 0 {
+            return 0;
+        }
+        self.counts[size.min(BATCH_BUCKETS) - 1]
+    }
+
+    /// Largest batch observed.
+    pub fn max_seen(&self) -> usize {
+        self.max_seen
+    }
+
+    /// Largest exactly-tracked size.
+    pub fn tracked(&self) -> usize {
+        BATCH_BUCKETS
+    }
+
+    /// Total batches recorded.
+    pub fn batches(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total requests across all recorded batches (exact, even for
+    /// batches beyond the tracked bucket range).
+    pub fn requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Mean batch size (zero when empty).
+    pub fn mean(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            return 0.0;
+        }
+        self.requests() as f64 / batches as f64
+    }
+}
+
+impl fmt::Debug for BatchSizeDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchSizeDist")
+            .field("batches", &self.batches())
+            .field("mean", &self.mean())
+            .field("max_seen", &self.max_seen)
+            .finish()
+    }
+}
+
+/// Snapshot of everything the scheduler has done so far.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected at submit time (backpressure or shutdown).
+    pub rejected: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed during preparation or execution.
+    pub failed: u64,
+    /// Requests failed fast because their deadline passed while queued.
+    pub expired: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests queued right now.
+    pub queue_depth: usize,
+    /// Deepest the queue has ever been.
+    pub peak_queue_depth: usize,
+    /// Distribution of executed batch sizes.
+    pub batch_sizes: BatchSizeDist,
+    /// Submission-to-completion latency of successful requests.
+    pub latency: LatencyHistogram,
+}
+
+impl ServeStats {
+    /// Requests resolved one way or another.
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.failed + self.expired
+    }
+
+    /// Mean executed batch size.
+    pub fn mean_batch_size(&self) -> f64 {
+        self.batch_sizes.mean()
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "submitted={} rejected={} completed={} failed={} expired={} \
+             batches={} mean-batch={:.2} depth={}/{} p50={:?} p95={:?} p99={:?}",
+            self.submitted,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.expired,
+            self.batches,
+            self.mean_batch_size(),
+            self.queue_depth,
+            self.peak_queue_depth,
+            self.latency.p50(),
+            self.latency.p95(),
+            self.latency.p99(),
+        )
+    }
+}
+
+/// One combined snapshot: the scheduler layer plus the runtime beneath
+/// it (cache effectiveness, optimiser work, VM counters).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Scheduler-level counters.
+    pub serve: ServeStats,
+    /// Aggregated runtime counters for the same period.
+    pub runtime: RuntimeStats,
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serve: {}\nruntime: {}", self.serve, self.runtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_ordered() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            for _ in 0..20 {
+                h.record(Duration::from_micros(us));
+            }
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+        assert!(h.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn percentile_brackets_the_true_value() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100)); // 100_000 ns
+        }
+        // The estimate lands in the sample's own bucket: within 2× above.
+        let p = h.p50().as_nanos() as u64;
+        assert!((100_000..=200_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn batch_dist_tracks_mean_and_overflow() {
+        let mut d = BatchSizeDist::default();
+        d.record(1);
+        d.record(1);
+        d.record(4);
+        assert_eq!(d.batches(), 3);
+        assert_eq!(d.batches_of(1), 2);
+        assert_eq!(d.batches_of(4), 1);
+        assert_eq!(d.requests(), 6);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        d.record(10_000);
+        assert_eq!(d.max_seen(), 10_000);
+        assert_eq!(d.batches_of(d.tracked()), 1);
+        // Request totals stay exact even past the tracked bucket range.
+        assert_eq!(d.requests(), 10_006);
+        assert!((d.mean() - 10_006.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_display_mentions_the_counters() {
+        let s = ServeStats {
+            submitted: 10,
+            completed: 9,
+            expired: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.resolved(), 10);
+        let text = s.to_string();
+        assert!(text.contains("submitted=10"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+}

@@ -1,0 +1,388 @@
+//! Scheduler-semantics tests: backpressure, fairness, batching,
+//! deadlines, drain-on-shutdown, and exactly-once resolution under
+//! concurrent load.
+//!
+//! Deterministic tests build the server with `.workers(0)` and step it
+//! with `service_once`, so batch formation and round-robin order are
+//! observable without sleeps or races.
+
+use bh_ir::parse_program;
+use bh_runtime::Runtime;
+use bh_serve::{ProgramHandle, Request, ServeError, Server};
+use bh_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `k` constant-adds over an `n`-vector: distinct (n, k) → distinct digest.
+fn chain(n: usize, k: usize) -> ProgramHandle {
+    let mut text = format!("BH_IDENTITY a [0:{n}:1] 0\n");
+    for _ in 0..k {
+        text.push_str("BH_ADD a a 1\n");
+    }
+    text.push_str("BH_SYNC a\n");
+    ProgramHandle::new(parse_program(&text).unwrap())
+}
+
+/// `y = x * x` over an 8-vector bound input.
+fn square() -> ProgramHandle {
+    ProgramHandle::new(
+        parse_program(".base x f64[8] input\n.base y f64[8]\nBH_MULTIPLY y x x\nBH_SYNC y\n")
+            .unwrap(),
+    )
+}
+
+#[test]
+fn backpressure_rejects_at_capacity_and_hands_the_request_back() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .queue_capacity(4)
+        .build();
+    let h = chain(8, 2);
+    let reg = h.program().reg_by_name("a").unwrap();
+
+    let tickets: Vec<_> = (0..4)
+        .map(|_| {
+            server
+                .submit(Request::with_handle("t", &h).read(reg))
+                .unwrap()
+        })
+        .collect();
+    let overflow = server.submit(Request::with_handle("t", &h).read(reg));
+    let rejected = overflow.unwrap_err();
+    assert!(matches!(
+        rejected.reason,
+        ServeError::QueueFull { capacity: 4 }
+    ));
+    // The request comes back intact for a retry.
+    assert_eq!(rejected.request.tenant(), "t");
+    assert_eq!(server.queue_depth(), 4);
+
+    // Draining frees capacity again.
+    while server.service_once() {}
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().value.unwrap().to_f64_vec(), vec![2.0; 8]);
+    }
+    assert!(server
+        .submit(Request::with_handle("t", &h).read(reg))
+        .is_ok());
+
+    let stats = server.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.submitted, 5);
+    assert_eq!(stats.peak_queue_depth, 4);
+}
+
+#[test]
+fn round_robin_keeps_a_flooding_tenant_from_starving_others() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .max_batch(1) // isolate pure round-robin order
+        .build();
+    let flood_program = chain(8, 1);
+    let quiet_program = chain(8, 2);
+    let flood: Vec<_> = (0..10)
+        .map(|_| {
+            server
+                .submit(Request::with_handle("flood", &flood_program))
+                .unwrap()
+        })
+        .collect();
+    let quiet: Vec<_> = (0..2)
+        .map(|_| {
+            server
+                .submit(Request::with_handle("quiet", &quiet_program))
+                .unwrap()
+        })
+        .collect();
+
+    // Leaders alternate flood, quiet, flood, quiet, …: after four steps
+    // the quiet tenant is fully served even though it queued last behind
+    // ten flooding requests.
+    for _ in 0..4 {
+        assert!(server.service_once());
+    }
+    assert!(quiet.iter().all(|t| t.is_done()));
+    assert_eq!(flood.iter().filter(|t| t.is_done()).count(), 2);
+    while server.service_once() {}
+    assert!(flood.into_iter().all(|t| t.wait().is_ok()));
+}
+
+#[test]
+fn same_digest_requests_batch_across_tenants_under_one_plan() {
+    let rt = Runtime::builder().build_shared();
+    let server = Server::builder(Arc::clone(&rt))
+        .workers(0)
+        .max_batch(16)
+        .build();
+    let h = square();
+    let x = h.program().reg_by_name("x").unwrap();
+    let y = h.program().reg_by_name("y").unwrap();
+    let other = chain(16, 3);
+
+    // Six same-program requests spread over three tenants, with one
+    // unrelated program wedged in the middle of tenant-1's queue.
+    let tickets: Vec<_> = (0..6)
+        .map(|i| {
+            let input = Tensor::from_vec(vec![i as f64; 8]);
+            server
+                .submit(
+                    Request::with_handle(format!("tenant-{}", i % 3), &h)
+                        .bind(x, input)
+                        .read(y),
+                )
+                .unwrap()
+        })
+        .collect();
+    let odd = server
+        .submit(Request::with_handle("tenant-1", &other))
+        .unwrap();
+
+    // First service call takes all six matching requests as one batch —
+    // gathered across every tenant queue — and leaves the odd one.
+    assert!(server.service_once());
+    assert_eq!(server.queue_depth(), 1);
+    for (i, t) in tickets.into_iter().enumerate() {
+        let r = t.wait().unwrap();
+        assert_eq!(r.batch_size, 6);
+        // Rebinding on the pinned VM kept every request's own input.
+        let expected = (i as f64) * (i as f64);
+        assert_eq!(r.value.unwrap().to_f64_vec(), vec![expected; 8]);
+        assert!(r.turnaround >= r.queue_wait);
+    }
+    assert!(server.service_once());
+    assert!(odd.wait().is_ok());
+    assert!(!server.service_once());
+
+    // One optimiser run served the whole six-request batch.
+    assert_eq!(rt.stats().evals, 7);
+    assert_eq!(rt.stats().cache_misses, 2); // square() once, chain() once
+    let stats = server.stats();
+    assert_eq!(stats.batches, 2);
+    assert_eq!(stats.batch_sizes.max_seen(), 6);
+}
+
+#[test]
+fn expired_deadlines_fail_fast_without_executing() {
+    let rt = Runtime::builder().build_shared();
+    let server = Server::builder(Arc::clone(&rt)).workers(0).build();
+    let h = chain(8, 1);
+    let expired = server
+        .submit(Request::with_handle("t", &h).deadline(Duration::ZERO))
+        .unwrap();
+    let alive = server.submit(Request::with_handle("t", &h)).unwrap();
+    std::thread::sleep(Duration::from_millis(2));
+    while server.service_once() {}
+
+    match expired.wait() {
+        Err(ServeError::DeadlineExceeded { missed_by }) => {
+            assert!(missed_by >= Duration::from_millis(1));
+        }
+        other => panic!("expected deadline expiry, got {other:?}"),
+    }
+    assert!(alive.wait().is_ok());
+    // The expired request never reached the runtime.
+    assert_eq!(rt.stats().evals, 1);
+    let stats = server.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn default_deadline_applies_when_requests_carry_none() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .default_deadline(Duration::from_nanos(1))
+        .build();
+    let h = chain(8, 1);
+    let t = server.submit(Request::with_handle("t", &h)).unwrap();
+    std::thread::sleep(Duration::from_millis(1));
+    server.service_once();
+    assert!(matches!(t.wait(), Err(ServeError::DeadlineExceeded { .. })));
+}
+
+#[test]
+fn invalid_programs_fail_every_batched_request() {
+    // Reads a never-written register: rejected at plan validation. O0
+    // keeps the bad read (O2's dead-code elimination would delete it).
+    let rt = Runtime::builder()
+        .opt_level(bh_opt::OptLevel::O0)
+        .build_shared();
+    let server = Server::builder(rt).workers(0).build();
+    let bad = ProgramHandle::new(parse_program("BH_ADD a [0:4:1] a [0:4:1] 1\n").unwrap());
+    let t1 = server.submit(Request::with_handle("t", &bad)).unwrap();
+    let t2 = server.submit(Request::with_handle("t", &bad)).unwrap();
+    server.service_once();
+    assert!(matches!(t1.wait(), Err(ServeError::Eval(_))));
+    assert!(matches!(t2.wait(), Err(ServeError::Eval(_))));
+    assert_eq!(server.stats().failed, 2);
+}
+
+#[test]
+fn tenant_state_is_dropped_when_a_tenant_drains() {
+    // Ephemeral tenant IDs must not accumulate scheduler state: after
+    // draining, the server tracks zero tenants however many distinct IDs
+    // it has ever seen.
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .build();
+    let h = chain(8, 1);
+    for wave in 0..3 {
+        let tickets: Vec<_> = (0..20)
+            .map(|i| {
+                server
+                    .submit(Request::with_handle(format!("user-{wave}-{i}"), &h))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(server.active_tenants(), 20);
+        while server.service_once() {}
+        assert!(tickets.into_iter().all(|t| t.wait().is_ok()));
+        assert_eq!(server.active_tenants(), 0);
+        assert_eq!(server.queue_depth(), 0);
+    }
+    assert_eq!(server.stats().completed, 60);
+}
+
+#[test]
+fn batched_request_omitting_a_binding_sees_zeros_not_another_tenants_data() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .max_batch(4)
+        .build();
+    let h = ProgramHandle::new(
+        parse_program(".base x f64[4] input\n.base y f64[4]\nBH_ADD y x 1\nBH_SYNC y\n").unwrap(),
+    );
+    let x = h.program().reg_by_name("x").unwrap();
+    let y = h.program().reg_by_name("y").unwrap();
+    // Tenant A binds a "secret" input; tenant B legally omits the
+    // binding (unbound inputs are zero-filled). Batched on one pinned
+    // VM, B must still see zeros — not A's data.
+    let a = server
+        .submit(
+            Request::with_handle("a", &h)
+                .bind(x, Tensor::from_vec(vec![42.0f64; 4]))
+                .read(y),
+        )
+        .unwrap();
+    let b = server
+        .submit(Request::with_handle("b", &h).read(y))
+        .unwrap();
+    assert!(server.service_once());
+    assert_eq!(a.wait().unwrap().value.unwrap().to_f64_vec(), vec![43.0; 4]);
+    assert_eq!(b.wait().unwrap().value.unwrap().to_f64_vec(), vec![1.0; 4]);
+}
+
+#[test]
+fn batched_partial_write_programs_match_fresh_vm_semantics() {
+    // `y[0:2] = 5; y += 1; sync y` validates but is not rerun-safe: the
+    // tail of y is read without being written, so naive buffer reuse
+    // would leak the first run's values into the second. Both identical
+    // requests in one batch must produce the fresh-VM answer.
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .max_batch(4)
+        .build();
+    let h = ProgramHandle::new(
+        parse_program(".base y f64[4]\nBH_IDENTITY y [0:2:1] 5\nBH_ADD y y 1\nBH_SYNC y\n")
+            .unwrap(),
+    );
+    assert!(!bh_ir::rerun_safe(h.program()));
+    let y = h.program().reg_by_name("y").unwrap();
+    let t1 = server
+        .submit(Request::with_handle("t", &h).read(y))
+        .unwrap();
+    let t2 = server
+        .submit(Request::with_handle("t", &h).read(y))
+        .unwrap();
+    assert!(server.service_once());
+    let r1 = t1.wait().unwrap();
+    let r2 = t2.wait().unwrap();
+    assert_eq!(r1.batch_size, 2);
+    assert_eq!(r1.value.unwrap().to_f64_vec(), vec![6.0, 6.0, 1.0, 1.0]);
+    assert_eq!(r2.value.unwrap().to_f64_vec(), vec![6.0, 6.0, 1.0, 1.0]);
+}
+
+#[test]
+fn shutdown_drains_queued_work_then_rejects() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(2)
+        .build();
+    let h = chain(64, 4);
+    let reg = h.program().reg_by_name("a").unwrap();
+    let tickets: Vec<_> = (0..32)
+        .map(|i| {
+            server
+                .submit(Request::with_handle(format!("t{}", i % 4), &h).read(reg))
+                .unwrap()
+        })
+        .collect();
+    server.shutdown();
+    // Every accepted request was completed, not dropped …
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().value.unwrap().to_f64_vec(), vec![4.0; 64]);
+    }
+    // … and new work is turned away.
+    let after = server.submit(Request::with_handle("t0", &h)).unwrap_err();
+    assert!(matches!(after.reason, ServeError::Shutdown));
+    // Idempotent.
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_stress_every_request_resolves_exactly_once() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 50;
+
+    let rt = Runtime::builder().build_shared();
+    let server = Arc::new(
+        Server::builder(Arc::clone(&rt))
+            .workers(2)
+            .queue_capacity(CLIENTS * PER_CLIENT)
+            .max_batch(8)
+            .build(),
+    );
+    // Three program shapes cycling, so batches of mixed provenance form.
+    let handles: Vec<ProgramHandle> = (1..=3).map(|k| chain(32, k)).collect();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let handles = handles.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                let tickets: Vec<_> = (0..PER_CLIENT)
+                    .map(|i| {
+                        let h = &handles[(c + i) % handles.len()];
+                        let reg = h.program().reg_by_name("a").unwrap();
+                        server
+                            .submit(Request::with_handle(format!("client-{c}"), h).read(reg))
+                            .expect("capacity covers every in-flight request")
+                    })
+                    .collect();
+                for (i, t) in tickets.into_iter().enumerate() {
+                    let expected = ((c + i) % handles.len() + 1) as f64;
+                    let r = t.wait().expect("no deadline, no invalid program");
+                    assert_eq!(r.value.unwrap().to_f64_vec(), vec![expected; 32]);
+                    ok += 1;
+                }
+                ok
+            })
+        })
+        .collect();
+
+    let total: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    assert_eq!(total, CLIENTS * PER_CLIENT);
+    server.shutdown();
+
+    let report = server.report();
+    assert_eq!(report.serve.submitted, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(report.serve.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(report.serve.resolved(), report.serve.submitted);
+    assert_eq!(report.serve.failed + report.serve.expired, 0);
+    assert_eq!(report.runtime.evals, (CLIENTS * PER_CLIENT) as u64);
+    // Three distinct structures → exactly three optimiser runs, however
+    // the requests raced (at worst a few concurrent misses).
+    assert!(report.runtime.cache_misses <= 6, "{}", report.runtime);
+    assert_eq!(report.serve.queue_depth, 0);
+    assert!(report.serve.latency.count() >= 1);
+}

@@ -3,12 +3,20 @@
 //! A [`Buffer`] is the backing store of one byte-code *base array*: a flat,
 //! dtype-tagged vector of elements. Views ([`crate::ViewGeom`]) interpret a
 //! buffer as an n-dimensional strided tensor.
+//!
+//! Storage is `Arc`-backed **copy-on-write**: cloning a buffer (and
+//! therefore cloning a [`crate::Tensor`], or binding one as a VM input) is
+//! an O(1) reference-count bump, no matter how many elements it holds. The
+//! first mutation through a shared handle pays a single deep copy
+//! ([`std::sync::Arc::make_mut`]); exclusively owned buffers mutate in
+//! place with no overhead.
 
 use crate::dtype::{DType, Element};
 use crate::error::TensorError;
 use crate::scalar::Scalar;
 use std::any::Any;
 use std::fmt;
+use std::sync::Arc;
 
 /// Flat typed storage for one base array.
 ///
@@ -20,31 +28,39 @@ use std::fmt;
 /// b.set_scalar(2, Scalar::F64(7.5)).unwrap();
 /// assert_eq!(b.get_scalar(2).unwrap(), Scalar::F64(7.5));
 /// assert_eq!(b.len(), 4);
+///
+/// // Clones share storage until one side writes.
+/// let c = b.clone();
+/// assert!(c.shares_storage_with(&b));
+/// let mut d = c.clone();
+/// d.set_scalar(0, Scalar::F64(1.0)).unwrap();
+/// assert!(!d.shares_storage_with(&b));
+/// assert_eq!(b.get_scalar(0).unwrap(), Scalar::F64(0.0));
 /// ```
 #[derive(Clone, PartialEq)]
 pub enum Buffer {
     /// Boolean storage.
-    Bool(Vec<bool>),
+    Bool(Arc<Vec<bool>>),
     /// `u8` storage.
-    U8(Vec<u8>),
+    U8(Arc<Vec<u8>>),
     /// `u16` storage.
-    U16(Vec<u16>),
+    U16(Arc<Vec<u16>>),
     /// `u32` storage.
-    U32(Vec<u32>),
+    U32(Arc<Vec<u32>>),
     /// `u64` storage.
-    U64(Vec<u64>),
+    U64(Arc<Vec<u64>>),
     /// `i8` storage.
-    I8(Vec<i8>),
+    I8(Arc<Vec<i8>>),
     /// `i16` storage.
-    I16(Vec<i16>),
+    I16(Arc<Vec<i16>>),
     /// `i32` storage.
-    I32(Vec<i32>),
+    I32(Arc<Vec<i32>>),
     /// `i64` storage.
-    I64(Vec<i64>),
+    I64(Arc<Vec<i64>>),
     /// `f32` storage.
-    F32(Vec<f32>),
+    F32(Arc<Vec<f32>>),
     /// `f64` storage.
-    F64(Vec<f64>),
+    F64(Arc<Vec<f64>>),
 }
 
 /// Dispatch a generic expression over every supported element type.
@@ -143,18 +159,42 @@ impl Buffer {
     /// Wrap a typed vector.
     pub fn from_vec<T: Element>(v: Vec<T>) -> Buffer {
         let any: Box<dyn Any> = Box::new(v);
+        macro_rules! wrap {
+            ($variant:ident) => {
+                Buffer::$variant(Arc::new(*any.downcast().expect("dtype tag matches type")))
+            };
+        }
         match T::DTYPE {
-            DType::Bool => Buffer::Bool(*any.downcast().expect("dtype tag matches type")),
-            DType::UInt8 => Buffer::U8(*any.downcast().expect("dtype tag matches type")),
-            DType::UInt16 => Buffer::U16(*any.downcast().expect("dtype tag matches type")),
-            DType::UInt32 => Buffer::U32(*any.downcast().expect("dtype tag matches type")),
-            DType::UInt64 => Buffer::U64(*any.downcast().expect("dtype tag matches type")),
-            DType::Int8 => Buffer::I8(*any.downcast().expect("dtype tag matches type")),
-            DType::Int16 => Buffer::I16(*any.downcast().expect("dtype tag matches type")),
-            DType::Int32 => Buffer::I32(*any.downcast().expect("dtype tag matches type")),
-            DType::Int64 => Buffer::I64(*any.downcast().expect("dtype tag matches type")),
-            DType::Float32 => Buffer::F32(*any.downcast().expect("dtype tag matches type")),
-            DType::Float64 => Buffer::F64(*any.downcast().expect("dtype tag matches type")),
+            DType::Bool => wrap!(Bool),
+            DType::UInt8 => wrap!(U8),
+            DType::UInt16 => wrap!(U16),
+            DType::UInt32 => wrap!(U32),
+            DType::UInt64 => wrap!(U64),
+            DType::Int8 => wrap!(I8),
+            DType::Int16 => wrap!(I16),
+            DType::Int32 => wrap!(I32),
+            DType::Int64 => wrap!(I64),
+            DType::Float32 => wrap!(F32),
+            DType::Float64 => wrap!(F64),
+        }
+    }
+
+    /// True when `self` and `other` are views of the *same* allocation —
+    /// i.e. a copy-on-write clone whose deep copy has not been triggered.
+    pub fn shares_storage_with(&self, other: &Buffer) -> bool {
+        match (self, other) {
+            (Buffer::Bool(a), Buffer::Bool(b)) => Arc::ptr_eq(a, b),
+            (Buffer::U8(a), Buffer::U8(b)) => Arc::ptr_eq(a, b),
+            (Buffer::U16(a), Buffer::U16(b)) => Arc::ptr_eq(a, b),
+            (Buffer::U32(a), Buffer::U32(b)) => Arc::ptr_eq(a, b),
+            (Buffer::U64(a), Buffer::U64(b)) => Arc::ptr_eq(a, b),
+            (Buffer::I8(a), Buffer::I8(b)) => Arc::ptr_eq(a, b),
+            (Buffer::I16(a), Buffer::I16(b)) => Arc::ptr_eq(a, b),
+            (Buffer::I32(a), Buffer::I32(b)) => Arc::ptr_eq(a, b),
+            (Buffer::I64(a), Buffer::I64(b)) => Arc::ptr_eq(a, b),
+            (Buffer::F32(a), Buffer::F32(b)) => Arc::ptr_eq(a, b),
+            (Buffer::F64(a), Buffer::F64(b)) => Arc::ptr_eq(a, b),
+            _ => false,
         }
     }
 
@@ -195,18 +235,25 @@ impl Buffer {
         for_each_variant!(
             self,
             v,
-            (v as &dyn Any)
+            (v.as_ref() as &dyn Any)
                 .downcast_ref::<Vec<T>>()
                 .map(|v| v.as_slice())
         )
     }
 
     /// Typed write access; `None` when `T` does not match the dtype.
+    ///
+    /// If the storage is shared with other clones this triggers the
+    /// copy-on-write deep copy first (the dtype is checked *before* that,
+    /// so a mismatched call never copies).
     pub fn as_mut_slice<T: Element>(&mut self) -> Option<&mut [T]> {
+        if T::DTYPE != self.dtype() {
+            return None;
+        }
         for_each_variant!(
             self,
             v,
-            (v as &mut dyn Any)
+            (Arc::make_mut(v) as &mut dyn Any)
                 .downcast_mut::<Vec<T>>()
                 .map(|v| v.as_mut_slice())
         )
@@ -253,17 +300,17 @@ impl Buffer {
         }
         let v = value.cast(self.dtype());
         match self {
-            Buffer::Bool(b) => b[idx] = v.get::<bool>(),
-            Buffer::U8(b) => b[idx] = v.get::<u8>(),
-            Buffer::U16(b) => b[idx] = v.get::<u16>(),
-            Buffer::U32(b) => b[idx] = v.get::<u32>(),
-            Buffer::U64(b) => b[idx] = v.get::<u64>(),
-            Buffer::I8(b) => b[idx] = v.get::<i8>(),
-            Buffer::I16(b) => b[idx] = v.get::<i16>(),
-            Buffer::I32(b) => b[idx] = v.get::<i32>(),
-            Buffer::I64(b) => b[idx] = v.get::<i64>(),
-            Buffer::F32(b) => b[idx] = v.get::<f32>(),
-            Buffer::F64(b) => b[idx] = v.get::<f64>(),
+            Buffer::Bool(b) => Arc::make_mut(b)[idx] = v.get::<bool>(),
+            Buffer::U8(b) => Arc::make_mut(b)[idx] = v.get::<u8>(),
+            Buffer::U16(b) => Arc::make_mut(b)[idx] = v.get::<u16>(),
+            Buffer::U32(b) => Arc::make_mut(b)[idx] = v.get::<u32>(),
+            Buffer::U64(b) => Arc::make_mut(b)[idx] = v.get::<u64>(),
+            Buffer::I8(b) => Arc::make_mut(b)[idx] = v.get::<i8>(),
+            Buffer::I16(b) => Arc::make_mut(b)[idx] = v.get::<i16>(),
+            Buffer::I32(b) => Arc::make_mut(b)[idx] = v.get::<i32>(),
+            Buffer::I64(b) => Arc::make_mut(b)[idx] = v.get::<i64>(),
+            Buffer::F32(b) => Arc::make_mut(b)[idx] = v.get::<f32>(),
+            Buffer::F64(b) => Arc::make_mut(b)[idx] = v.get::<f64>(),
         }
         Ok(())
     }
@@ -397,5 +444,55 @@ mod tests {
     fn to_f64_vec() {
         let b = Buffer::from_vec(vec![1i32, 2, 3]);
         assert_eq!(b.to_f64_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn clone_shares_until_written() {
+        let a = Buffer::from_vec(vec![1.0f64, 2.0, 3.0]);
+        let mut b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        // Reads keep the sharing intact.
+        assert_eq!(b.get_scalar(1).unwrap(), Scalar::F64(2.0));
+        assert!(a.shares_storage_with(&b));
+        // First write through either handle splits them.
+        b.as_mut_slice::<f64>().unwrap()[0] = 9.0;
+        assert!(!a.shares_storage_with(&b));
+        assert_eq!(a.get_scalar(0).unwrap(), Scalar::F64(1.0));
+        assert_eq!(b.get_scalar(0).unwrap(), Scalar::F64(9.0));
+    }
+
+    #[test]
+    fn set_scalar_copies_on_write() {
+        let a = Buffer::from_vec(vec![7i64; 4]);
+        let mut b = a.clone();
+        b.set_scalar(2, Scalar::I64(-1)).unwrap();
+        assert_eq!(a.get_scalar(2).unwrap(), Scalar::I64(7));
+        assert_eq!(b.get_scalar(2).unwrap(), Scalar::I64(-1));
+    }
+
+    #[test]
+    fn mismatched_mut_access_never_copies() {
+        let a = Buffer::from_vec(vec![1.0f32; 8]);
+        let mut b = a.clone();
+        assert!(b.as_mut_slice::<f64>().is_none());
+        // The failed typed access must not have broken the sharing.
+        assert!(a.shares_storage_with(&b));
+    }
+
+    #[test]
+    fn exclusive_owner_mutates_in_place() {
+        let mut a = Buffer::from_vec(vec![0u32; 4]);
+        let before = a.as_slice::<u32>().unwrap().as_ptr();
+        a.as_mut_slice::<u32>().unwrap()[0] = 5;
+        assert_eq!(a.as_slice::<u32>().unwrap().as_ptr(), before);
+    }
+
+    #[test]
+    fn shares_storage_is_per_allocation() {
+        let a = Buffer::from_vec(vec![1.0f64]);
+        let b = Buffer::from_vec(vec![1.0f64]);
+        assert_eq!(a, b);
+        assert!(!a.shares_storage_with(&b));
+        assert!(!a.shares_storage_with(&Buffer::from_vec(vec![1i32])));
     }
 }

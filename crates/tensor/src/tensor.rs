@@ -149,6 +149,12 @@ impl Tensor {
         &self.buffer
     }
 
+    /// True when both tensors are copy-on-write views of one allocation
+    /// (see [`Buffer::shares_storage_with`]).
+    pub fn shares_storage_with(&self, other: &Tensor) -> bool {
+        self.buffer.shares_storage_with(other.buffer())
+    }
+
     /// Mutable access to the flat buffer.
     pub fn buffer_mut(&mut self) -> &mut Buffer {
         &mut self.buffer

@@ -44,11 +44,13 @@ mod error;
 mod exec;
 mod fusion;
 mod machine;
+mod pool;
 mod stats;
 
 pub use eltops::VmElement;
 pub use error::VmError;
 pub use machine::{Engine, Vm};
+pub use pool::{PooledVm, VmPool};
 pub use stats::ExecStats;
 
 #[cfg(test)]

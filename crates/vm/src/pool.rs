@@ -1,0 +1,239 @@
+//! A thread-safe pool of recycled virtual machines.
+//!
+//! Building a [`Vm`] is cheap, but a recycled one is cheaper still: its
+//! base-slot table is already grown and, when the caller runs the same
+//! plan repeatedly *without* recycling in between, its base buffers stay
+//! allocated too. The pool is the checkout/return surface behind both the
+//! runtime's per-eval path and a serving layer that pins one VM per
+//! micro-batch.
+
+use crate::machine::{Engine, Vm};
+use crate::stats::ExecStats;
+use parking_lot::Mutex;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Bounded stash of idle [`Vm`]s, all configured with one engine and
+/// thread count.
+///
+/// # Examples
+///
+/// ```
+/// use bh_ir::parse_program;
+/// use bh_vm::{Engine, VmPool};
+///
+/// let pool = VmPool::new(Engine::Naive, 1, 4);
+/// let program = parse_program("BH_IDENTITY a [0:4:1] 7\nBH_SYNC a\n")?;
+/// {
+///     let mut vm = pool.checkout();
+///     vm.run(&program)?;
+///     assert_eq!(vm.read_by_name(&program, "a")?.to_f64_vec(), vec![7.0; 4]);
+/// } // dropped → recycled back into the pool
+/// assert_eq!(pool.idle(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct VmPool {
+    engine: Engine,
+    threads: usize,
+    limit: usize,
+    idle: Mutex<Vec<Vm>>,
+}
+
+impl VmPool {
+    /// A pool whose VMs run `engine` with `threads` workers, keeping at
+    /// most `limit` idle VMs for reuse (checkouts beyond the limit build
+    /// fresh VMs; returns beyond it drop them).
+    pub fn new(engine: Engine, threads: usize, limit: usize) -> VmPool {
+        VmPool {
+            engine,
+            threads: threads.max(1),
+            limit,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The engine every checked-out VM is configured with.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Worker threads every checked-out VM is configured with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Upper bound on idle VMs kept for reuse.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Idle VMs currently available without building a new one.
+    pub fn idle(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    /// Check a VM out: a recycled idle one when available, a fresh one
+    /// otherwise. Either way it comes with clean memory and counters and
+    /// the pool's engine/thread configuration. The guard returns it on
+    /// drop.
+    pub fn checkout(&self) -> PooledVm<'_> {
+        let mut vm = self.idle.lock().pop().unwrap_or_default();
+        vm.recycle();
+        vm.set_engine(self.engine);
+        vm.set_threads(self.threads);
+        PooledVm {
+            pool: self,
+            vm: Some(vm),
+        }
+    }
+
+    fn checkin(&self, mut vm: Vm) {
+        // Recycle on the way *in*, not just out: an idle pooled VM must
+        // not pin the base buffers of the last program it executed.
+        vm.recycle();
+        let mut idle = self.idle.lock();
+        if idle.len() < self.limit {
+            idle.push(vm);
+        }
+    }
+}
+
+impl fmt::Debug for VmPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VmPool")
+            .field("engine", &self.engine)
+            .field("threads", &self.threads)
+            .field("limit", &self.limit)
+            .field("idle", &self.idle.lock().len())
+            .finish()
+    }
+}
+
+/// RAII checkout from a [`VmPool`]; derefs to the [`Vm`] and returns it
+/// (recycled) to the pool on drop.
+pub struct PooledVm<'p> {
+    pool: &'p VmPool,
+    vm: Option<Vm>,
+}
+
+impl PooledVm<'_> {
+    /// Snapshot the VM's accumulated counters (convenience for computing
+    /// per-run deltas with [`ExecStats::since`] when several runs share
+    /// this checkout).
+    pub fn stats_snapshot(&self) -> ExecStats {
+        *self.vm.as_ref().expect("present until drop").stats()
+    }
+
+    /// Detach the VM from the pool: it will not be returned on drop.
+    pub fn detach(mut self) -> Vm {
+        self.vm.take().expect("present until drop")
+    }
+}
+
+impl Deref for PooledVm<'_> {
+    type Target = Vm;
+
+    fn deref(&self) -> &Vm {
+        self.vm.as_ref().expect("present until drop")
+    }
+}
+
+impl DerefMut for PooledVm<'_> {
+    fn deref_mut(&mut self) -> &mut Vm {
+        self.vm.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledVm<'_> {
+    fn drop(&mut self) {
+        if let Some(vm) = self.vm.take() {
+            self.pool.checkin(vm);
+        }
+    }
+}
+
+impl fmt::Debug for PooledVm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PooledVm").field("vm", &self.vm).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_ir::parse_program;
+
+    fn program() -> bh_ir::Program {
+        parse_program("BH_IDENTITY a [0:8:1] 1\nBH_ADD a a 2\nBH_SYNC a\n").unwrap()
+    }
+
+    #[test]
+    fn checkout_runs_and_returns() {
+        let pool = VmPool::new(Engine::Naive, 1, 2);
+        assert_eq!(pool.idle(), 0);
+        {
+            let mut vm = pool.checkout();
+            vm.run(&program()).unwrap();
+        }
+        assert_eq!(pool.idle(), 1);
+        // The recycled VM comes back clean.
+        let vm = pool.checkout();
+        assert_eq!(vm.stats().instructions, 0);
+    }
+
+    #[test]
+    fn limit_caps_idle_vms() {
+        let pool = VmPool::new(Engine::Naive, 1, 1);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn checkout_applies_engine_and_threads() {
+        let pool = VmPool::new(Engine::Fusing { block: 64 }, 3, 4);
+        let vm = pool.checkout();
+        assert_eq!(vm.engine(), Engine::Fusing { block: 64 });
+        drop(vm);
+        // Returned VM is re-targeted on the next checkout even if the
+        // caller switched its engine while holding it.
+        let mut vm = pool.checkout();
+        vm.set_engine(Engine::Naive);
+        drop(vm);
+        assert_eq!(pool.checkout().engine(), Engine::Fusing { block: 64 });
+    }
+
+    #[test]
+    fn detach_keeps_the_vm_out_of_the_pool() {
+        let pool = VmPool::new(Engine::Naive, 1, 4);
+        let vm = pool.checkout().detach();
+        drop(vm);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let pool = Arc::new(VmPool::new(Engine::Naive, 1, 4));
+        let p = program();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..8 {
+                        let mut vm = pool.checkout();
+                        vm.run(&p).unwrap();
+                        assert_eq!(vm.read_by_name(&p, "a").unwrap().to_f64_vec(), vec![3.0; 8]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.idle() <= 4);
+    }
+}

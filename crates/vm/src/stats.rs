@@ -50,6 +50,25 @@ impl ExecStats {
     pub fn model_time(&self, launch_overhead: u64, flop_cost: u64) -> u64 {
         self.kernels * launch_overhead + self.bytes_total() + self.flops * flop_cost
     }
+
+    /// Field-wise difference against an earlier snapshot of the *same*
+    /// accumulating counters — the per-run delta when several runs share
+    /// one VM without recycling in between. Saturates at zero so a stale
+    /// snapshot can never produce wrapped counters.
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            kernels: self.kernels.saturating_sub(earlier.kernels),
+            fused_groups: self.fused_groups.saturating_sub(earlier.fused_groups),
+            elements_written: self
+                .elements_written
+                .saturating_sub(earlier.elements_written),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            flops: self.flops.saturating_sub(earlier.flops),
+            syncs: self.syncs.saturating_sub(earlier.syncs),
+        }
+    }
 }
 
 impl Add for ExecStats {
@@ -133,5 +152,29 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!ExecStats::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn since_yields_the_delta() {
+        let before = ExecStats {
+            instructions: 5,
+            kernels: 4,
+            bytes_read: 100,
+            ..Default::default()
+        };
+        let after = ExecStats {
+            instructions: 9,
+            kernels: 6,
+            bytes_read: 180,
+            syncs: 1,
+            ..Default::default()
+        };
+        let d = after.since(&before);
+        assert_eq!(d.instructions, 4);
+        assert_eq!(d.kernels, 2);
+        assert_eq!(d.bytes_read, 80);
+        assert_eq!(d.syncs, 1);
+        // A stale (larger) snapshot saturates instead of wrapping.
+        assert_eq!(before.since(&after).instructions, 0);
     }
 }

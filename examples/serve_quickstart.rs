@@ -1,0 +1,73 @@
+//! Serving quickstart: a multi-tenant batching server over one runtime.
+//!
+//! Three tenants fire concurrent requests; two of them submit the *same*
+//! program structure, so their requests batch under one plan on one
+//! pinned VM while the third tenant is still served fairly in between.
+//!
+//! Run with: `cargo run --release --example serve_quickstart`
+
+use bohrium_repro::ir::parse_program;
+use bohrium_repro::runtime::Runtime;
+use bohrium_repro::serve::{ProgramHandle, Request, Server};
+use bohrium_repro::tensor::Tensor;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runtime = Runtime::builder().build_shared();
+    let server = Arc::new(
+        Server::builder(Arc::clone(&runtime))
+            .workers(2)
+            .queue_capacity(256)
+            .max_batch(8)
+            .build(),
+    );
+
+    // The popular endpoint: `y = x*x + 1` — two tenants hit it.
+    let popular = ProgramHandle::new(parse_program(
+        ".base x f64[6] input\n.base y f64[6]\n\
+         BH_MULTIPLY y x x\nBH_ADD y y 1\nBH_SYNC y\n",
+    )?);
+    // A niche endpoint only the third tenant uses.
+    let niche = ProgramHandle::new(parse_program(
+        "BH_IDENTITY a [0:6:1] 2\nBH_ADD a a 2\nBH_ADD a a 2\nBH_SYNC a\n",
+    )?);
+
+    let x = popular.program().reg_by_name("x").unwrap();
+    let y = popular.program().reg_by_name("y").unwrap();
+    let a = niche.program().reg_by_name("a").unwrap();
+
+    let clients: Vec<_> = (0..3)
+        .map(|tenant| {
+            let server = Arc::clone(&server);
+            let popular = popular.clone();
+            let niche = niche.clone();
+            std::thread::spawn(move || {
+                for i in 0..4 {
+                    let request = if tenant < 2 {
+                        let input = Tensor::from_vec(vec![(tenant + i) as f64; 6]);
+                        Request::with_handle(format!("tenant-{tenant}"), &popular)
+                            .bind(x, input)
+                            .read(y)
+                    } else {
+                        Request::with_handle("tenant-2", &niche).read(a)
+                    };
+                    let response = server.submit_wait(request).expect("request serves");
+                    let value = response.value.expect("read requested");
+                    println!(
+                        "tenant-{tenant} req {i}: {:?} (batch of {}, cache hit: {})",
+                        &value.to_f64_vec()[..2],
+                        response.batch_size,
+                        response.outcome.cache_hit,
+                    );
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    println!("\n{}", server.report());
+    server.shutdown();
+    Ok(())
+}

@@ -11,6 +11,8 @@
 //! * [`vm`] — the instrumented byte-code VM (`bh-vm`)
 //! * [`runtime`] — the unified optimise → plan → execute entry point with
 //!   the transformation cache (`bh-runtime`)
+//! * [`serve`] — the multi-tenant batching scheduler for concurrent eval
+//!   traffic (`bh-serve`)
 //! * [`frontend`] — the lazy NumPy-flavoured front-end (`bh-frontend`)
 //!
 //! plus [`testing`], the cross-crate semantic-equivalence harness used by
@@ -26,6 +28,7 @@ pub use bh_ir as ir;
 pub use bh_linalg as linalg;
 pub use bh_opt as opt;
 pub use bh_runtime as runtime;
+pub use bh_serve as serve;
 pub use bh_tensor as tensor;
 pub use bh_vm as vm;
 
