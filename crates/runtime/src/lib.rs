@@ -19,8 +19,13 @@
 //!
 //! Front-ends hold an `Arc<Runtime>` and call [`Runtime::eval`]; each
 //! call returns the tensor alongside an [`EvalOutcome`] (plan, per-run
-//! counters, cache-hit flag), replacing the old per-context
-//! `set_engine` / `last_report` / `last_stats` trio.
+//! counters, service time, cache-hit flag), replacing the old
+//! per-context `set_engine` / `last_report` / `last_stats` trio.
+//! Serving layers drive the prepared-plan hot path
+//! ([`Runtime::prepare`] / [`Runtime::eval_prepared`]) instead; the VM
+//! reuse rules it must respect are specified in DESIGN.md §7, and the
+//! per-eval timing it feeds latency-SLO control loops (DESIGN.md §9) is
+//! aggregated in [`RuntimeStats::eval_nanos`].
 //!
 //! # Example
 //!
@@ -48,7 +53,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod cache;

@@ -9,6 +9,7 @@ use bh_vm::{Engine, PooledVm, Vm, VmError, VmPool};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Observer invoked after every evaluation, for metrics export.
 pub type StatsSink = Arc<dyn Fn(&EvalOutcome) + Send + Sync>;
@@ -28,6 +29,12 @@ pub struct EvalOutcome {
     pub exec: bh_vm::ExecStats,
     /// True when the plan came from the transformation cache.
     pub cache_hit: bool,
+    /// Wall-clock time of this evaluation (bind → execute → read-back,
+    /// excluding optimisation and queueing). This is the service-time
+    /// signal a latency-SLO control loop should consume — a serving
+    /// layer's turnaround additionally includes queue wait, which says
+    /// something about load, not about per-request cost.
+    pub elapsed: Duration,
 }
 
 impl EvalOutcome {
@@ -309,6 +316,7 @@ impl Runtime {
         cache_hit: bool,
     ) -> Result<(Option<Tensor>, EvalOutcome), VmError> {
         let before = *vm.stats();
+        let begun = Instant::now();
         for (reg, tensor) in bindings {
             vm.bind(&plan.program, *reg, tensor)?;
         }
@@ -318,16 +326,19 @@ impl Runtime {
             Some(reg) => Some(vm.read(&plan.program, reg)?),
             None => None,
         };
+        let elapsed = begun.elapsed();
         let exec = vm.stats().since(&before);
         {
             let mut stats = self.stats.lock();
             stats.evals += 1;
             stats.exec += exec;
+            stats.eval_nanos += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         }
         let outcome = EvalOutcome {
             plan: Arc::clone(plan),
             exec,
             cache_hit,
+            elapsed,
         };
         if let Some(sink) = &self.sink {
             sink(&outcome);
@@ -541,6 +552,23 @@ mod tests {
         let input = Tensor::from_vec(vec![1.0f64, 2.0, 3.0, 4.0]);
         let (v, _) = rt.eval(&p, &[(x, input)], y).unwrap();
         assert_eq!(v.to_f64_vec(), vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn outcomes_carry_service_time() {
+        let rt = Runtime::new();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        let (_, o1) = rt.eval(&p, &[], reg).unwrap();
+        let (_, o2) = rt.eval(&p, &[], reg).unwrap();
+        assert!(o1.elapsed > Duration::ZERO);
+        let stats = rt.stats();
+        assert_eq!(
+            stats.eval_nanos,
+            (o1.elapsed.as_nanos() + o2.elapsed.as_nanos()) as u64
+        );
+        assert!(stats.mean_eval_time() > Duration::ZERO);
+        assert!(stats.eval_time() >= stats.mean_eval_time());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use bh_vm::ExecStats;
 use std::fmt;
 use std::ops::{Add, AddAssign};
+use std::time::Duration;
 
 /// Snapshot of everything a [`crate::Runtime`] has done so far.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -24,6 +25,12 @@ pub struct RuntimeStats {
     pub rules_fired: u64,
     /// Fixpoint sweeps performed across all cache misses.
     pub opt_iterations: u64,
+    /// Total wall-clock nanoseconds spent inside evaluations (bind →
+    /// execute → read-back; optimisation and queueing excluded). Divided
+    /// by [`RuntimeStats::evals`] this is the mean service time — the
+    /// signal a latency-SLO feedback loop (e.g. `bh-serve`'s adaptive
+    /// batcher, or a [`crate::StatsSink`] exporter) consumes.
+    pub eval_nanos: u64,
     /// Aggregated VM execution counters (kernels launched, fused groups,
     /// memory traffic, flops, syncs) across all evaluations.
     pub exec: ExecStats,
@@ -43,6 +50,19 @@ impl RuntimeStats {
         }
         self.cache_hits as f64 / total as f64
     }
+
+    /// Total wall-clock time spent inside evaluations.
+    pub fn eval_time(&self) -> Duration {
+        Duration::from_nanos(self.eval_nanos)
+    }
+
+    /// Mean service time per evaluation (zero when none yet).
+    pub fn mean_eval_time(&self) -> Duration {
+        if self.evals == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.eval_nanos / self.evals)
+    }
 }
 
 impl Add for RuntimeStats {
@@ -55,6 +75,7 @@ impl Add for RuntimeStats {
             cache_misses: self.cache_misses + rhs.cache_misses,
             rules_fired: self.rules_fired + rhs.rules_fired,
             opt_iterations: self.opt_iterations + rhs.opt_iterations,
+            eval_nanos: self.eval_nanos + rhs.eval_nanos,
             exec: self.exec + rhs.exec,
         }
     }
@@ -70,12 +91,13 @@ impl fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "evals={} hits={} misses={} hit-rate={:.0}% rules={} [{}]",
+            "evals={} hits={} misses={} hit-rate={:.0}% rules={} mean-eval={:?} [{}]",
             self.evals,
             self.cache_hits,
             self.cache_misses,
             self.hit_rate() * 100.0,
             self.rules_fired,
+            self.mean_eval_time(),
             self.exec
         )
     }
@@ -115,6 +137,21 @@ mod tests {
         let mut d = a;
         d += b;
         assert_eq!(d, c);
+    }
+
+    #[test]
+    fn eval_time_divides_by_evals() {
+        assert_eq!(RuntimeStats::new().mean_eval_time(), Duration::ZERO);
+        let s = RuntimeStats {
+            evals: 4,
+            eval_nanos: 4_000,
+            ..Default::default()
+        };
+        assert_eq!(s.eval_time(), Duration::from_nanos(4_000));
+        assert_eq!(s.mean_eval_time(), Duration::from_nanos(1_000));
+        let doubled = s + s;
+        assert_eq!(doubled.eval_nanos, 8_000);
+        assert_eq!(doubled.mean_eval_time(), Duration::from_nanos(1_000));
     }
 
     #[test]

@@ -1,10 +1,13 @@
-//! # bh-serve — multi-tenant batching scheduler for concurrent eval traffic
+//! # bh-serve — adaptive multi-tenant batching scheduler for concurrent eval traffic
 //!
 //! The paper's premise is that algebraically transformed byte-code is
 //! cheap to *re-execute* once rewritten; the runtime's transformation
 //! cache realises that per process. This crate realises it per *request
-//! stream*: a [`Server`] sits on top of an [`Arc<bh_runtime::Runtime>`]
-//! and turns the stack into a traffic-serving system.
+//! stream*: a [`Server`] sits on top of a shared
+//! [`bh_runtime::Runtime`] and turns the stack into a traffic-serving
+//! system. The scheduling and control-loop invariants are specified in
+//! DESIGN.md §8 (queueing, batching, exactly-once resolution) and §9
+//! (adaptive batch sizing, weighted fairness).
 //!
 //! * **Bounded submission queue with backpressure** — overload is
 //!   rejected at submit time ([`ServeError::QueueFull`]), never buffered
@@ -16,13 +19,30 @@
 //!   amortise across the batch. The transformed program is a shared,
 //!   reusable artifact; the batcher is what makes N concurrent callers
 //!   actually share it.
-//! * **Per-tenant fairness** — batch leaders are picked round-robin
-//!   across tenant queues, so a flooding tenant cannot starve the rest.
+//! * **Load-aware batch sizing** — [`ServerBuilder::adaptive_batch`]
+//!   replaces the hand-tuned batch limit with an AIMD control loop:
+//!   per worker, the limit grows while the observed in-batch service
+//!   latency (the latency the batcher itself adds — the component the
+//!   limit controls) holds a high-percentile SLO, and halves when it
+//!   slips, with every decision recorded in
+//!   [`ServeStats::batch_limits`] (DESIGN.md §9).
+//! * **Weighted tenant scheduling** — batch leaders are picked by
+//!   smooth weighted round-robin over tenant lanes
+//!   ([`ServerBuilder::tenant_weight`]); a flooding tenant cannot starve
+//!   the rest, weights split service proportionally under backlog, and
+//!   [`ServeStats::tenants`] audits the realised shares.
+//! * **Non-blocking front door** — a [`Ticket`] can be blocked on
+//!   ([`Ticket::wait`]), polled ([`Ticket::try_wait`],
+//!   [`Ticket::wait_timeout`]) or handed a completion callback
+//!   ([`Ticket::on_done`]), so one thread can multiplex thousands of
+//!   in-flight requests; [`Server::submit_many`] enqueues pre-batched
+//!   bursts under one lock acquisition.
 //! * **Deadlines** — requests whose deadline passes while queued fail
 //!   fast instead of occupying a worker.
 //! * **[`ServeStats`]** — throughput counters, queue depth, batch-size
-//!   distribution and latency percentiles, composing with
-//!   [`bh_runtime::RuntimeStats`] into one [`ServeReport`].
+//!   distribution, latency percentiles, batch-limit timeline and tenant
+//!   quotas, composing with [`bh_runtime::RuntimeStats`] into one
+//!   [`ServeReport`].
 //!
 //! # Example
 //!
@@ -30,10 +50,13 @@
 //! use bh_ir::parse_program;
 //! use bh_runtime::Runtime;
 //! use bh_serve::{ProgramHandle, Request, Server};
+//! use std::time::Duration;
 //!
 //! let server = Server::builder(Runtime::builder().build_shared())
 //!     .workers(2)
-//!     .max_batch(8)
+//!     .max_batch(64)                             // ceiling, not a hand-tuned guess …
+//!     .adaptive_batch(Duration::from_millis(10)) // … the SLO drives the actual limit
+//!     .tenant_weight("tenant-0", 2)              // twice tenant-1's share under backlog
 //!     .build();
 //!
 //! // One handle per logical program: the batching digest is computed once.
@@ -43,22 +66,22 @@
 //! let reg = handle.program().reg_by_name("a").unwrap();
 //!
 //! // Concurrent same-program submissions share one plan and one VM.
-//! let tickets: Vec<_> = (0..8)
-//!     .map(|i| {
-//!         let tenant = format!("tenant-{}", i % 2);
-//!         server.submit(Request::with_handle(tenant, &handle).read(reg))
-//!     })
-//!     .collect::<Result<_, _>>()
-//!     .map_err(|r| r.reason)?;
+//! let tickets = server.submit_many(
+//!     (0..8).map(|i| Request::with_handle(format!("tenant-{}", i % 2), &handle).read(reg)),
+//! );
 //! for t in tickets {
-//!     assert_eq!(t.wait()?.value.unwrap().to_f64_vec(), vec![2.0; 32]);
+//!     let ticket = t.map_err(|r| r.reason)?;
+//!     assert_eq!(ticket.wait()?.value.unwrap().to_f64_vec(), vec![2.0; 32]);
 //! }
-//! assert!(server.stats().mean_batch_size() >= 1.0);
 //! server.shutdown();
+//! // After shutdown the counters are exact (drained, workers joined).
+//! let stats = server.stats();
+//! assert_eq!(stats.completed, 8);
+//! assert!(stats.mean_batch_size() >= 1.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod error;
@@ -69,4 +92,7 @@ mod stats;
 pub use error::ServeError;
 pub use request::{ProgramHandle, Request, Response, Ticket};
 pub use server::{Rejected, Server, ServerBuilder};
-pub use stats::{BatchSizeDist, LatencyHistogram, ServeReport, ServeStats};
+pub use stats::{
+    BatchLimitEvent, BatchLimitTimeline, BatchSizeDist, LatencyHistogram, ServeReport, ServeStats,
+    TenantQuotas,
+};

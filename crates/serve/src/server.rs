@@ -1,28 +1,29 @@
 //! The multi-tenant batching server.
 //!
 //! ```text
-//!  submit()──►[tenant queues]──►(round-robin leader pick)
+//!  submit()/submit_many()──►[tenant lanes]──►(weighted round-robin leader pick)
 //!                  │                    │
 //!             backpressure      digest-keyed gather
 //!            (QueueFull when    (same ProgramDigest,
-//!             depth==capacity)   up to max_batch)
+//!             depth==capacity)   up to the batch limit)
 //!                                       │
-//!                                 ┌─────▼─────┐
-//!                                 │ worker(s) │ prepare plan once,
-//!                                 │           │ pin one pooled VM,
-//!                                 └─────┬─────┘ run batch back-to-back
+//!                                 ┌─────▼─────┐ prepare plan once,
+//!                                 │ worker(s) │ pin one pooled VM,
+//!                                 │  + AIMD   │ run batch back-to-back,
+//!                                 │ controller│ adapt batch limit to SLO
+//!                                 └─────┬─────┘
 //!                                       │
-//!                                 Ticket::wait()
+//!                          Ticket::wait / try_wait / on_done
 //! ```
 
 use crate::error::ServeError;
 use crate::request::{Request, Response, Slot, Ticket};
-use crate::stats::{ServeReport, ServeStats};
+use crate::stats::{BatchLimitEvent, ServeReport, ServeStats, TenantQuotas};
 use bh_ir::{Program, ProgramDigest, Reg};
 use bh_runtime::Runtime;
 use bh_tensor::Tensor;
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar};
@@ -46,9 +47,181 @@ impl fmt::Display for Rejected {
     }
 }
 
-impl std::error::Error for Rejected {}
+impl std::error::Error for Rejected {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.reason)
+    }
+}
 
-/// A request as it sits in a tenant queue.
+/// Dropping the bounced request recovers the plain [`ServeError`], so a
+/// function returning `Result<_, ServeError>` can `?` a failed
+/// [`Server::submit`] directly.
+impl From<Rejected> for ServeError {
+    fn from(rejected: Rejected) -> ServeError {
+        rejected.reason
+    }
+}
+
+/// Most completed-request latencies a batch-limit decision aggregates
+/// before acting: large enough that one straggler cannot flap the
+/// limit at steady state. The actual window scales with the current
+/// limit (see [`AdaptiveState::window_target`]) so small limits decide
+/// — and ramp — in proportionally fewer requests.
+const DECISION_WINDOW: usize = 16;
+
+/// Upper bound on a tenant's scheduling weight. Keeps the smooth-WRR
+/// credit arithmetic far from `i64` overflow (the total active weight
+/// would need `capacity > 2^43` backlogged tenants to overflow) while
+/// leaving six orders of magnitude of prioritisation headroom.
+const MAX_TENANT_WEIGHT: u64 = 1 << 20;
+
+/// How the per-worker batch limit is chosen (see DESIGN.md §9).
+#[derive(Debug, Clone, Copy)]
+struct BatchPolicy {
+    /// Lower bound the limit can shrink to (≥ 1).
+    floor: usize,
+    /// Upper bound the limit can grow to.
+    ceiling: usize,
+    /// Target near-p95 in-batch service latency; `None` pins the limit at
+    /// `ceiling` (fixed policy).
+    slo: Option<Duration>,
+}
+
+impl BatchPolicy {
+    fn controller(&self) -> BatchController {
+        match self.slo {
+            None => BatchController::Fixed {
+                limit: self.ceiling,
+            },
+            Some(slo) => BatchController::Adaptive(AdaptiveState {
+                floor: self.floor,
+                ceiling: self.ceiling,
+                slo,
+                limit: self.floor,
+                slow_start: true,
+                window: Vec::with_capacity(DECISION_WINDOW),
+            }),
+        }
+    }
+}
+
+/// One completed request's latencies. Turnaround feeds the
+/// [`ServeStats`] histogram (what the caller experiences); the in-batch
+/// service component drives the adaptive controller (what the batch
+/// limit controls).
+#[derive(Debug, Clone, Copy)]
+struct LatencySample {
+    /// Submission → completion: what the caller experiences. Includes
+    /// queue wait, which measures *load*, not batch size.
+    turnaround_nanos: u64,
+    /// Batch-execution-start → completion: the component the batch
+    /// limit actually controls (waiting behind earlier members of the
+    /// same batch, plus plan preparation).
+    service_nanos: u64,
+}
+
+/// AIMD batch-limit state, owned by one worker (or by the external
+/// driver behind `service_once`). No cross-worker coordination: each
+/// worker's input is the in-batch service latency of the batches *it*
+/// executed — exactly the quantity its own limit controls — so
+/// controllers neither need nor benefit from each other's state.
+struct AdaptiveState {
+    floor: usize,
+    ceiling: usize,
+    slo: Duration,
+    limit: usize,
+    /// Doubling phase (TCP-style slow start): left permanently after the
+    /// first SLO slip, switching growth from ×2 to +1.
+    slow_start: bool,
+    /// Completed-request samples since the last decision.
+    window: Vec<LatencySample>,
+}
+
+impl AdaptiveState {
+    /// Samples a decision at the current limit waits for: about two
+    /// batches' worth, clamped to `[DECISION_WINDOW/4, DECISION_WINDOW]`.
+    /// Tying the window to the limit makes ramp-up take O(limit)
+    /// requests instead of a fixed count per doubling, while decisions
+    /// at large limits still average over a full window.
+    fn window_target(&self) -> usize {
+        (2 * self.limit).clamp(DECISION_WINDOW / 4, DECISION_WINDOW)
+    }
+
+    /// Fold one decision window, keyed on the window's high-percentile
+    /// *in-batch service latency* — the latency component the limit
+    /// actually controls. Turnaround (which adds queue wait) is
+    /// deliberately not consulted: queue wait measures load, and no
+    /// batch-limit move improves it — shrinking under a standing
+    /// backlog cuts throughput and deepens the queue (congestion
+    /// collapse), while growing is precisely what drains it. Queue wait
+    /// is governed by `queue_capacity`, deadlines and backpressure
+    /// instead.
+    ///
+    /// The statistic is the nearest-rank `floor(0.95·n)` sample, so at
+    /// every reachable window size one straggler (page fault, allocator
+    /// hiccup) is tolerated before a window counts as a slip.
+    fn decide(&mut self) -> Option<(usize, Duration, bool)> {
+        let mut nanos: Vec<u64> = std::mem::take(&mut self.window)
+            .iter()
+            .map(|s| s.service_nanos)
+            .collect();
+        nanos.sort_unstable();
+        let rank = ((0.95 * nanos.len() as f64).floor() as usize).max(1);
+        let service = Duration::from_nanos(nanos[rank - 1]);
+        if service <= self.slo {
+            if self.limit >= self.ceiling {
+                return None;
+            }
+            self.limit = if self.slow_start {
+                (self.limit * 2).min(self.ceiling)
+            } else {
+                self.limit + 1
+            };
+            return Some((self.limit, service, true));
+        }
+        self.slow_start = false;
+        let shrunk = (self.limit / 2).max(self.floor);
+        if shrunk == self.limit {
+            return None;
+        }
+        self.limit = shrunk;
+        Some((self.limit, service, false))
+    }
+}
+
+/// Per-scheduling-context batch-limit controller.
+enum BatchController {
+    Fixed { limit: usize },
+    Adaptive(AdaptiveState),
+}
+
+impl BatchController {
+    fn limit(&self) -> usize {
+        match self {
+            BatchController::Fixed { limit } => *limit,
+            BatchController::Adaptive(state) => state.limit,
+        }
+    }
+
+    /// Feed completed-request samples; returns the decisions made (new
+    /// limit, window p95 that drove it, grew) — at most a couple per
+    /// batch.
+    fn observe(&mut self, samples: &[LatencySample]) -> Vec<(usize, Duration, bool)> {
+        let BatchController::Adaptive(state) = self else {
+            return Vec::new();
+        };
+        let mut decisions = Vec::new();
+        for s in samples {
+            state.window.push(*s);
+            if state.window.len() >= state.window_target() {
+                decisions.extend(state.decide());
+            }
+        }
+        decisions
+    }
+}
+
+/// A request as it sits in a tenant lane.
 struct Queued {
     program: Arc<Program>,
     digest: ProgramDigest,
@@ -59,26 +232,56 @@ struct Queued {
     slot: Arc<Slot>,
 }
 
-/// Scheduler state behind one mutex: per-tenant FIFOs plus the
-/// round-robin service ring. Tenant state is dropped as soon as a
-/// tenant's queue drains, so a long-lived server fed ephemeral tenant
-/// IDs does not accumulate memory or scan cost.
+/// One backlogged tenant: its FIFO plus its smooth weighted round-robin
+/// state.
+struct TenantLane {
+    queue: VecDeque<Queued>,
+    /// Effective scheduling weight (≥ 1 — the starvation guard: zero
+    /// weights are impossible, so every backlogged tenant is picked
+    /// within one weight cycle).
+    weight: u64,
+    /// Smooth-WRR credit: raised by `weight` every pick round, lowered
+    /// by the total active weight when this lane leads a batch.
+    credit: i64,
+}
+
+/// Scheduler state behind one mutex: per-tenant FIFO lanes plus the
+/// weighted service state. Lane state is dropped as soon as a tenant's
+/// queue drains, so a long-lived server fed ephemeral tenant IDs does
+/// not accumulate memory or scan cost (a returning tenant's round-robin
+/// credit restarts at zero, which only ever *delays* its next turn by
+/// less than one cycle).
 struct Sched {
-    queues: HashMap<String, VecDeque<Queued>>,
-    /// Tenants awaiting service, in rotation order. May hold stale names
-    /// (tenant drained by a gather) — skipped and discarded on pop.
-    ring: VecDeque<String>,
+    /// Backlogged tenants, keyed by name. `BTreeMap` so leader election
+    /// breaks credit ties deterministically (lexicographically first).
+    lanes: BTreeMap<String, TenantLane>,
     queued: usize,
+    /// Configured per-tenant weight overrides (from the builder).
+    weights: HashMap<String, u64>,
+    default_weight: u64,
+    /// Requests dequeued per tenant (leader picks and digest-gathered
+    /// followers alike) — the service side of the quota metrics.
+    quotas: TenantQuotas,
 }
 
 impl Sched {
     fn enqueue(&mut self, tenant: &str, request: Queued) {
-        match self.queues.get_mut(tenant) {
-            Some(queue) => queue.push_back(request),
+        match self.lanes.get_mut(tenant) {
+            Some(lane) => lane.queue.push_back(request),
             None => {
-                self.queues
-                    .insert(tenant.to_owned(), VecDeque::from([request]));
-                self.ring.push_back(tenant.to_owned());
+                let weight = self
+                    .weights
+                    .get(tenant)
+                    .copied()
+                    .unwrap_or(self.default_weight);
+                self.lanes.insert(
+                    tenant.to_owned(),
+                    TenantLane {
+                        queue: VecDeque::from([request]),
+                        weight,
+                        credit: 0,
+                    },
+                );
             }
         }
         self.queued += 1;
@@ -86,45 +289,62 @@ impl Sched {
 
     /// Pop the next micro-batch, or `None` when nothing is queued.
     ///
-    /// The *leader* comes from the tenant at the front of the service
-    /// ring, which rotates — that is the fairness guarantee: a tenant
-    /// flooding its own queue cannot delay another tenant's head-of-line
-    /// request by more than one batch per other waiting tenant. The rest
-    /// of the batch is every queued request (any tenant) whose digest
-    /// matches the leader's, up to `max_batch`; pulling a matching
-    /// request forward never delays anyone else.
+    /// The *leader* comes from smooth weighted round-robin over the
+    /// backlogged lanes: every lane's credit grows by its weight, the
+    /// richest lane (ties broken by name order) is picked and pays the
+    /// total active weight. Over any window where the backlogged set is
+    /// stable, leader picks are proportional to weights within ±1 per
+    /// tenant — that is the fairness guarantee, and weights ≥ 1 make
+    /// starvation impossible. The rest of the batch is every queued
+    /// request (any tenant) whose digest matches the leader's, up to
+    /// `max_batch`; pulling a matching request forward never delays
+    /// anyone else.
     fn next_batch(&mut self, max_batch: usize) -> Option<Vec<Queued>> {
-        let (tenant, leader) = loop {
-            let name = self.ring.pop_front()?;
-            // Stale ring entries (tenant drained by an earlier gather)
-            // fall through and are dropped.
-            if let Some(queue) = self.queues.get_mut(&name) {
-                let leader = queue.pop_front().expect("empty queues are removed");
-                break (name, leader);
-            }
-        };
+        if self.lanes.is_empty() {
+            return None;
+        }
+        let total: i64 = self.lanes.values().map(|lane| lane.weight as i64).sum();
+        for lane in self.lanes.values_mut() {
+            lane.credit += lane.weight as i64;
+        }
+        // Richest lane wins; credit ties break to the lexicographically
+        // first name (max_by with the name order reversed), so
+        // scheduling is deterministic. One name clone per batch.
+        let tenant = self
+            .lanes
+            .iter()
+            .max_by(|a, b| a.1.credit.cmp(&b.1.credit).then_with(|| b.0.cmp(a.0)))
+            .map(|(name, _)| name.clone())
+            .expect("lanes is non-empty");
+        let lane = self.lanes.get_mut(&tenant).expect("leader lane exists");
+        lane.credit -= total;
+        let leader = lane.queue.pop_front().expect("empty lanes are removed");
         self.queued -= 1;
+        self.quotas.note(&tenant, 1);
+
         let mut batch = vec![leader];
         if max_batch > 1 {
-            for queue in self.queues.values_mut() {
+            for (name, lane) in self.lanes.iter_mut() {
+                let mut from_lane = 0u64;
                 while batch.len() < max_batch {
-                    let Some(i) = queue.iter().position(|r| r.digest == batch[0].digest) else {
+                    let Some(i) = lane.queue.iter().position(|r| r.digest == batch[0].digest)
+                    else {
                         break;
                     };
-                    batch.push(queue.remove(i).expect("index in range"));
+                    batch.push(lane.queue.remove(i).expect("index in range"));
                     self.queued -= 1;
+                    from_lane += 1;
+                }
+                if from_lane > 0 {
+                    self.quotas.note(name, from_lane);
                 }
                 if batch.len() >= max_batch {
                     break;
                 }
             }
         }
-        // Drop drained tenants entirely; rotate the leader to the back of
-        // the ring if it still has work.
-        self.queues.retain(|_, queue| !queue.is_empty());
-        if self.queues.contains_key(&tenant) {
-            self.ring.push_back(tenant);
-        }
+        // Drop drained lanes entirely (memory bound for ephemeral IDs).
+        self.lanes.retain(|_, lane| !lane.queue.is_empty());
         Some(batch)
     }
 }
@@ -132,16 +352,23 @@ impl Sched {
 struct Shared {
     runtime: Arc<Runtime>,
     capacity: usize,
-    max_batch: usize,
+    policy: BatchPolicy,
     default_deadline: Option<Duration>,
     sched: Mutex<Sched>,
     work: Condvar,
     stats: Mutex<ServeStats>,
     shutdown: AtomicBool,
+    /// Batch-limit controller for the external-driver path
+    /// ([`Server::service_once`] and the shutdown drain); worker threads
+    /// own their controllers locally.
+    external_ctl: Mutex<BatchController>,
 }
 
 impl Shared {
-    fn process_batch(&self, batch: Vec<Queued>) {
+    /// Execute one micro-batch, resolving every request in it. Returns
+    /// the completed requests' latency samples for the caller's batch
+    /// controller (empty when nothing completed).
+    fn process_batch(&self, batch: Vec<Queued>) -> Vec<LatencySample> {
         let started = Instant::now();
         let mut expired = 0u64;
         let mut live = Vec::with_capacity(batch.len());
@@ -160,13 +387,13 @@ impl Shared {
             if expired > 0 {
                 self.stats.lock().expired += expired;
             }
-            return;
+            return Vec::new();
         }
 
         let batch_size = live.len();
         let mut completed = 0u64;
         let mut failed = 0u64;
-        let mut latencies: Vec<Duration> = Vec::with_capacity(batch_size);
+        let mut samples: Vec<LatencySample> = Vec::with_capacity(batch_size);
 
         // One plan lookup (or one optimiser run) for the whole batch …
         match self.runtime.prepare(&live[0].program) {
@@ -223,7 +450,12 @@ impl Shared {
                         Ok((value, outcome)) => {
                             let done = Instant::now();
                             completed += 1;
-                            latencies.push(done - r.submitted);
+                            let as_nanos =
+                                |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+                            samples.push(LatencySample {
+                                turnaround_nanos: as_nanos(done - r.submitted),
+                                service_nanos: as_nanos(done - started),
+                            });
                             r.slot.complete(Ok(Response {
                                 value,
                                 outcome,
@@ -253,17 +485,41 @@ impl Shared {
         stats.completed += completed;
         stats.failed += failed;
         stats.expired += expired;
-        for l in latencies {
-            stats.latency.record(l);
+        for s in &samples {
+            stats
+                .latency
+                .record(Duration::from_nanos(s.turnaround_nanos));
+        }
+        drop(stats);
+        samples
+    }
+
+    /// Feed a batch's samples to a controller and record any limit
+    /// decisions in the stats timeline.
+    fn note_decisions(&self, ctl: &mut BatchController, samples: &[LatencySample]) {
+        let decisions = ctl.observe(samples);
+        if decisions.is_empty() {
+            return;
+        }
+        let mut stats = self.stats.lock();
+        let batch_seq = stats.batches;
+        for (limit, window_p95, grew) in decisions {
+            stats.batch_limits.record(BatchLimitEvent {
+                batch_seq,
+                limit,
+                window_p95,
+                grew,
+            });
         }
     }
 
     fn worker_loop(&self) {
+        let mut ctl = self.policy.controller();
         loop {
             let batch = {
                 let mut sched = self.sched.lock();
                 loop {
-                    if let Some(batch) = sched.next_batch(self.max_batch) {
+                    if let Some(batch) = sched.next_batch(ctl.limit()) {
                         break batch;
                     }
                     // Drain before exit: shutdown only stops the loop once
@@ -274,65 +530,152 @@ impl Shared {
                     sched = self.work.wait(sched).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            self.process_batch(batch);
+            let samples = self.process_batch(batch);
+            self.note_decisions(&mut ctl, &samples);
         }
     }
 }
 
 /// Configures and builds a [`Server`].
+///
+/// # Examples
+///
+/// The adaptive configuration (see DESIGN.md §9 for the control loop):
+///
+/// ```
+/// use bh_runtime::Runtime;
+/// use bh_serve::Server;
+/// use std::time::Duration;
+///
+/// let server = Server::builder(Runtime::builder().build_shared())
+///     .workers(2)
+///     .queue_capacity(1024)
+///     .max_batch(64)                                // adaptive ceiling
+///     .adaptive_batch(Duration::from_millis(5))     // p95 batching-latency SLO
+///     .tenant_weight("paying-tenant", 3)            // 3× the default share
+///     .default_deadline(Duration::from_millis(50))
+///     .build();
+/// # drop(server);
+/// ```
 #[derive(Debug)]
 pub struct ServerBuilder {
     runtime: Arc<Runtime>,
     workers: usize,
     queue_capacity: usize,
+    min_batch: usize,
     max_batch: usize,
+    batch_slo: Option<Duration>,
     default_deadline: Option<Duration>,
+    default_tenant_weight: u64,
+    tenant_weights: HashMap<String, u64>,
 }
 
 impl ServerBuilder {
     /// Worker threads executing batches. `0` is allowed: no threads are
     /// spawned and batches run only when [`Server::service_once`] is
-    /// called (deterministic embedding/testing mode).
+    /// called (deterministic embedding/testing mode). Default: 1.
     pub fn workers(mut self, workers: usize) -> ServerBuilder {
         self.workers = workers;
         self
     }
 
     /// Total queued requests across all tenants before submissions are
-    /// rejected with [`ServeError::QueueFull`] (minimum 1).
+    /// rejected with [`ServeError::QueueFull`]. Minimum 1; default 1024.
     pub fn queue_capacity(mut self, capacity: usize) -> ServerBuilder {
         self.queue_capacity = capacity.max(1);
         self
     }
 
-    /// Most requests grouped into one digest-keyed micro-batch
-    /// (minimum 1; 1 disables batching).
+    /// Most requests grouped into one digest-keyed micro-batch. Under
+    /// the default fixed policy this *is* the batch limit; under
+    /// [`ServerBuilder::adaptive_batch`] it is the ceiling the limit can
+    /// grow to. Minimum 1 (disables batching); default 16.
     pub fn max_batch(mut self, max_batch: usize) -> ServerBuilder {
         self.max_batch = max_batch.max(1);
         self
     }
 
+    /// Floor the adaptive batch limit can shrink to. Only meaningful
+    /// with [`ServerBuilder::adaptive_batch`] (the fixed policy pins the
+    /// limit at [`ServerBuilder::max_batch`]). Minimum 1; default 1;
+    /// clamped to at most `max_batch` at build time.
+    pub fn min_batch(mut self, min_batch: usize) -> ServerBuilder {
+        self.min_batch = min_batch.max(1);
+        self
+    }
+
+    /// Enable load-aware batch sizing: `slo` is a high-percentile
+    /// budget for the *in-batch service latency* — the time a request
+    /// spends from its batch starting execution to its completion,
+    /// i.e. the latency the batcher itself adds (queue wait is governed
+    /// by [`ServerBuilder::queue_capacity`], deadlines and
+    /// backpressure, not by the batch limit). Each scheduling context
+    /// (worker thread, or the external driver behind
+    /// [`Server::service_once`]) starts at [`ServerBuilder::min_batch`]
+    /// and decides per latency window — `2 × limit` completed requests,
+    /// clamped to 4..=16, so small limits ramp in proportionally fewer
+    /// requests. While the window's near-p95 service latency holds the
+    /// SLO the limit doubles (slow start), then grows by 1; when it
+    /// slips, the limit halves — never past
+    /// [`ServerBuilder::max_batch`] or below `min_batch`. Every
+    /// decision is recorded in [`ServeStats::batch_limits`]. The loop
+    /// is specified in DESIGN.md §9. Default: off (fixed limit of
+    /// `max_batch`).
+    pub fn adaptive_batch(mut self, slo: Duration) -> ServerBuilder {
+        self.batch_slo = Some(slo);
+        self
+    }
+
     /// Deadline applied to requests that do not carry their own.
+    /// Default: none (requests wait indefinitely).
     pub fn default_deadline(mut self, deadline: Duration) -> ServerBuilder {
         self.default_deadline = Some(deadline);
         self
     }
 
+    /// Scheduling weight for one tenant: under backlog it is picked as
+    /// batch leader `weight` times per round-robin cycle, so two
+    /// flooding tenants with weights 2 and 1 see a ~2:1 service ratio.
+    /// Clamped to `1..=2^20` (a tenant can be deprioritised, never
+    /// starved, and credit arithmetic stays far from overflow).
+    /// Default: the [`ServerBuilder::default_tenant_weight`].
+    pub fn tenant_weight(mut self, tenant: impl Into<String>, weight: u64) -> ServerBuilder {
+        self.tenant_weights
+            .insert(tenant.into(), weight.clamp(1, MAX_TENANT_WEIGHT));
+        self
+    }
+
+    /// Weight for tenants without an explicit
+    /// [`ServerBuilder::tenant_weight`]. Clamped to `1..=2^20`;
+    /// default 1.
+    pub fn default_tenant_weight(mut self, weight: u64) -> ServerBuilder {
+        self.default_tenant_weight = weight.clamp(1, MAX_TENANT_WEIGHT);
+        self
+    }
+
     /// Build the server and spawn its workers.
     pub fn build(self) -> Server {
+        let policy = BatchPolicy {
+            floor: self.min_batch.min(self.max_batch),
+            ceiling: self.max_batch,
+            slo: self.batch_slo,
+        };
         let shared = Arc::new(Shared {
             runtime: self.runtime,
             capacity: self.queue_capacity,
-            max_batch: self.max_batch,
+            policy,
             default_deadline: self.default_deadline,
             sched: Mutex::new(Sched {
-                queues: HashMap::new(),
-                ring: VecDeque::new(),
+                lanes: BTreeMap::new(),
                 queued: 0,
+                weights: self.tenant_weights,
+                default_weight: self.default_tenant_weight,
+                quotas: TenantQuotas::default(),
             }),
             work: Condvar::new(),
             stats: Mutex::new(ServeStats::default()),
             shutdown: AtomicBool::new(false),
+            external_ctl: Mutex::new(policy.controller()),
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -354,9 +697,11 @@ impl ServerBuilder {
 ///
 /// Concurrent requests whose programs share a structural digest are
 /// grouped and executed back-to-back on one pinned, recycled VM, so plan
-/// lookup and VM setup amortise across the batch; tenants are served
-/// round-robin; a bounded queue rejects (rather than buffers) overload;
-/// per-request deadlines fail fast instead of occupying a worker.
+/// lookup and VM setup amortise across the batch; tenants are served by
+/// smooth weighted round-robin; a bounded queue rejects (rather than
+/// buffers) overload; per-request deadlines fail fast; and an optional
+/// adaptive policy resizes batches against a latency SLO (DESIGN.md §§
+/// 8–9 specify the scheduling and control-loop invariants).
 ///
 /// # Examples
 ///
@@ -390,20 +735,74 @@ pub struct Server {
 }
 
 impl Server {
-    /// Start configuring a server over `runtime`.
+    /// Start configuring a server over `runtime`. Defaults: 1 worker,
+    /// queue capacity 1024, fixed batch limit 16, no default deadline,
+    /// every tenant at weight 1.
     pub fn builder(runtime: Arc<Runtime>) -> ServerBuilder {
         ServerBuilder {
             runtime,
             workers: 1,
             queue_capacity: 1024,
+            min_batch: 1,
             max_batch: 16,
+            batch_slo: None,
             default_deadline: None,
+            default_tenant_weight: 1,
+            tenant_weights: HashMap::new(),
         }
     }
 
     /// The runtime requests execute on.
     pub fn runtime(&self) -> &Arc<Runtime> {
         &self.shared.runtime
+    }
+
+    /// Shutdown/capacity checks plus the enqueue itself, under the
+    /// caller-held sched lock. Stats accounting is left to the caller so
+    /// batched submissions update them once.
+    #[allow(clippy::result_large_err)]
+    fn try_enqueue(
+        &self,
+        sched: &mut Sched,
+        request: Request,
+        now: Instant,
+    ) -> Result<Arc<Slot>, Rejected> {
+        // Checked *under the sched lock*: shutdown sets the flag under
+        // the same lock, so a submission either sees it (rejected) or
+        // its enqueue is visible to the draining workers — an accepted
+        // ticket can never be left unresolved.
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(Rejected {
+                request,
+                reason: ServeError::Shutdown,
+            });
+        }
+        if sched.queued >= self.shared.capacity {
+            return Err(Rejected {
+                request,
+                reason: ServeError::QueueFull {
+                    capacity: self.shared.capacity,
+                },
+            });
+        }
+        let deadline = request
+            .deadline
+            .or(self.shared.default_deadline)
+            .map(|d| now + d);
+        let slot = Slot::new();
+        sched.enqueue(
+            &request.tenant,
+            Queued {
+                program: request.program,
+                digest: request.digest,
+                bindings: request.bindings,
+                result: request.result,
+                deadline,
+                submitted: now,
+                slot: Arc::clone(&slot),
+            },
+        );
+        Ok(slot)
     }
 
     /// Enqueue a request, returning a [`Ticket`] to wait on.
@@ -418,57 +817,100 @@ impl Server {
     #[allow(clippy::result_large_err)]
     pub fn submit(&self, request: Request) -> Result<Ticket, Rejected> {
         let now = Instant::now();
-        let deadline = request
-            .deadline
-            .or(self.shared.default_deadline)
-            .map(|d| now + d);
-        let slot = Slot::new();
         {
             let mut sched = self.shared.sched.lock();
-            // Checked *under the sched lock*: shutdown sets the flag under
-            // the same lock, so a submission either sees it (rejected) or
-            // its enqueue is visible to the draining workers — an accepted
-            // ticket can never be left unresolved.
-            if self.shared.shutdown.load(Ordering::Acquire) {
-                drop(sched);
-                self.shared.stats.lock().rejected += 1;
-                return Err(Rejected {
-                    request,
-                    reason: ServeError::Shutdown,
-                });
+            match self.try_enqueue(&mut sched, request, now) {
+                Ok(slot) => {
+                    let depth = sched.queued;
+                    // Counted before the enqueue becomes visible to workers
+                    // (the sched lock is still held), so a snapshot can never
+                    // observe a resolution that outruns its own submission
+                    // count.
+                    let mut stats = self.shared.stats.lock();
+                    stats.submitted += 1;
+                    stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
+                    drop(stats);
+                    drop(sched);
+                    self.shared.work.notify_one();
+                    Ok(Ticket { slot })
+                }
+                Err(rejected) => {
+                    drop(sched);
+                    self.shared.stats.lock().rejected += 1;
+                    Err(rejected)
+                }
             }
-            if sched.queued >= self.shared.capacity {
-                drop(sched);
-                self.shared.stats.lock().rejected += 1;
-                return Err(Rejected {
-                    request,
-                    reason: ServeError::QueueFull {
-                        capacity: self.shared.capacity,
-                    },
-                });
+        }
+    }
+
+    /// Enqueue a pre-batched group of requests under one lock
+    /// acquisition, returning a per-request outcome in submission order.
+    ///
+    /// Cheaper than N [`Server::submit`] calls for bulk producers (one
+    /// sched-lock round trip, one stats update, one worker wake-up), and
+    /// same-digest requests submitted together are adjacent in their
+    /// lanes, so they gather into the same micro-batch. Each request is
+    /// accepted or bounced individually — a full queue rejects the
+    /// overflow, not the whole group.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bh_ir::parse_program;
+    /// use bh_runtime::Runtime;
+    /// use bh_serve::{ProgramHandle, Request, Server};
+    ///
+    /// let server = Server::builder(Runtime::builder().build_shared()).build();
+    /// let handle = ProgramHandle::new(parse_program(
+    ///     "BH_IDENTITY a [0:8:1] 1\nBH_SYNC a\n",
+    /// )?);
+    /// let outcomes = server.submit_many(
+    ///     (0..32).map(|i| Request::with_handle(format!("tenant-{}", i % 4), &handle)),
+    /// );
+    /// for ticket in outcomes.into_iter().collect::<Result<Vec<_>, _>>()? {
+    ///     ticket.wait()?;
+    /// }
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn submit_many(
+        &self,
+        requests: impl IntoIterator<Item = Request>,
+    ) -> Vec<Result<Ticket, Rejected>> {
+        let now = Instant::now();
+        // Drained *before* taking the scheduler lock: a lazy iterator
+        // must not stall workers and submitters for its whole duration,
+        // and one calling back into this server (queue_depth, submit, …)
+        // must not self-deadlock on the non-reentrant sched mutex.
+        let requests: Vec<Request> = requests.into_iter().collect();
+        let mut out = Vec::with_capacity(requests.len());
+        let mut accepted = 0u64;
+        let mut bounced = 0u64;
+        {
+            let mut sched = self.shared.sched.lock();
+            for request in requests {
+                match self.try_enqueue(&mut sched, request, now) {
+                    Ok(slot) => {
+                        accepted += 1;
+                        out.push(Ok(Ticket { slot }));
+                    }
+                    Err(rejected) => {
+                        bounced += 1;
+                        out.push(Err(rejected));
+                    }
+                }
             }
-            sched.enqueue(
-                &request.tenant,
-                Queued {
-                    program: request.program,
-                    digest: request.digest,
-                    bindings: request.bindings,
-                    result: request.result,
-                    deadline,
-                    submitted: now,
-                    slot: Arc::clone(&slot),
-                },
-            );
             let depth = sched.queued;
-            // Counted before the enqueue becomes visible to workers (the
-            // sched lock is still held), so a snapshot can never observe
-            // a resolution that outruns its own submission count.
             let mut stats = self.shared.stats.lock();
-            stats.submitted += 1;
+            stats.submitted += accepted;
+            stats.rejected += bounced;
             stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
         }
-        self.shared.work.notify_one();
-        Ok(Ticket { slot })
+        match accepted {
+            0 => {}
+            1 => self.shared.work.notify_one(),
+            _ => self.shared.work.notify_all(),
+        }
+        out
     }
 
     /// Submit and block for the outcome (per-call convenience).
@@ -487,12 +929,19 @@ impl Server {
     /// Returns false when nothing was queued. This is the entire
     /// scheduling path minus the worker threads — the deterministic mode
     /// for tests and for embedding the server in an external event loop
-    /// (build with `.workers(0)`).
+    /// (build with `.workers(0)`). The external driver has its own
+    /// batch-limit controller, adapted by the batches it executes.
     pub fn service_once(&self) -> bool {
-        let batch = self.shared.sched.lock().next_batch(self.shared.max_batch);
+        // The controller lock is never held across the batch itself, so
+        // completion callbacks are free to call back into the server
+        // (submit, service_once, stats) without self-deadlocking.
+        let limit = self.shared.external_ctl.lock().limit();
+        let batch = self.shared.sched.lock().next_batch(limit);
         match batch {
             Some(batch) => {
-                self.shared.process_batch(batch);
+                let samples = self.shared.process_batch(batch);
+                self.shared
+                    .note_decisions(&mut self.shared.external_ctl.lock(), &samples);
                 true
             }
             None => false,
@@ -508,13 +957,19 @@ impl Server {
     /// moment a tenant's queue drains, so this — not the lifetime number
     /// of distinct tenant IDs — bounds scheduler memory and scan cost.
     pub fn active_tenants(&self) -> usize {
-        self.shared.sched.lock().queues.len()
+        self.shared.sched.lock().lanes.len()
     }
 
-    /// Scheduler-level counters.
+    /// Scheduler-level counters. Counters are updated after the requests
+    /// of a batch resolve, so a snapshot racing an in-flight batch may
+    /// momentarily trail the tickets it has already completed; snapshots
+    /// taken after [`Server::shutdown`] (or between
+    /// [`Server::service_once`] calls) are exact.
     pub fn stats(&self) -> ServeStats {
         let mut stats = self.shared.stats.lock().clone();
-        stats.queue_depth = self.shared.sched.lock().queued;
+        let sched = self.shared.sched.lock();
+        stats.queue_depth = sched.queued;
+        stats.tenants = sched.quotas.clone();
         stats
     }
 
@@ -563,8 +1018,163 @@ impl fmt::Debug for Server {
         f.debug_struct("Server")
             .field("workers", &self.workers.lock().len())
             .field("capacity", &self.shared.capacity)
-            .field("max_batch", &self.shared.max_batch)
+            .field("batch_floor", &self.shared.policy.floor)
+            .field("batch_ceiling", &self.shared.policy.ceiling)
+            .field("batch_slo", &self.shared.policy.slo)
             .field("queued", &self.queue_depth())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adaptive(floor: usize, ceiling: usize, slo_ms: u64) -> BatchController {
+        BatchPolicy {
+            floor,
+            ceiling,
+            slo: Some(Duration::from_millis(slo_ms)),
+        }
+        .controller()
+    }
+
+    fn sample(turnaround_ms: u64, service_ms: u64) -> LatencySample {
+        LatencySample {
+            turnaround_nanos: turnaround_ms * 1_000_000,
+            service_nanos: service_ms * 1_000_000,
+        }
+    }
+
+    /// Feed `n` identical samples whose turnaround and in-batch service
+    /// latency are both `latency_ms` (no queue wait).
+    fn feed(ctl: &mut BatchController, latency_ms: u64, n: usize) -> Vec<(usize, Duration, bool)> {
+        ctl.observe(&vec![sample(latency_ms, latency_ms); n])
+    }
+
+    #[test]
+    fn fixed_controller_never_moves() {
+        let mut ctl = BatchPolicy {
+            floor: 1,
+            ceiling: 16,
+            slo: None,
+        }
+        .controller();
+        assert_eq!(ctl.limit(), 16);
+        assert!(feed(&mut ctl, 1_000, 64).is_empty());
+        assert_eq!(ctl.limit(), 16);
+    }
+
+    /// Samples one decision waits for at `limit` (mirrors
+    /// `AdaptiveState::window_target`).
+    fn window_at(limit: usize) -> usize {
+        (2 * limit).clamp(DECISION_WINDOW / 4, DECISION_WINDOW)
+    }
+
+    #[test]
+    fn adaptive_slow_start_doubles_then_grows_additively() {
+        let mut ctl = adaptive(1, 64, 10);
+        // Under the SLO: 1 → 2 → 4 … (slow start), each decision waiting
+        // for the current limit's window.
+        assert_eq!(
+            feed(&mut ctl, 1, window_at(1)),
+            vec![(2, Duration::from_millis(1), true)]
+        );
+        feed(&mut ctl, 1, window_at(2));
+        assert_eq!(ctl.limit(), 4);
+        // One slip halves and ends slow start: 4 → 2.
+        let d = feed(&mut ctl, 100, window_at(4));
+        assert_eq!(d, vec![(2, Duration::from_millis(100), false)]);
+        // Back under the SLO: additive growth now, 2 → 3.
+        feed(&mut ctl, 1, window_at(2));
+        assert_eq!(ctl.limit(), 3);
+    }
+
+    #[test]
+    fn adaptive_window_scales_with_the_limit_within_bounds() {
+        let mut ctl = adaptive(1, 64, 10);
+        // Ramp is O(limit): 4 samples at limit 1, never more than a full
+        // window however large the limit.
+        assert_eq!(window_at(1), DECISION_WINDOW / 4);
+        assert_eq!(window_at(64), DECISION_WINDOW);
+        // One sample short of the target: no decision yet.
+        assert!(feed(&mut ctl, 1, window_at(1) - 1).is_empty());
+        assert_eq!(feed(&mut ctl, 1, 1).len(), 1);
+        assert_eq!(ctl.limit(), 2);
+    }
+
+    #[test]
+    fn adaptive_limit_respects_floor_and_ceiling() {
+        let mut ctl = adaptive(2, 8, 10);
+        ctl = match ctl {
+            BatchController::Adaptive(mut s) => {
+                s.limit = 8;
+                BatchController::Adaptive(s)
+            }
+            fixed => fixed,
+        };
+        // At the ceiling, staying under the SLO records nothing.
+        assert!(feed(&mut ctl, 1, window_at(8)).is_empty());
+        assert_eq!(ctl.limit(), 8);
+        // Slips: 8 → 4 → 2, then pinned at the floor.
+        feed(&mut ctl, 100, window_at(8));
+        feed(&mut ctl, 100, window_at(4));
+        assert_eq!(ctl.limit(), 2);
+        assert!(feed(&mut ctl, 100, window_at(2)).is_empty());
+        assert_eq!(ctl.limit(), 2);
+    }
+
+    #[test]
+    fn decision_tolerates_one_straggler_but_not_two() {
+        let mut ctl = adaptive(1, 8, 10);
+        ctl = match ctl {
+            BatchController::Adaptive(mut s) => {
+                s.limit = 8;
+                BatchController::Adaptive(s)
+            }
+            fixed => fixed,
+        };
+        // The decision rank is floor(0.95·16) = 15 of 16: a single
+        // outlier (page fault, allocator hiccup) cannot flap the limit …
+        assert_eq!(window_at(8), DECISION_WINDOW);
+        let mut one_straggler = vec![sample(1, 1); DECISION_WINDOW - 1];
+        one_straggler.push(sample(100, 100));
+        assert!(
+            ctl.observe(&one_straggler).is_empty(),
+            "one straggler at the ceiling must not shrink"
+        );
+        assert_eq!(ctl.limit(), 8);
+        // … but two stragglers put the rank-15 sample over the SLO, a
+        // genuine slip (even though the window mean is far under it).
+        let mut two_stragglers = vec![sample(1, 1); DECISION_WINDOW - 2];
+        two_stragglers.extend([sample(100, 100); 2]);
+        let d = ctl.observe(&two_stragglers);
+        assert_eq!(d, vec![(4, Duration::from_millis(100), false)]);
+    }
+
+    #[test]
+    fn overload_grows_on_service_headroom_instead_of_collapsing() {
+        // Turnaround blows any SLO under a standing backlog, but the
+        // controller keys on in-batch service latency: with headroom
+        // there it keeps growing — bigger batches are what drain the
+        // queue — instead of shrinking into congestion collapse.
+        let mut ctl = adaptive(1, 64, 10);
+        ctl = match ctl {
+            BatchController::Adaptive(mut s) => {
+                s.limit = 8;
+                BatchController::Adaptive(s)
+            }
+            fixed => fixed,
+        };
+        let overloaded = vec![sample(500, 1); window_at(8)];
+        assert_eq!(
+            ctl.observe(&overloaded),
+            vec![(16, Duration::from_millis(1), true)],
+            "queue-wait slip with cheap batches must still grow"
+        );
+        // A genuine in-batch blowout shrinks.
+        let over_batched = vec![sample(500, 500); window_at(16)];
+        let d = ctl.observe(&over_batched);
+        assert_eq!(d, vec![(8, Duration::from_millis(500), false)]);
     }
 }

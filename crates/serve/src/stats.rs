@@ -7,12 +7,23 @@
 //! single object covering queue → batcher → runtime.
 
 use bh_runtime::RuntimeStats;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::time::Duration;
 
 /// Number of log₂ latency buckets; bucket `i` spans `[2^i, 2^{i+1})`
 /// nanoseconds, so the histogram covers up to ~18 minutes.
 const LATENCY_BUCKETS: usize = 40;
+
+/// Most recent adaptive batch-limit decisions kept in the timeline;
+/// older ones are dropped (and counted) so the snapshot has a fixed
+/// footprint however long the server runs.
+const TIMELINE_CAP: usize = 256;
+
+/// Distinct tenants tracked exactly in the quota metrics; dequeues for
+/// tenants beyond the cap are aggregated as "untracked" so ephemeral
+/// tenant IDs cannot grow the snapshot without bound.
+const TENANT_METRICS_CAP: usize = 64;
 
 /// Largest batch size tracked exactly; bigger batches land in the last
 /// bucket.
@@ -198,6 +209,142 @@ impl fmt::Debug for BatchSizeDist {
     }
 }
 
+/// One adaptive batch-limit decision (see DESIGN.md §9 for the control
+/// loop that produces these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchLimitEvent {
+    /// Value of [`ServeStats::batches`] when the decision was made.
+    pub batch_seq: u64,
+    /// The batch limit after the decision.
+    pub limit: usize,
+    /// The decision window's observed near-p95 in-batch service
+    /// latency that drove it (nearest-rank `floor(0.95·n)`, so one
+    /// straggler per window is tolerated).
+    pub window_p95: Duration,
+    /// True when the limit grew (p95 held the SLO), false when it
+    /// shrank (p95 slipped).
+    pub grew: bool,
+}
+
+/// Bounded timeline of adaptive batch-limit decisions across every
+/// scheduling context (worker threads interleave; each worker adapts
+/// its own limit, so consecutive events need not be monotonic steps of
+/// one value). Empty under the fixed batch policy.
+#[derive(Debug, Clone, Default)]
+pub struct BatchLimitTimeline {
+    events: VecDeque<BatchLimitEvent>,
+    grows: u64,
+    shrinks: u64,
+    dropped: u64,
+}
+
+impl BatchLimitTimeline {
+    pub(crate) fn record(&mut self, event: BatchLimitEvent) {
+        if event.grew {
+            self.grows += 1;
+        } else {
+            self.shrinks += 1;
+        }
+        if self.events.len() == TIMELINE_CAP {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained decisions, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &BatchLimitEvent> {
+        self.events.iter()
+    }
+
+    /// Decisions retained right now (at most the timeline capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no decision has been recorded (always, under the fixed
+    /// batch policy).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    /// Lifetime count of grow decisions.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Lifetime count of shrink decisions.
+    pub fn shrinks(&self) -> u64 {
+        self.shrinks
+    }
+
+    /// Decisions evicted from the bounded timeline.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The most recently decided limit, if any decision was recorded.
+    pub fn last_limit(&self) -> Option<usize> {
+        self.events.back().map(|e| e.limit)
+    }
+}
+
+/// Requests dequeued per tenant (batch-leader picks and digest-gathered
+/// followers alike) — the service side of weighted scheduling, for
+/// verifying that observed shares track configured weights.
+#[derive(Debug, Clone, Default)]
+pub struct TenantQuotas {
+    served: BTreeMap<String, u64>,
+    untracked: u64,
+}
+
+impl TenantQuotas {
+    pub(crate) fn note(&mut self, tenant: &str, n: u64) {
+        if let Some(count) = self.served.get_mut(tenant) {
+            *count += n;
+        } else if self.served.len() < TENANT_METRICS_CAP {
+            self.served.insert(tenant.to_owned(), n);
+        } else {
+            self.untracked += n;
+        }
+    }
+
+    /// Requests dequeued for `tenant` (0 if untracked or never seen).
+    pub fn served(&self, tenant: &str) -> u64 {
+        self.served.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Per-tenant counts, in tenant-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.served.iter().map(|(name, &n)| (name.as_str(), n))
+    }
+
+    /// Distinct tenants tracked exactly (bounded; see
+    /// [`TenantQuotas::untracked`]).
+    pub fn tracked(&self) -> usize {
+        self.served.len()
+    }
+
+    /// Dequeues for tenants beyond the tracking cap, in aggregate.
+    pub fn untracked(&self) -> u64 {
+        self.untracked
+    }
+
+    /// Total requests dequeued across all tenants.
+    pub fn total(&self) -> u64 {
+        self.served.values().sum::<u64>() + self.untracked
+    }
+
+    /// `tenant`'s fraction of all dequeued requests (0.0 when none yet).
+    pub fn share(&self, tenant: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.served(tenant) as f64 / total as f64
+    }
+}
+
 /// Snapshot of everything the scheduler has done so far.
 #[derive(Debug, Clone, Default)]
 pub struct ServeStats {
@@ -221,6 +368,11 @@ pub struct ServeStats {
     pub batch_sizes: BatchSizeDist,
     /// Submission-to-completion latency of successful requests.
     pub latency: LatencyHistogram,
+    /// Adaptive batch-limit decision timeline (empty under the fixed
+    /// batch policy).
+    pub batch_limits: BatchLimitTimeline,
+    /// Requests dequeued per tenant, for auditing weighted fairness.
+    pub tenants: TenantQuotas,
 }
 
 impl ServeStats {
@@ -253,7 +405,19 @@ impl fmt::Display for ServeStats {
             self.latency.p50(),
             self.latency.p95(),
             self.latency.p99(),
-        )
+        )?;
+        if !self.batch_limits.is_empty() {
+            write!(
+                f,
+                " adapt=+{}/-{} limit={}",
+                self.batch_limits.grows(),
+                self.batch_limits.shrinks(),
+                self.batch_limits
+                    .last_limit()
+                    .expect("non-empty timeline has a last event"),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -328,6 +492,61 @@ mod tests {
         // Request totals stay exact even past the tracked bucket range.
         assert_eq!(d.requests(), 10_006);
         assert!((d.mean() - 10_006.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_is_bounded_and_counts_decisions() {
+        let mut t = BatchLimitTimeline::default();
+        assert!(t.is_empty());
+        assert_eq!(t.last_limit(), None);
+        for i in 0..(TIMELINE_CAP as u64 + 10) {
+            t.record(BatchLimitEvent {
+                batch_seq: i,
+                limit: 4,
+                window_p95: Duration::from_micros(i),
+                grew: i % 2 == 0,
+            });
+        }
+        assert_eq!(t.len(), TIMELINE_CAP);
+        assert_eq!(t.dropped(), 10);
+        assert_eq!(t.grows() + t.shrinks(), TIMELINE_CAP as u64 + 10);
+        assert_eq!(t.last_limit(), Some(4));
+        // Oldest events were evicted, newest kept.
+        assert_eq!(t.events().next().unwrap().batch_seq, 10);
+    }
+
+    #[test]
+    fn tenant_quotas_track_shares_and_cap_distinct_tenants() {
+        let mut q = TenantQuotas::default();
+        q.note("a", 6);
+        q.note("b", 3);
+        q.note("a", 3);
+        assert_eq!(q.served("a"), 9);
+        assert_eq!(q.served("b"), 3);
+        assert_eq!(q.total(), 12);
+        assert!((q.share("a") - 0.75).abs() < 1e-12);
+        assert_eq!(q.share("never-seen"), 0.0);
+        for i in 0..(TENANT_METRICS_CAP + 5) {
+            q.note(&format!("ephemeral-{i}"), 1);
+        }
+        assert_eq!(q.tracked(), TENANT_METRICS_CAP);
+        // 2 slots were taken by a/b, so 7 of the ephemerals overflow.
+        assert_eq!(q.untracked(), 7);
+        assert_eq!(q.total(), 12 + TENANT_METRICS_CAP as u64 + 5);
+    }
+
+    #[test]
+    fn stats_display_mentions_adaptive_decisions_when_present() {
+        let mut s = ServeStats::default();
+        assert!(!s.to_string().contains("adapt="));
+        s.batch_limits.record(BatchLimitEvent {
+            batch_seq: 1,
+            limit: 8,
+            window_p95: Duration::from_millis(1),
+            grew: true,
+        });
+        let text = s.to_string();
+        assert!(text.contains("adapt=+1/-0 limit=8"), "{text}");
     }
 
     #[test]

@@ -1,15 +1,16 @@
-//! Scheduler-semantics tests: backpressure, fairness, batching,
-//! deadlines, drain-on-shutdown, and exactly-once resolution under
-//! concurrent load.
+//! Scheduler-semantics tests: backpressure, weighted fairness, batching,
+//! adaptive batch sizing, deadlines, the non-blocking ticket surface,
+//! drain-on-shutdown, and exactly-once resolution under concurrent load.
 //!
 //! Deterministic tests build the server with `.workers(0)` and step it
-//! with `service_once`, so batch formation and round-robin order are
-//! observable without sleeps or races.
+//! with `service_once`, so batch formation, round-robin order and
+//! batch-limit decisions are observable without sleeps or races.
 
 use bh_ir::parse_program;
 use bh_runtime::Runtime;
-use bh_serve::{ProgramHandle, Request, ServeError, Server};
+use bh_serve::{ProgramHandle, Request, ServeError, Server, Ticket};
 use bh_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -105,6 +106,275 @@ fn round_robin_keeps_a_flooding_tenant_from_starving_others() {
     assert_eq!(flood.iter().filter(|t| t.is_done()).count(), 2);
     while server.service_once() {}
     assert!(flood.into_iter().all(|t| t.wait().is_ok()));
+}
+
+#[test]
+fn weighted_tenants_split_service_by_their_weight_ratio() {
+    // Two flooding tenants with weights 2:1 and distinct digests (so the
+    // gather never crosses lanes). Smooth weighted round-robin must hand
+    // "gold" two of every three leader picks.
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .max_batch(1)
+        .tenant_weight("gold", 2)
+        .tenant_weight("silver", 1)
+        .build();
+    let gold_program = chain(8, 1);
+    let silver_program = chain(8, 2);
+    let gold: Vec<_> = (0..30)
+        .map(|_| {
+            server
+                .submit(Request::with_handle("gold", &gold_program))
+                .unwrap()
+        })
+        .collect();
+    let silver: Vec<_> = (0..30)
+        .map(|_| {
+            server
+                .submit(Request::with_handle("silver", &silver_program))
+                .unwrap()
+        })
+        .collect();
+
+    for _ in 0..12 {
+        assert!(server.service_once());
+    }
+    let quotas = server.stats().tenants;
+    assert_eq!(quotas.served("gold"), 8, "2 of each 3 picks");
+    assert_eq!(quotas.served("silver"), 4, "1 of each 3 picks");
+    assert!((quotas.share("gold") - 2.0 / 3.0).abs() < 1e-12);
+
+    // The lighter tenant is never starved: it advances every cycle.
+    assert_eq!(silver.iter().filter(|t| t.is_done()).count(), 4);
+    while server.service_once() {}
+    assert!(gold.into_iter().all(|t| t.wait().is_ok()));
+    assert!(silver.into_iter().all(|t| t.wait().is_ok()));
+    let quotas = server.stats().tenants;
+    assert_eq!(quotas.served("gold"), 30);
+    assert_eq!(quotas.served("silver"), 30);
+}
+
+#[test]
+fn unweighted_tenants_fall_back_to_the_default_weight() {
+    // A default weight of 2 with one explicit weight-1 tenant inverts
+    // the usual shape: the *configured* tenant is the deprioritised one.
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .max_batch(1)
+        .default_tenant_weight(2)
+        .tenant_weight("throttled", 1)
+        .build();
+    let a = chain(8, 1);
+    let b = chain(8, 2);
+    for _ in 0..12 {
+        server.submit(Request::with_handle("normal", &a)).unwrap();
+        server
+            .submit(Request::with_handle("throttled", &b))
+            .unwrap();
+    }
+    for _ in 0..9 {
+        assert!(server.service_once());
+    }
+    let quotas = server.stats().tenants;
+    assert_eq!(quotas.served("normal"), 6);
+    assert_eq!(quotas.served("throttled"), 3);
+    while server.service_once() {}
+}
+
+#[test]
+fn adaptive_batcher_grows_under_light_load_and_converges_down_under_a_slow_engine() {
+    // The injected slow engine: a stats sink that stalls every
+    // evaluation once `delay_us` is raised. Latency SLO is 2ms — trivial
+    // 8-element programs hold it easily, 10ms-stalled ones cannot.
+    let delay_us = Arc::new(AtomicU64::new(0));
+    let sink_delay = Arc::clone(&delay_us);
+    let rt = Runtime::builder()
+        .stats_sink(move |_| {
+            let us = sink_delay.load(Ordering::Relaxed);
+            if us > 0 {
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        })
+        .build_shared();
+    let server = Server::builder(rt)
+        .workers(0)
+        .min_batch(1)
+        .max_batch(16)
+        .adaptive_batch(Duration::from_millis(2))
+        .build();
+    let h = chain(8, 3);
+
+    // Phase 1 — fast engine, backlogged tenant: the limit slow-starts
+    // from min_batch toward the ceiling. Submit-then-drain in small
+    // chunks keeps turnaround ≈ service time.
+    for _ in 0..8 {
+        for outcome in server.submit_many((0..16).map(|_| Request::with_handle("t", &h))) {
+            outcome.unwrap();
+        }
+        while server.service_once() {}
+    }
+    let stats = server.stats();
+    assert!(
+        stats.batch_limits.last_limit() == Some(16),
+        "limit should reach the ceiling under a held SLO: {stats}"
+    );
+    assert!(stats.batch_limits.grows() >= 4, "{stats}");
+    assert_eq!(stats.batch_sizes.max_seen(), 16);
+
+    // Phase 2 — slow engine: every window's p95 slips the SLO, so the
+    // limit halves per window down to the floor.
+    delay_us.store(10_000, Ordering::Relaxed);
+    for _ in 0..8 {
+        for outcome in server.submit_many((0..16).map(|_| Request::with_handle("t", &h))) {
+            outcome.unwrap();
+        }
+        while server.service_once() {}
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.batch_limits.last_limit(),
+        Some(1),
+        "limit should converge to the floor under a slipped SLO: {stats}"
+    );
+    assert!(stats.batch_limits.shrinks() >= 4, "{stats}");
+    assert_eq!(stats.completed, 256);
+}
+
+#[test]
+fn try_wait_returns_none_before_completion_and_the_value_after() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .build();
+    let h = chain(8, 2);
+    let reg = h.program().reg_by_name("a").unwrap();
+    let mut ticket = server
+        .submit(Request::with_handle("t", &h).read(reg))
+        .unwrap();
+
+    assert!(ticket.try_wait().is_none());
+    assert!(ticket.try_wait().is_none(), "polling is repeatable");
+    // A bounded wait with nothing servicing times out, ticket intact.
+    assert!(ticket.wait_timeout(Duration::from_millis(5)).is_none());
+
+    assert!(server.service_once());
+    let response = ticket.try_wait().expect("serviced").unwrap();
+    assert_eq!(response.value.unwrap().to_f64_vec(), vec![2.0; 8]);
+
+    // wait_timeout also redeems an already-resolved ticket immediately.
+    let mut second = server.submit(Request::with_handle("t", &h)).unwrap();
+    assert!(server.service_once());
+    assert!(second
+        .wait_timeout(Duration::from_secs(60))
+        .expect("already resolved")
+        .is_ok());
+}
+
+#[test]
+fn on_done_callbacks_fire_on_resolution_or_immediately() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .build();
+    let h = chain(8, 1);
+    let reg = h.program().reg_by_name("a").unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+
+    // Registered before resolution: fires from the servicing thread,
+    // with the ticket itself long dropped (fire-and-forget).
+    let tx1 = tx.clone();
+    server
+        .submit(Request::with_handle("t", &h).read(reg))
+        .unwrap()
+        .on_done(move |result| tx1.send(("pending", result)).unwrap());
+    assert!(rx.try_recv().is_err(), "nothing serviced yet");
+    assert!(server.service_once());
+    let (tag, result) = rx.try_recv().expect("callback fired during service");
+    assert_eq!(tag, "pending");
+    assert_eq!(
+        result.unwrap().value.unwrap().to_f64_vec(),
+        vec![1.0; 8],
+        "callback receives the full response"
+    );
+
+    // Registered after resolution: fires immediately on this thread.
+    let ticket = server.submit(Request::with_handle("t", &h)).unwrap();
+    assert!(server.service_once());
+    let tx2 = tx.clone();
+    ticket.on_done(move |result| tx2.send(("resolved", result)).unwrap());
+    assert_eq!(rx.try_recv().expect("immediate").0, "resolved");
+
+    // Deadline expiry reaches callbacks too — every accepted request
+    // resolves exactly once, through whichever surface observes it.
+    server
+        .submit(Request::with_handle("t", &h).deadline(Duration::ZERO))
+        .unwrap()
+        .on_done(move |result| tx.send(("expired", result)).unwrap());
+    std::thread::sleep(Duration::from_millis(2));
+    assert!(server.service_once());
+    let (tag, result) = rx.try_recv().expect("expiry delivered");
+    assert_eq!(tag, "expired");
+    assert!(matches!(result, Err(ServeError::DeadlineExceeded { .. })));
+}
+
+#[test]
+fn submit_many_accepts_and_bounces_per_request() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .queue_capacity(4)
+        .build();
+    let h = chain(8, 1);
+    let outcomes =
+        server.submit_many((0..6).map(|i| Request::with_handle(format!("t{}", i % 2), &h)));
+    assert_eq!(outcomes.len(), 6);
+    let (accepted, bounced): (Vec<_>, Vec<_>) = outcomes.into_iter().partition(Result::is_ok);
+    assert_eq!(accepted.len(), 4);
+    assert_eq!(bounced.len(), 2);
+    for rejected in bounced {
+        let rejected = rejected.unwrap_err();
+        assert!(matches!(
+            rejected.reason,
+            ServeError::QueueFull { capacity: 4 }
+        ));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.rejected, 2);
+
+    while server.service_once() {}
+    for ticket in accepted {
+        assert!(ticket.unwrap().wait().is_ok());
+    }
+
+    server.shutdown();
+    let after = server.submit_many((0..2).map(|_| Request::with_handle("t", &h)));
+    assert!(after
+        .into_iter()
+        .all(|o| matches!(o.unwrap_err().reason, ServeError::Shutdown)));
+}
+
+#[test]
+fn rejected_chains_its_source_and_converts_into_serve_error() {
+    use std::error::Error as _;
+
+    // A fallible submit path can `?` straight to ServeError.
+    fn forward(server: &Server, request: Request) -> Result<Ticket, ServeError> {
+        Ok(server.submit(request)?)
+    }
+
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .queue_capacity(1)
+        .build();
+    let h = chain(8, 1);
+    forward(&server, Request::with_handle("t", &h)).unwrap();
+    let rejected = server.submit(Request::with_handle("t", &h)).unwrap_err();
+    assert!(rejected.to_string().contains("queue full"));
+    let source = rejected.source().expect("reason is chained");
+    assert!(source.to_string().contains("capacity 1"));
+    assert!(matches!(
+        forward(&server, Request::with_handle("t", &h)),
+        Err(ServeError::QueueFull { capacity: 1 })
+    ));
+    while server.service_once() {}
 }
 
 #[test]

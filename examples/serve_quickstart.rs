@@ -1,8 +1,12 @@
-//! Serving quickstart: a multi-tenant batching server over one runtime.
+//! Serving quickstart: an adaptive multi-tenant batching server over
+//! one runtime.
 //!
 //! Three tenants fire concurrent requests; two of them submit the *same*
 //! program structure, so their requests batch under one plan on one
-//! pinned VM while the third tenant is still served fairly in between.
+//! pinned VM while the third tenant is still served fairly in between —
+//! at twice the scheduling weight, with the batch limit adapting to a
+//! latency SLO instead of being hand-tuned, and completions delivered
+//! through the non-blocking ticket surface (`submit_many` + `on_done`).
 //!
 //! Run with: `cargo run --release --example serve_quickstart`
 
@@ -10,7 +14,9 @@ use bohrium_repro::ir::parse_program;
 use bohrium_repro::runtime::Runtime;
 use bohrium_repro::serve::{ProgramHandle, Request, Server};
 use bohrium_repro::tensor::Tensor;
+use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runtime = Runtime::builder().build_shared();
@@ -18,7 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Server::builder(Arc::clone(&runtime))
             .workers(2)
             .queue_capacity(256)
-            .max_batch(8)
+            // Adaptive policy: grow batches toward 32 while the p95
+            // turnaround holds 5ms, halve them when it slips.
+            .max_batch(32)
+            .adaptive_batch(Duration::from_millis(5))
+            // tenant-2's niche endpoint gets twice the default share.
+            .tenant_weight("tenant-2", 2)
             .build(),
     );
 
@@ -36,38 +47,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y = popular.program().reg_by_name("y").unwrap();
     let a = niche.program().reg_by_name("a").unwrap();
 
-    let clients: Vec<_> = (0..3)
-        .map(|tenant| {
-            let server = Arc::clone(&server);
-            let popular = popular.clone();
-            let niche = niche.clone();
-            std::thread::spawn(move || {
-                for i in 0..4 {
-                    let request = if tenant < 2 {
-                        let input = Tensor::from_vec(vec![(tenant + i) as f64; 6]);
-                        Request::with_handle(format!("tenant-{tenant}"), &popular)
-                            .bind(x, input)
-                            .read(y)
-                    } else {
-                        Request::with_handle("tenant-2", &niche).read(a)
-                    };
-                    let response = server.submit_wait(request).expect("request serves");
-                    let value = response.value.expect("read requested");
-                    println!(
-                        "tenant-{tenant} req {i}: {:?} (batch of {}, cache hit: {})",
-                        &value.to_f64_vec()[..2],
-                        response.batch_size,
-                        response.outcome.cache_hit,
-                    );
-                }
-            })
-        })
-        .collect();
-    for c in clients {
-        c.join().expect("client thread");
+    // One burst of every tenant's traffic, enqueued under a single lock
+    // acquisition; no thread blocks per request — each ticket hands its
+    // response to a callback, multiplexed over one channel.
+    let requests = (0..12).map(|i| {
+        let tenant = i % 3;
+        if tenant < 2 {
+            let input = Tensor::from_vec(vec![(tenant + i / 3) as f64; 6]);
+            Request::with_handle(format!("tenant-{tenant}"), &popular)
+                .bind(x, input)
+                .read(y)
+        } else {
+            Request::with_handle("tenant-2", &niche).read(a)
+        }
+    });
+    let (tx, rx) = mpsc::channel();
+    let mut accepted = 0usize;
+    for (i, outcome) in server.submit_many(requests).into_iter().enumerate() {
+        let ticket = outcome.map_err(|rejected| rejected.reason)?;
+        accepted += 1;
+        let tx = tx.clone();
+        ticket.on_done(move |result| {
+            tx.send((i, result)).expect("receiver outlives the burst");
+        });
     }
 
-    println!("\n{}", server.report());
+    for _ in 0..accepted {
+        let (i, result) = rx.recv()?;
+        let response = result?;
+        let value = response.value.expect("read requested");
+        println!(
+            "tenant-{} req {i:>2}: {:?} (batch of {}, cache hit: {}, turnaround {:?})",
+            i % 3,
+            &value.to_f64_vec()[..2],
+            response.batch_size,
+            response.outcome.cache_hit,
+            response.turnaround,
+        );
+    }
+
     server.shutdown();
+    let report = server.report();
+    println!("\n{report}");
+    for (tenant, served) in report.serve.tenants.iter() {
+        println!(
+            "{tenant}: {served} requests ({:.0}%)",
+            report.serve.tenants.share(tenant) * 100.0
+        );
+    }
     Ok(())
 }

@@ -275,7 +275,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact count or a half-open
+    /// Length specification for [`vec()`]: an exact count or a half-open
     /// range (subset of proptest's `SizeRange`).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
