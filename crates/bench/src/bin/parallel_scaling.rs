@@ -1,0 +1,202 @@
+//! Serial-vs-threads scaling sweep for the parallel fused-kernel engine.
+//!
+//! Measures two workloads across a worker-thread sweep and writes
+//! `BENCH_parallel.json`:
+//!
+//! * **churn_fused** — the Listing-2-style element-wise churn chain
+//!   (`bh_bench::elementwise_chain`, 2²⁰ f64 elements × 16 ops). The
+//!   fusing engine contracts the whole chain into one fused group, so
+//!   this times exactly the tentpole path: one kernel, every worker
+//!   streaming its contiguous shard in cache-sized blocks.
+//! * **heat_slices** — one Jacobi sweep of the 3-point stencil on a
+//!   2²¹-element rod. The shifted interior slices (`grid[0:n-2]`,
+//!   `grid[2:n]` …) are contiguous but never fuse (partial views), so
+//!   this times the parallel slice×slice kernels (`par_map1`,
+//!   `par_map2_left_inplace` & friends) on the naive engine instead.
+//!   (A 2-D plate's interior rows are *strided*, which the parallel
+//!   kernels decline by design — the 1-D rod is the shape that shards.)
+//!
+//! Each configuration runs on a persistent [`bh_vm::Vm`] whose worker
+//! pool survives across repetitions — the quantity under test is shard
+//! execution, not thread start-up. Wall-clock is the best of
+//! `RUNS` repetitions after a warm-up.
+//!
+//! The acceptance gate (≥ 2.5× at 4 threads over 1 thread on the fused
+//! churn workload) is asserted only when the host actually offers ≥ 4
+//! CPUs; on smaller hosts the sweep still runs and the JSON records the
+//! honest (flat) numbers plus the CPU count so readers can tell why.
+
+use bh_ir::{parse_program, Program};
+use bh_vm::{Engine, Vm};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Elements in the churn chain (≥ 2²⁰ per the acceptance criterion).
+const CHURN_NELEM: usize = 1 << 20;
+/// Element-wise ops in the churn chain.
+const CHURN_OPS: usize = 16;
+/// Fused-engine cache block (doubles): 4096 × 8 B = 32 KiB, L1-resident.
+const BLOCK: usize = 4096;
+/// Stencil rod length (elements).
+const HEAT_N: usize = 1 << 21;
+/// Timed repetitions per configuration (after one warm-up).
+const RUNS: usize = 7;
+/// Worker-thread sweep.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One Jacobi sweep as byte-code: shifted-slice add and a scale over the
+/// interior of an `n`-element rod (contiguous slice×slice, never fused).
+fn heat_program(n: usize) -> Program {
+    let i = n - 1;
+    let text = format!(
+        ".base grid f64[{n}]\n\
+         .base next f64[{n}]\n\
+         BH_IDENTITY grid 1\n\
+         BH_IDENTITY next grid\n\
+         BH_IDENTITY next[1:{i}:1] grid[0:{lim}:1]\n\
+         BH_ADD next[1:{i}:1] next[1:{i}:1] grid[2:{n}:1]\n\
+         BH_MULTIPLY next[1:{i}:1] next[1:{i}:1] 0.5\n\
+         BH_SYNC next\n",
+        lim = n - 2,
+    );
+    parse_program(&text).expect("stencil program parses")
+}
+
+/// Best-of-`RUNS` wall-clock for `program` on `engine` × `threads`,
+/// reusing one VM (and therefore one worker pool) across repetitions.
+///
+/// The VM is deliberately **not** recycled between runs: both workloads
+/// rewrite every buffer from scratch each run, so re-running on warm
+/// buffers is sound (the same invariant `Runtime::eval_prepared` relies
+/// on), and it keeps allocator/page-fault noise — which an earlier
+/// version of this bench mistook for 2× "scaling" — out of the measured
+/// region. What remains is exactly shard execution.
+fn measure(program: &Program, engine: Engine, threads: usize) -> f64 {
+    let mut vm = Vm::with_engine(engine);
+    vm.set_threads(threads);
+    // Warm-up: allocations, pool spawn, page faults.
+    vm.run(program).expect("workload runs");
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        vm.run(program).expect("workload runs");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+struct Sweep {
+    label: &'static str,
+    engine: Engine,
+    program: Program,
+    /// (threads, best_ms, speedup over 1 thread)
+    runs: Vec<(usize, f64, f64)>,
+}
+
+impl Sweep {
+    fn run(label: &'static str, engine: Engine, program: Program) -> Sweep {
+        let mut runs = Vec::new();
+        let mut serial_ms = f64::NAN;
+        for &t in &THREADS {
+            let ms = measure(&program, engine, t);
+            if t == 1 {
+                serial_ms = ms;
+            }
+            let speedup = serial_ms / ms;
+            eprintln!("{label}: threads={t} best={ms:.2} ms speedup={speedup:.2}x");
+            runs.push((t, ms, speedup));
+        }
+        Sweep {
+            label,
+            engine,
+            program,
+            runs,
+        }
+    }
+
+    fn speedup_at(&self, threads: usize) -> f64 {
+        self.runs
+            .iter()
+            .find(|(t, _, _)| *t == threads)
+            .map(|(_, _, s)| *s)
+            .unwrap_or(f64::NAN)
+    }
+
+    fn json(&self, out: &mut String, extra: &str) {
+        let _ = write!(out, "  \"{}\": {{\n{extra}    \"runs\": [", self.label);
+        for (i, (t, ms, s)) in self.runs.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n      {{ \"threads\": {t}, \"best_ms\": {ms:.3}, \"speedup_vs_1\": {s:.3} }}",
+                if i == 0 { "" } else { "," },
+            );
+        }
+        let _ = write!(out, "\n    ]\n  }}");
+    }
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!("host CPUs: {cpus}");
+
+    let churn = Sweep::run(
+        "churn_fused",
+        Engine::Fusing { block: BLOCK },
+        bh_bench::elementwise_chain(CHURN_NELEM, CHURN_OPS),
+    );
+    // Sanity: the chain really executes as fused groups.
+    {
+        let mut vm = Vm::with_engine(churn.engine);
+        vm.run(&churn.program).expect("runs");
+        assert!(
+            vm.stats().fused_groups >= 1,
+            "churn workload must exercise the fused engine"
+        );
+    }
+    let heat = Sweep::run("heat_slices", Engine::Naive, heat_program(HEAT_N));
+    // Sanity: the sliced stencil really reaches the parallel kernels.
+    {
+        let mut vm = Vm::with_engine(Engine::Naive);
+        vm.set_threads(2);
+        vm.run(&heat.program).expect("runs");
+        assert!(
+            vm.stats().par_shards > 0,
+            "heat workload must shard across the pool"
+        );
+    }
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"host\": {{ \"cpus\": {cpus} }},\n  \"threads_swept\": {THREADS:?},\n"
+    );
+    churn.json(
+        &mut out,
+        &format!(
+            "    \"nelem\": {CHURN_NELEM},\n    \"ops\": {CHURN_OPS},\n    \"block\": {BLOCK},\n"
+        ),
+    );
+    let _ = writeln!(out, ",");
+    heat.json(&mut out, &format!("    \"rod\": {HEAT_N},\n"));
+    let _ = write!(
+        out,
+        ",\n  \"note\": \"best of {RUNS} runs per point after warm-up; speedups are \
+         wall-clock vs the 1-thread run of the same engine. Scaling is only \
+         observable when the host grants multiple CPUs (see host.cpus).\"\n}}\n"
+    );
+    std::fs::write("BENCH_parallel.json", &out).expect("write BENCH_parallel.json");
+    eprintln!("wrote BENCH_parallel.json");
+
+    // Acceptance gate: ≥ 2.5× at 4 threads on the fused churn workload —
+    // meaningful only where 4 workers can actually run in parallel.
+    if cpus >= 4 {
+        let s = churn.speedup_at(4);
+        assert!(
+            s >= 2.5,
+            "churn_fused speedup at 4 threads is {s:.2}x, below the 2.5x gate"
+        );
+        eprintln!("scaling gate passed: {s:.2}x at 4 threads");
+    } else {
+        eprintln!("scaling gate skipped: host has {cpus} CPU(s), gate needs >= 4");
+    }
+}

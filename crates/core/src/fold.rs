@@ -36,31 +36,90 @@ pub fn const_eval(op: Opcode, a: Scalar, b: Scalar, dtype: DType) -> Option<Scal
         };
         return Some(Scalar::Bool(v));
     }
-    // Integer dtypes: compute in i64 then truncate into the dtype, exactly
-    // like the VM's wrapping element ops.
-    let (x, y) = (a.as_integral()?, b.as_integral()?);
+    // Integer dtypes: canonicalise both operands into the dtype's domain
+    // (wrap to width, then sign- or zero-extend back into i64) and fold
+    // there, so value-dependent ops see exactly what the VM's in-dtype
+    // element ops see. Folding raw i64s diverged for unsigned dtypes:
+    // u8 `255 / 2` is 127 in-domain, but an i64 carrying -1 gave 0.
+    let (x, y) = (
+        to_domain(a.as_integral()?, dtype),
+        to_domain(b.as_integral()?, dtype),
+    );
+    let signed = dtype.is_signed_integer();
     let bits = dtype.size_of() as u32 * 8;
     let v = match op {
+        // Wrapping ring ops commute with truncation (arithmetic mod 2^64
+        // truncated to 2^w equals arithmetic mod 2^w), so they may run in
+        // i64 regardless of signedness.
         Opcode::Add => x.wrapping_add(y),
         Opcode::Subtract => x.wrapping_sub(y),
         Opcode::Multiply => x.wrapping_mul(y),
+        // Value-dependent ops run in the dtype's own domain.
         Opcode::Divide => {
             if y == 0 {
                 0
-            } else {
+            } else if signed {
                 x.wrapping_div(y)
+            } else {
+                ((x as u64) / (y as u64)) as i64
             }
         }
-        Opcode::Maximum => x.max(y),
-        Opcode::Minimum => x.min(y),
+        Opcode::Mod => {
+            // Floored modulo, matching `VmElement::vm_mod`: a non-zero
+            // result takes the divisor's sign; mod 0 is 0.
+            if y == 0 {
+                0
+            } else if signed {
+                let r = x.wrapping_rem(y);
+                if r != 0 && (r < 0) != (y < 0) {
+                    r.wrapping_add(y)
+                } else {
+                    r
+                }
+            } else {
+                ((x as u64) % (y as u64)) as i64
+            }
+        }
+        Opcode::Power => {
+            // Matching `VmElement::vm_pow`: negative exponents truncate
+            // (1^-n = 1, else 0); exponents beyond u32::MAX saturate.
+            if signed && y < 0 {
+                i64::from(x == 1)
+            } else {
+                let e = u64::min(y as u64, u32::MAX as u64) as u32;
+                (x as u64).wrapping_pow(e) as i64
+            }
+        }
+        Opcode::Maximum if signed => x.max(y),
+        Opcode::Maximum => ((x as u64).max(y as u64)) as i64,
+        Opcode::Minimum if signed => x.min(y),
+        Opcode::Minimum => ((x as u64).min(y as u64)) as i64,
         Opcode::BitwiseAnd => x & y,
         Opcode::BitwiseOr => x | y,
         Opcode::BitwiseXor => x ^ y,
         Opcode::LeftShift => x.wrapping_shl((y as u32) % bits),
-        Opcode::RightShift => x.wrapping_shr((y as u32) % bits),
+        Opcode::RightShift if signed => x.wrapping_shr((y as u32) % bits),
+        Opcode::RightShift => ((x as u64) >> ((y as u32) % bits)) as i64,
         _ => return None,
     };
     Some(Scalar::from_i64(v, dtype))
+}
+
+/// Wrap `v` to `dtype`'s width and extend it back into an `i64` carrying
+/// the dtype's *value*: sign-extended for signed dtypes, zero-extended
+/// for unsigned ones (u64 keeps its bit pattern, so `x as u64` always
+/// recovers the domain value).
+fn to_domain(v: i64, dtype: DType) -> i64 {
+    let bits = dtype.size_of() as u32 * 8;
+    if bits == 64 {
+        return v;
+    }
+    let shift = 64 - bits;
+    if dtype.is_signed_integer() {
+        (v << shift) >> shift
+    } else {
+        v & ((1i64 << bits) - 1)
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +150,103 @@ mod tests {
         assert_eq!(
             const_eval(Opcode::Divide, Scalar::I32(7), Scalar::I32(0), DType::Int32).unwrap(),
             Scalar::I32(0)
+        );
+    }
+
+    #[test]
+    fn unsigned_folds_run_in_domain() {
+        // Regression: u8 255 / 2 must be 127 (in-domain), not 0 (the i64
+        // -1 / 2 the old raw fold computed when 255 arrived as I8(-1)).
+        assert_eq!(
+            const_eval(Opcode::Divide, Scalar::I8(-1), Scalar::I8(2), DType::UInt8).unwrap(),
+            Scalar::U8(127)
+        );
+        assert_eq!(
+            const_eval(
+                Opcode::Divide,
+                Scalar::I64(255),
+                Scalar::I64(2),
+                DType::UInt8
+            )
+            .unwrap(),
+            Scalar::U8(127)
+        );
+        // Maximum/Minimum compare unsigned values, not sign-extended ones.
+        assert_eq!(
+            const_eval(Opcode::Maximum, Scalar::I8(-1), Scalar::I8(1), DType::UInt8).unwrap(),
+            Scalar::U8(255)
+        );
+        assert_eq!(
+            const_eval(Opcode::Minimum, Scalar::I8(-1), Scalar::I8(1), DType::UInt8).unwrap(),
+            Scalar::U8(1)
+        );
+        // Unsigned right shift is logical, not arithmetic.
+        assert_eq!(
+            const_eval(
+                Opcode::RightShift,
+                Scalar::I64(254),
+                Scalar::I64(1),
+                DType::UInt8
+            )
+            .unwrap(),
+            Scalar::U8(127)
+        );
+        // Signed dtypes still see sign-extended domain values.
+        assert_eq!(
+            const_eval(
+                Opcode::RightShift,
+                Scalar::I64(254),
+                Scalar::I64(1),
+                DType::Int8
+            )
+            .unwrap(),
+            Scalar::I8(-1)
+        );
+    }
+
+    #[test]
+    fn integer_mod_folds_floored() {
+        let cases = [
+            (-7, 3, 2i64),
+            (7, -3, -2),
+            (-7, -3, -1),
+            (7, 3, 1),
+            (7, 0, 0),
+        ];
+        for (a, b, want) in cases {
+            assert_eq!(
+                const_eval(Opcode::Mod, Scalar::I64(a), Scalar::I64(b), DType::Int32).unwrap(),
+                Scalar::I32(want as i32),
+                "{a} mod {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_power_folds_like_the_vm() {
+        assert_eq!(
+            const_eval(Opcode::Power, Scalar::I64(2), Scalar::I64(10), DType::Int64).unwrap(),
+            Scalar::I64(1024)
+        );
+        // Negative exponents truncate; oversized exponents saturate.
+        assert_eq!(
+            const_eval(Opcode::Power, Scalar::I32(2), Scalar::I32(-1), DType::Int32).unwrap(),
+            Scalar::I32(0)
+        );
+        assert_eq!(
+            const_eval(Opcode::Power, Scalar::I32(1), Scalar::I32(-5), DType::Int32).unwrap(),
+            Scalar::I32(1)
+        );
+        let huge = Scalar::I64((u32::MAX as i64) + 1);
+        assert_eq!(
+            const_eval(Opcode::Power, Scalar::I64(2), huge, DType::UInt64).unwrap(),
+            const_eval(
+                Opcode::Power,
+                Scalar::I64(2),
+                Scalar::I64(u32::MAX as i64),
+                DType::UInt64
+            )
+            .unwrap()
         );
     }
 

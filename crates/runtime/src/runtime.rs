@@ -377,11 +377,19 @@ impl Default for RuntimeBuilder {
         RuntimeBuilder {
             options: OptOptions::default(),
             engine: Engine::Naive,
-            threads: 1,
+            threads: default_threads(),
             cache_capacity: 256,
             sink: None,
         }
     }
+}
+
+/// Default VM worker-thread count: every core the host grants us
+/// (`std::thread::available_parallelism`), so large element-wise
+/// operations and fused groups stream on all cores out of the box.
+/// Falls back to 1 when the parallelism query fails.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 impl fmt::Debug for RuntimeBuilder {
@@ -428,7 +436,11 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Worker threads per VM for large element-wise operations.
+    /// Worker threads per VM for large element-wise operations and fused
+    /// groups. Defaults to [`std::thread::available_parallelism`]; the
+    /// runtime owns **one** persistent worker pool shared by every pooled
+    /// VM, so concurrent evaluations never over-subscribe the host.
+    /// Values are clamped to at least 1; `1` disables parallelism.
     pub fn threads(mut self, threads: usize) -> RuntimeBuilder {
         self.threads = threads.max(1);
         self

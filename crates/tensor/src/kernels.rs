@@ -19,6 +19,302 @@
 use crate::dtype::Element;
 use crate::view::ViewGeom;
 
+/// A data-parallel range executor: the substrate the parallel kernel
+/// variants (`par_map1`, `par_map2`, …) shard their element ranges over.
+///
+/// `bh-vm`'s persistent worker pool implements this trait; [`InlineExec`]
+/// is the trivial serial implementation. Keeping the trait here (below the
+/// VM in the crate stack) lets the kernels stay executor-agnostic.
+pub trait RangeExecutor: Sync {
+    /// Number of workers that can run shards concurrently (including the
+    /// calling thread). `1` means every shard runs inline on the caller.
+    fn threads(&self) -> usize;
+
+    /// Partition `[0, n)` into contiguous shards whose boundaries are
+    /// multiples of `grain` (so a grain-sized block is never split across
+    /// shards) and run `task(lo, hi)` once per shard, possibly
+    /// concurrently. Blocks until every shard has completed. Returns the
+    /// number of shards executed.
+    ///
+    /// # Safety contract for callers
+    ///
+    /// `task` may be invoked from multiple threads at once, but always
+    /// with pairwise-disjoint `[lo, hi)` ranges covering `[0, n)` exactly.
+    fn run_ranges(&self, n: usize, grain: usize, task: &(dyn Fn(usize, usize) + Sync)) -> usize;
+}
+
+/// The serial [`RangeExecutor`]: one shard, run inline on the caller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InlineExec;
+
+impl RangeExecutor for InlineExec {
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn run_ranges(&self, n: usize, _grain: usize, task: &(dyn Fn(usize, usize) + Sync)) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        task(0, n);
+        1
+    }
+}
+
+/// Split `[0, n)` into at most `shards` contiguous ranges whose interior
+/// boundaries are multiples of `grain` (the fused engine's cache-block
+/// size), balanced to within one grain of each other. The last range
+/// absorbs the tail. Returns an empty vector when `n == 0`.
+pub fn shard_ranges(n: usize, shards: usize, grain: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let grain = grain.max(1);
+    let blocks = n.div_ceil(grain);
+    let shards = shards.clamp(1, blocks);
+    let per = blocks / shards;
+    let extra = blocks % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut lo_block = 0usize;
+    for s in 0..shards {
+        let take = per + usize::from(s < extra);
+        let hi_block = lo_block + take;
+        out.push(((lo_block * grain).min(n), (hi_block * grain).min(n)));
+        lo_block = hi_block;
+    }
+    out
+}
+
+/// Raw pointer that may cross threads. Safety rests on the caller handing
+/// each thread a disjoint element range (the [`RangeExecutor`] contract).
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare `*mut T`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// True when the aliased-input pair `(iv, ov)` over one buffer can be
+/// sharded: either both views address identical elements (reads and
+/// writes of a shard coincide) or their address ranges are disjoint (no
+/// shard ever reads what another writes).
+fn alias_shardable(iv: &ViewGeom, ov: &ViewGeom) -> bool {
+    iv.same_layout(ov) || !iv.may_overlap(ov)
+}
+
+/// Shardable out-of-place pair: both views dense row-major (any offsets).
+fn distinct_shardable(ov: &ViewGeom, iv: &ViewGeom) -> bool {
+    ov.is_contiguous() && iv.is_contiguous()
+}
+
+/// Parallel [`fill`]: shards a contiguous output view over `exec`.
+///
+/// All `par_*` variants return `Some(shards)` when they handled the
+/// operation (sharding it `shards` ways) and `None` when the geometry is
+/// ineligible — the caller must then fall back to the serial kernel.
+pub fn par_fill<T: Element>(
+    exec: &dyn RangeExecutor,
+    out: &mut [T],
+    ov: &ViewGeom,
+    value: T,
+) -> Option<usize> {
+    if !ov.is_contiguous() {
+        return None;
+    }
+    let (start, n) = (ov.offset(), ov.nelem());
+    assert!(start + n <= out.len(), "view escapes buffer");
+    let ptr = SyncPtr(out.as_mut_ptr());
+    let shards = exec.run_ranges(n, 1, &|lo, hi| {
+        // SAFETY: bounds asserted; shards are disjoint subranges.
+        let shard = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start + lo), hi - lo) };
+        shard.fill(value);
+    });
+    Some(shards)
+}
+
+/// Parallel [`map1`]: shards two contiguous views (distinct buffers) over
+/// `exec`. Returns `false` when either view is not contiguous.
+pub fn par_map1<I: Element, O: Element>(
+    exec: &dyn RangeExecutor,
+    out: &mut [O],
+    ov: &ViewGeom,
+    input: &[I],
+    iv: &ViewGeom,
+    f: impl Fn(I) -> O + Sync,
+) -> Option<usize> {
+    if !distinct_shardable(ov, iv) {
+        return None;
+    }
+    debug_assert_eq!(ov.nelem(), iv.nelem(), "par_map1 requires equal extents");
+    let n = ov.nelem();
+    let (ob, ib) = (ov.offset(), iv.offset());
+    assert!(
+        ob + n <= out.len() && ib + n <= input.len(),
+        "view escapes buffer"
+    );
+    let optr = SyncPtr(out.as_mut_ptr());
+    let shards = exec.run_ranges(n, 1, &|lo, hi| {
+        for k in lo..hi {
+            // SAFETY: bounds asserted; `out` and `input` are distinct
+            // slices; shards write disjoint output ranges.
+            unsafe { *optr.get().add(ob + k) = f(*input.get_unchecked(ib + k)) };
+        }
+    });
+    Some(shards)
+}
+
+/// Parallel [`map1_inplace`]: shards a single-buffer map over `exec`.
+/// Returns `false` unless both views are contiguous and the input either
+/// shares the output's exact layout or cannot overlap it.
+pub fn par_map1_inplace<T: Element>(
+    exec: &dyn RangeExecutor,
+    buf: &mut [T],
+    ov: &ViewGeom,
+    iv: &ViewGeom,
+    f: impl Fn(T) -> T + Sync,
+) -> Option<usize> {
+    if !distinct_shardable(ov, iv) || !alias_shardable(iv, ov) {
+        return None;
+    }
+    let n = ov.nelem();
+    let (ob, ib) = (ov.offset(), iv.offset());
+    assert!(
+        ob + n <= buf.len() && ib + n <= buf.len(),
+        "view escapes buffer"
+    );
+    let ptr = SyncPtr(buf.as_mut_ptr());
+    let shards = exec.run_ranges(n, 1, &|lo, hi| {
+        for k in lo..hi {
+            // SAFETY: bounds asserted; per-element read precedes the
+            // write; `alias_shardable` rules out cross-shard hazards.
+            unsafe {
+                let v = *ptr.get().add(ib + k);
+                *ptr.get().add(ob + k) = f(v);
+            }
+        }
+    });
+    Some(shards)
+}
+
+/// Parallel [`map2`]: shards three contiguous views (distinct buffers)
+/// over `exec`. Returns `false` when any view is not contiguous.
+#[allow(clippy::too_many_arguments)]
+pub fn par_map2<I: Element, O: Element>(
+    exec: &dyn RangeExecutor,
+    out: &mut [O],
+    ov: &ViewGeom,
+    a: &[I],
+    av: &ViewGeom,
+    b: &[I],
+    bv: &ViewGeom,
+    f: impl Fn(I, I) -> O + Sync,
+) -> Option<usize> {
+    if !(ov.is_contiguous() && av.is_contiguous() && bv.is_contiguous()) {
+        return None;
+    }
+    let n = ov.nelem();
+    let (ob, ab, bb) = (ov.offset(), av.offset(), bv.offset());
+    assert!(
+        ob + n <= out.len() && ab + n <= a.len() && bb + n <= b.len(),
+        "view escapes buffer"
+    );
+    let optr = SyncPtr(out.as_mut_ptr());
+    let shards = exec.run_ranges(n, 1, &|lo, hi| {
+        for k in lo..hi {
+            // SAFETY: bounds asserted; buffers are distinct slices.
+            unsafe {
+                *optr.get().add(ob + k) = f(*a.get_unchecked(ab + k), *b.get_unchecked(bb + k));
+            }
+        }
+    });
+    Some(shards)
+}
+
+/// Parallel [`map2_inplace`]: shards a single-buffer binary map over
+/// `exec`. Returns `false` unless every view is contiguous and each input
+/// either shares the output's layout or cannot overlap it.
+pub fn par_map2_inplace<T: Element>(
+    exec: &dyn RangeExecutor,
+    buf: &mut [T],
+    ov: &ViewGeom,
+    av: &ViewGeom,
+    bv: &ViewGeom,
+    f: impl Fn(T, T) -> T + Sync,
+) -> Option<usize> {
+    let shardable = ov.is_contiguous()
+        && av.is_contiguous()
+        && bv.is_contiguous()
+        && alias_shardable(av, ov)
+        && alias_shardable(bv, ov);
+    if !shardable {
+        return None;
+    }
+    let n = ov.nelem();
+    let (ob, ab, bb) = (ov.offset(), av.offset(), bv.offset());
+    assert!(
+        ob + n <= buf.len() && ab + n <= buf.len() && bb + n <= buf.len(),
+        "view escapes buffer"
+    );
+    let ptr = SyncPtr(buf.as_mut_ptr());
+    let shards = exec.run_ranges(n, 1, &|lo, hi| {
+        for k in lo..hi {
+            // SAFETY: bounds asserted; both reads precede the write;
+            // `alias_shardable` rules out cross-shard hazards.
+            unsafe {
+                let va = *ptr.get().add(ab + k);
+                let vb = *ptr.get().add(bb + k);
+                *ptr.get().add(ob + k) = f(va, vb);
+            }
+        }
+    });
+    Some(shards)
+}
+
+/// Parallel [`map2_left_inplace`]: output aliases the first input's
+/// buffer, second input lives elsewhere. Returns `false` unless every
+/// view is contiguous and the aliased input shares the output's layout or
+/// cannot overlap it.
+#[allow(clippy::too_many_arguments)]
+pub fn par_map2_left_inplace<T: Element>(
+    exec: &dyn RangeExecutor,
+    buf: &mut [T],
+    ov: &ViewGeom,
+    av: &ViewGeom,
+    other: &[T],
+    bv: &ViewGeom,
+    f: impl Fn(T, T) -> T + Sync,
+) -> Option<usize> {
+    let shardable =
+        ov.is_contiguous() && av.is_contiguous() && bv.is_contiguous() && alias_shardable(av, ov);
+    if !shardable {
+        return None;
+    }
+    let n = ov.nelem();
+    let (ob, ab, bb) = (ov.offset(), av.offset(), bv.offset());
+    assert!(
+        ob + n <= buf.len() && ab + n <= buf.len() && bb + n <= other.len(),
+        "view escapes buffer"
+    );
+    let ptr = SyncPtr(buf.as_mut_ptr());
+    let shards = exec.run_ranges(n, 1, &|lo, hi| {
+        for k in lo..hi {
+            // SAFETY: bounds asserted; reads precede the write; `other`
+            // is a distinct slice.
+            unsafe {
+                let va = *ptr.get().add(ab + k);
+                let vb = *other.get_unchecked(bb + k);
+                *ptr.get().add(ob + k) = f(va, vb);
+            }
+        }
+    });
+    Some(shards)
+}
+
 /// Iterate `N` same-shaped views in lock-step, invoking `f` with the base
 /// element offsets of each view.
 ///
@@ -482,5 +778,124 @@ mod tests {
     fn oob_view_panics() {
         let mut buf = vec![0.0f64; 3];
         fill(&mut buf, &vg(&[5]), 1.0); // view larger than buffer
+    }
+
+    /// Test executor: one OS thread per shard, scoped. Exercises the
+    /// actually-concurrent contract of the par kernels without depending
+    /// on bh-vm's pool (which lives above this crate).
+    struct ScopedExec(usize);
+
+    impl RangeExecutor for ScopedExec {
+        fn threads(&self) -> usize {
+            self.0
+        }
+
+        fn run_ranges(
+            &self,
+            n: usize,
+            grain: usize,
+            task: &(dyn Fn(usize, usize) + Sync),
+        ) -> usize {
+            let ranges = shard_ranges(n, self.0, grain);
+            std::thread::scope(|scope| {
+                for &(lo, hi) in &ranges {
+                    scope.spawn(move || task(lo, hi));
+                }
+            });
+            ranges.len()
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_align() {
+        // 100 elements, 4 shards, grain 7: boundaries are multiples of 7.
+        let r = shard_ranges(100, 4, 7);
+        assert_eq!(r.first().unwrap().0, 0);
+        assert_eq!(r.last().unwrap().1, 100);
+        for w in r.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges must be adjacent");
+            assert_eq!(w[0].1 % 7, 0, "interior boundary must not split a block");
+        }
+        // Never more shards than blocks.
+        assert_eq!(shard_ranges(10, 8, 4).len(), 3);
+        assert!(shard_ranges(0, 4, 4).is_empty());
+        // Degenerate grain is clamped.
+        assert_eq!(shard_ranges(5, 2, 0), vec![(0, 3), (3, 5)]);
+    }
+
+    #[test]
+    fn par_kernels_match_serial() {
+        let exec = ScopedExec(3);
+        let n = 1000;
+        let v = vg(&[n]);
+
+        let mut buf = vec![0.0f64; n];
+        assert!(par_fill(&exec, &mut buf, &v, 2.5).is_some());
+        assert!(buf.iter().all(|&x| x == 2.5));
+
+        let input: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut out = vec![0.0f64; n];
+        assert!(par_map1(&exec, &mut out, &v, &input, &v, |x| x * 2.0).is_some());
+        let mut want = vec![0.0f64; n];
+        map1(&mut want, &v, &input, &v, |x| x * 2.0);
+        assert_eq!(out, want);
+
+        let mut a = input.clone();
+        assert!(par_map1_inplace(&exec, &mut a, &v, &v, |x| x + 1.0).is_some());
+        assert_eq!(a[17], 18.0);
+
+        let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let mut out2 = vec![0.0f64; n];
+        assert!(par_map2(&exec, &mut out2, &v, &input, &v, &b, &v, |x, y| x - y).is_some());
+        let mut want2 = vec![0.0f64; n];
+        map2(&mut want2, &v, &input, &v, &b, &v, |x, y| x - y);
+        assert_eq!(out2, want2);
+
+        let mut c = input.clone();
+        assert!(par_map2_inplace(&exec, &mut c, &v, &v, &v, |x, y| x + y).is_some());
+        assert_eq!(c[9], 18.0);
+
+        let mut d = input.clone();
+        assert!(
+            par_map2_left_inplace(&exec, &mut d, &v, &v, &b, &v, |x, y| x * (y + 1.0)).is_some()
+        );
+        assert_eq!(d[8], 8.0 * 2.0);
+    }
+
+    #[test]
+    fn par_kernels_refuse_unsafe_shapes() {
+        let exec = ScopedExec(2);
+        let strided =
+            ViewGeom::from_slices(&Shape::vector(10), &[Slice::new(None, None, 2)]).unwrap();
+        let mut buf = vec![0.0f64; 10];
+        assert!(par_fill(&exec, &mut buf, &strided, 1.0).is_none());
+        let full = vg(&[5]);
+        let input = vec![1.0f64; 5];
+        let mut out = vec![0.0f64; 5];
+        assert!(par_map1(&exec, &mut out, &full, &input, &strided, |x| x).is_none());
+        // Shifted self-overlap: out = buf[1..4], in = buf[0..3] — the
+        // hazardous case must be refused, not sharded.
+        let base = Shape::vector(4);
+        let ov = ViewGeom::from_slices(&base, &[Slice::range(1, 4)]).unwrap();
+        let iv = ViewGeom::from_slices(&base, &[Slice::range(0, 3)]).unwrap();
+        let mut hazard = vec![1.0f64, 2.0, 3.0, 4.0];
+        assert!(par_map1_inplace(&exec, &mut hazard, &ov, &iv, |x| x).is_none());
+        // Disjoint in-buffer ranges are fine.
+        let lo = ViewGeom::from_slices(&base, &[Slice::range(0, 2)]).unwrap();
+        let hi = ViewGeom::from_slices(&base, &[Slice::range(2, 4)]).unwrap();
+        assert!(par_map1_inplace(&exec, &mut hazard, &lo, &hi, |x| x + 10.0).is_some());
+        assert_eq!(hazard, vec![13.0, 14.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn inline_exec_runs_one_shard() {
+        let mut seen = Vec::new();
+        let seen_cell = std::sync::Mutex::new(&mut seen);
+        assert_eq!(
+            InlineExec.run_ranges(9, 4, &|lo, hi| seen_cell.lock().unwrap().push((lo, hi))),
+            1
+        );
+        assert_eq!(seen, vec![(0, 9)]);
+        assert_eq!(InlineExec.run_ranges(0, 4, &|_, _| {}), 0);
     }
 }

@@ -205,12 +205,27 @@ impl Scalar {
     /// [`Scalar::get`]).
     pub fn get<T: Element>(self) -> T {
         assert_eq!(self.dtype(), T::DTYPE, "scalar dtype mismatch");
-        // Round-trip through f64/i64 keeping exactness: dtypes match, so the
-        // representation is exact for that type.
+        // The dtype check guarantees the variant's payload type *is* `T`,
+        // so extract it directly — an f64 round-trip would corrupt
+        // u64/i64 values beyond 2^53 (e.g. `u64::MAX - 128` became
+        // `u64::MAX`, diverging from the exact constant folder).
+        fn exact<S: Copy + 'static, T: Copy + 'static>(v: S) -> T {
+            *(&v as &dyn std::any::Any)
+                .downcast_ref::<T>()
+                .expect("dtype checked above")
+        }
         match self {
-            Scalar::U64(v) => T::from_f64(v as f64), // only lossy > 2^53; tests cover
-            Scalar::I64(v) => T::from_f64(v as f64),
-            s => T::from_f64(s.as_f64()),
+            Scalar::Bool(v) => exact(v),
+            Scalar::U8(v) => exact(v),
+            Scalar::U16(v) => exact(v),
+            Scalar::U32(v) => exact(v),
+            Scalar::U64(v) => exact(v),
+            Scalar::I8(v) => exact(v),
+            Scalar::I16(v) => exact(v),
+            Scalar::I32(v) => exact(v),
+            Scalar::I64(v) => exact(v),
+            Scalar::F32(v) => exact(v),
+            Scalar::F64(v) => exact(v),
         }
     }
 

@@ -7,9 +7,16 @@
 //! * integer division / modulo by zero yields 0 (NumPy emits a warning and
 //!   produces 0; we skip the warning),
 //! * integer overflow wraps (NumPy c-casts),
+//! * integer **and** float modulo are *floored* (NumPy `mod`): a non-zero
+//!   result takes the sign of the divisor, so `-7 mod 3 = 2`,
+//!   `7 mod -3 = -2` and `-7 mod -3 = -1`,
+//! * integer power: negative exponents truncate (`1^-n = 1`, else `0`,
+//!   since NumPy raises instead of defining them); non-negative exponents
+//!   beyond `u32::MAX` **saturate** to `u32::MAX` (they are not silently
+//!   truncated mod 2³²). The constant folder (`bh_opt::const_eval`)
+//!   implements the identical rule, keeping folder ≡ VM,
 //! * shift counts are masked to the type width,
-//! * boolean arithmetic is the logical lattice (`+` = or, `*` = and),
-//! * float modulo keeps the sign of the divisor (NumPy `mod`).
+//! * boolean arithmetic is the logical lattice (`+` = or, `*` = and).
 
 use bh_tensor::Element;
 
@@ -79,12 +86,23 @@ macro_rules! impl_int {
                     // integer power semantics error out; we pick total
                     // truncation semantics instead.
                     if self == 1 { 1 } else { 0 }
+                } else if (b as u64) > u32::MAX as u64 {
+                    // Exponents beyond u32::MAX saturate (see module doc);
+                    // `b as u32` would silently reduce them mod 2^32.
+                    self.wrapping_pow(u32::MAX)
                 } else {
                     self.wrapping_pow(b as u32)
                 }
             }
             #[inline] fn vm_mod(self, b: Self) -> Self {
-                if b == 0 { 0 } else { self.rem_euclid(b) }
+                // Floored (NumPy) modulo: non-zero results take the sign
+                // of the divisor. `rem_euclid` would instead always be
+                // non-negative, diverging for negative divisors.
+                if b == 0 { 0 } else {
+                    let r = self.wrapping_rem(b);
+                    #[allow(unused_comparisons)]
+                    if r != 0 && (r < 0) != (b < 0) { r.wrapping_add(b) } else { r }
+                }
             }
             #[inline] fn vm_max(self, b: Self) -> Self { Ord::max(self, b) }
             #[inline] fn vm_min(self, b: Self) -> Self { Ord::min(self, b) }
@@ -256,9 +274,33 @@ mod tests {
     }
 
     #[test]
-    fn int_mod_is_euclidean() {
-        assert_eq!((-7i32).vm_mod(3), 2); // NumPy: mod sign follows divisor
+    fn int_pow_saturates_oversized_exponents() {
+        // Regression: `b as u32` used to reduce the exponent mod 2^32, so
+        // 2^(2^32) "became" 2^0 = 1. Saturation keeps it at 2^(2^32 - 1),
+        // which is 0 mod 2^64.
+        let huge = (u32::MAX as u64) + 1;
+        assert_eq!(2u64.vm_pow(huge), 2u64.vm_pow(u32::MAX as u64));
+        assert_ne!(2u64.vm_pow(huge), 1);
+        assert_eq!(2i64.vm_pow(i64::MAX), 0); // 2^(2^32-1) mod 2^64
+        assert_eq!(1u64.vm_pow(u64::MAX), 1);
+        // In-range exponents are untouched.
+        assert_eq!(3u64.vm_pow(4), 81);
+    }
+
+    #[test]
+    fn int_mod_is_floored() {
+        // NumPy convention: a non-zero result takes the divisor's sign.
+        assert_eq!((-7i32).vm_mod(3), 2);
+        assert_eq!(7i32.vm_mod(-3), -2);
+        assert_eq!((-7i32).vm_mod(-3), -1); // rem_euclid wrongly gave 2
         assert_eq!(7i32.vm_mod(3), 1);
+        assert_eq!((-6i32).vm_mod(3), 0);
+        assert_eq!((-6i32).vm_mod(-3), 0);
+        assert_eq!(i32::MIN.vm_mod(-1), 0); // must not overflow
+        assert_eq!(i8::MIN.vm_mod(-1), 0);
+        // Unsigned dtypes are unaffected.
+        assert_eq!(7u8.vm_mod(3), 1);
+        assert_eq!(250u8.vm_mod(7), 5);
     }
 
     #[test]

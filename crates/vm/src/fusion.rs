@@ -7,7 +7,8 @@
 //! cache-sized blocks, applying all `k` operations per block. Kernel-launch
 //! count drops from `k` to 1 and intermediate traffic stays cache-resident.
 
-use bh_ir::{Operand, Program};
+use bh_ir::{Opcode, Operand, Program, Reg};
+use bh_tensor::{DType, Scalar};
 
 /// One scheduling unit for the fusing engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +22,72 @@ pub(crate) enum Group {
         /// Shared element count of every operand view.
         nelem: usize,
     },
+}
+
+/// One input of a fused instruction, fully resolved: fusable views are
+/// always the *full, contiguous, offset-0* view of their base, so a
+/// register identifies the operand completely — no geometry needed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum FusedInput {
+    /// Full view of a base register.
+    Reg(Reg),
+    /// Immediate constant (not yet cast to the operating dtype).
+    Const(Scalar),
+}
+
+/// One instruction of a fused group with its operands classified at
+/// compile time, so per-shard execution touches no program structure.
+#[derive(Debug, Clone)]
+pub(crate) struct FusedInstr {
+    /// The element-wise op-code.
+    pub op: Opcode,
+    /// Output register (written via its full contiguous view).
+    pub out: Reg,
+    /// Declared dtype of the output base.
+    pub out_dtype: DType,
+    /// Operating dtype: the dtype of view inputs (validated to agree),
+    /// else the output dtype (mirrors the interpreter's rule).
+    pub in_dtype: DType,
+    /// The instruction's inputs, in operand order (`arity()` entries).
+    pub inputs: Vec<FusedInput>,
+}
+
+/// Resolve every instruction of a fused `range` into [`FusedInstr`]s.
+///
+/// Only call this on ranges produced by [`find_groups`]: the
+/// classification relies on the fusability invariant (all views full,
+/// contiguous, equal length).
+pub(crate) fn classify_group(program: &Program, range: std::ops::Range<usize>) -> Vec<FusedInstr> {
+    range
+        .map(|i| {
+            let instr = &program.instrs()[i];
+            debug_assert!(instr.op.is_elementwise(), "fused groups are element-wise");
+            let out = instr.out_view().expect("element-wise ops have outputs").reg;
+            let inputs: Vec<FusedInput> = instr
+                .inputs()
+                .iter()
+                .map(|o| match o {
+                    Operand::View(v) => FusedInput::Reg(v.reg),
+                    Operand::Const(c) => FusedInput::Const(*c),
+                })
+                .collect();
+            let out_dtype = program.base(out).dtype;
+            let in_dtype = inputs
+                .iter()
+                .find_map(|i| match i {
+                    FusedInput::Reg(r) => Some(program.base(*r).dtype),
+                    FusedInput::Const(_) => None,
+                })
+                .unwrap_or(out_dtype);
+            FusedInstr {
+                op: instr.op,
+                out,
+                out_dtype,
+                in_dtype,
+                inputs,
+            }
+        })
+        .collect()
 }
 
 /// Element count shared by all of an instruction's full contiguous views,

@@ -50,7 +50,7 @@ mod stats;
 pub use eltops::VmElement;
 pub use error::VmError;
 pub use machine::{Engine, Vm};
-pub use pool::{PooledVm, VmPool};
+pub use pool::{PooledVm, VmPool, WorkerPool};
 pub use stats::ExecStats;
 
 #[cfg(test)]
@@ -302,6 +302,126 @@ BH_SYNC a1\n";
             seq.read_by_name(&p, "a0").unwrap(),
             par.read_by_name(&p, "a0").unwrap()
         );
+    }
+
+    #[test]
+    fn parallel_fused_groups_match_serial_and_naive() {
+        // Mixed chain over full views: arithmetic, compare into a bool
+        // base, cast back — everything the step compiler handles — small
+        // arrays with a forced-low threshold so sharding really engages.
+        let text = "\
+.base x f64[100]\n.base y f64[100]\n.base m bool[100]\n.base z f64[100]\n\
+BH_IDENTITY x 1.5\n\
+BH_MULTIPLY y x 3\n\
+BH_ADD y y x\n\
+BH_GREATER m y 5\n\
+BH_IDENTITY z m\n\
+BH_ADD z z y\n\
+BH_SYNC z\nBH_SYNC m\n";
+        let p = parse_program(text).unwrap();
+        let mut naive = Vm::new();
+        naive.run(&p).unwrap();
+        let mut serial = Vm::with_engine(Engine::Fusing { block: 16 });
+        serial.run(&p).unwrap();
+        let mut par = Vm::with_engine(Engine::Fusing { block: 16 });
+        par.set_threads(4).set_par_threshold(1);
+        par.run(&p).unwrap();
+        for name in ["z", "m"] {
+            let a = naive.read_by_name(&p, name).unwrap();
+            let b = serial.read_by_name(&p, name).unwrap();
+            let c = par.read_by_name(&p, name).unwrap();
+            assert_eq!(a, b, "{name}: serial fused diverged from naive");
+            assert_eq!(b, c, "{name}: parallel fused diverged from serial fused");
+        }
+        // Thread count must not change the cost counters (only the purely
+        // observational shard count may differ).
+        let mut s = *serial.stats();
+        let mut q = *par.stats();
+        assert!(q.par_shards > 0, "parallel engine must have sharded");
+        s.par_shards = 0;
+        q.par_shards = 0;
+        assert_eq!(s, q);
+    }
+
+    #[test]
+    fn unfused_slice_ops_shard_across_the_pool() {
+        // Shifted 1-D slices are contiguous but never fuse (partial
+        // views): the naive engine must still shard them — and the
+        // results must match the serial run exactly.
+        let n = 4096;
+        let text = format!(
+            ".base g f64[{n}]\n.base s f64[{n}]\n\
+             BH_RANGE g\n\
+             BH_IDENTITY s g\n\
+             BH_IDENTITY s[1:{i}:1] g[0:{lim}:1]\n\
+             BH_ADD s[1:{i}:1] s[1:{i}:1] g[2:{n}:1]\n\
+             BH_MULTIPLY s[1:{i}:1] s[1:{i}:1] 0.5\n\
+             BH_SYNC s\n",
+            i = n - 1,
+            lim = n - 2,
+        );
+        let p = parse_program(&text).unwrap();
+        let mut serial = Vm::new();
+        serial.run(&p).unwrap();
+        let mut par = Vm::new();
+        par.set_threads(4).set_par_threshold(1);
+        par.run(&p).unwrap();
+        assert!(par.stats().par_shards > 0, "slice ops must have sharded");
+        assert_eq!(serial.stats().par_shards, 0);
+        assert_eq!(
+            serial.read_by_name(&p, "s").unwrap(),
+            par.read_by_name(&p, "s").unwrap()
+        );
+    }
+
+    #[test]
+    fn fused_group_with_input_binding_is_cow_safe() {
+        // The bound input is written inside the fused group; the caller's
+        // tensor must keep its original values (copy-on-write) while the
+        // parallel engine sees the private copy.
+        let p = parse_program(
+            ".base x f64[64] input\n\
+             BH_ADD x x 1\n\
+             BH_MULTIPLY x x 2\n\
+             BH_SYNC x\n",
+        )
+        .unwrap();
+        let input = Tensor::from_vec(vec![1.0f64; 64]);
+        let mut vm = Vm::with_engine(Engine::Fusing { block: 8 });
+        vm.set_threads(3).set_par_threshold(1);
+        vm.bind_by_name(&p, "x", &input).unwrap();
+        vm.run(&p).unwrap();
+        assert_eq!(
+            vm.read_by_name(&p, "x").unwrap().to_f64_vec(),
+            vec![4.0; 64]
+        );
+        assert_eq!(input.to_f64_vec(), vec![1.0; 64]);
+    }
+
+    #[test]
+    fn fused_stats_count_instructions_once() {
+        // 4 fusable byte-codes over 1000 elements with block 64: the
+        // group is one kernel and each instruction counts exactly once,
+        // regardless of how many blocks the chain walks.
+        let p = parse_program(
+            "BH_IDENTITY a0 [0:1000:1] 1\n\
+             BH_ADD a0 a0 2\n\
+             BH_MULTIPLY a0 a0 a0\n\
+             BH_SUBTRACT a0 a0 5\n\
+             BH_SYNC a0\n",
+        )
+        .unwrap();
+        let mut vm = Vm::with_engine(Engine::Fusing { block: 64 });
+        vm.run(&p).unwrap();
+        let s = vm.stats();
+        assert_eq!(s.fused_groups, 1);
+        assert_eq!(s.kernels, 1); // the whole group is one kernel
+        assert_eq!(s.instructions, 5); // 4 element-wise + 1 sync
+                                       // Traffic scales with the full array per instruction: identity
+                                       // writes 8000B; add/sub read+write 8000B each; multiply reads
+                                       // 16000B writes 8000B.
+        assert_eq!(s.bytes_written, 4 * 8000);
+        assert_eq!(s.bytes_read, 4 * 8000);
     }
 
     #[test]

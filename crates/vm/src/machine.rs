@@ -12,12 +12,15 @@
 //!   kernel fusion ("loop-fusion-like contractions of byte-codes", §2).
 
 use crate::error::VmError;
-use crate::exec::{self, BinIn};
-use crate::fusion;
+use crate::exec::{self, BinIn, ParCtx};
+use crate::fusion::{self, FusedInput, FusedInstr};
+use crate::pool::WorkerPool;
 use crate::stats::ExecStats;
 use bh_ir::{Instruction, OpKind, Opcode, Operand, Program, Reg, TypeRule, ViewRef};
 use bh_linalg as linalg;
+use bh_tensor::kernels::{self, RangeExecutor};
 use bh_tensor::{with_dtype, Buffer, DType, Element, Scalar, Shape, Tensor, ViewGeom};
+use std::sync::Arc;
 
 use crate::eltops::VmElement;
 
@@ -61,7 +64,8 @@ pub enum Engine {
 #[derive(Debug)]
 pub struct Vm {
     engine: Engine,
-    threads: usize,
+    workers: Option<Arc<WorkerPool>>,
+    par_threshold: usize,
     bases: Vec<Option<Buffer>>,
     stats: ExecStats,
     count_kernel_per_instr: bool,
@@ -83,17 +87,55 @@ impl Vm {
     pub fn with_engine(engine: Engine) -> Vm {
         Vm {
             engine,
-            threads: 1,
+            workers: None,
+            par_threshold: exec::PAR_THRESHOLD,
             bases: Vec::new(),
             stats: ExecStats::new(),
             count_kernel_per_instr: true,
         }
     }
 
-    /// Set the worker-thread count for large contiguous element-wise ops.
+    /// Set the worker-thread count for large contiguous element-wise ops
+    /// and fused groups.
+    ///
+    /// `threads > 1` spawns a persistent [`WorkerPool`] owned by this VM
+    /// (reused across runs — no per-operation thread start-up). A pool of
+    /// the same size already installed (by an earlier call or by
+    /// [`Vm::set_worker_pool`]) is kept. `threads <= 1` removes the pool.
     pub fn set_threads(&mut self, threads: usize) -> &mut Self {
-        self.threads = threads.max(1);
+        let threads = threads.max(1);
+        if threads == 1 {
+            self.workers = None;
+        } else if self.workers.as_ref().map(|w| w.threads()) != Some(threads) {
+            self.workers = Some(Arc::new(WorkerPool::new(threads)));
+        }
         self
+    }
+
+    /// Install a shared worker pool (e.g. one owned by a [`crate::VmPool`]
+    /// so concurrent VMs share a single set of worker threads).
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) -> &mut Self {
+        self.workers = if pool.threads() > 1 { Some(pool) } else { None };
+        self
+    }
+
+    /// Worker threads used for large element-wise operations (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.workers.as_ref().map_or(1, |w| w.threads())
+    }
+
+    /// Set the minimum output-element count before operations shard
+    /// across the worker pool (default `65536`). Mostly a tuning/test
+    /// knob: equivalence suites lower it to force the parallel paths on
+    /// small fixtures.
+    pub fn set_par_threshold(&mut self, threshold: usize) -> &mut Self {
+        self.par_threshold = threshold.max(1);
+        self
+    }
+
+    /// Current parallel-dispatch threshold in elements.
+    pub fn par_threshold(&self) -> usize {
+        self.par_threshold
     }
 
     /// The engine in use.
@@ -247,29 +289,224 @@ impl Vm {
                     self.exec_instr(program, &program.instrs()[i], None)?;
                 }
                 fusion::Group::Fused { range, nelem } => {
-                    self.stats.kernels += 1;
-                    self.stats.fused_groups += 1;
-                    // Count each instruction once (not once per block);
-                    // restore the flag even if a block errors mid-group,
-                    // so a pooled VM is not left undercounting.
-                    self.count_kernel_per_instr = false;
-                    let result = (|| -> Result<(), VmError> {
-                        let mut lo = 0usize;
-                        while lo < nelem {
-                            let hi = (lo + block).min(nelem);
-                            for i in range.clone() {
-                                self.exec_instr(program, &program.instrs()[i], Some((lo, hi)))?;
-                            }
-                            lo = hi;
-                        }
-                        Ok(())
-                    })();
-                    self.count_kernel_per_instr = true;
-                    result?;
+                    self.run_fused_group(program, range, nelem, block)?;
                 }
             }
         }
         Ok(())
+    }
+
+    /// Execute one fused group as a single kernel: compile every
+    /// instruction into a range closure over raw base pointers, then walk
+    /// `[0, nelem)` in cache-sized blocks applying the whole chain per
+    /// block — sharded across the worker pool when the group is large
+    /// enough. Shard boundaries are multiples of `block`, so the
+    /// block-walk inside each shard is identical to the serial walk
+    /// (DESIGN.md §10); results are bit-identical for every thread count.
+    fn run_fused_group(
+        &mut self,
+        program: &Program,
+        range: std::ops::Range<usize>,
+        nelem: usize,
+        block: usize,
+    ) -> Result<(), VmError> {
+        let instrs = fusion::classify_group(program, range.clone());
+        // Materialise every touched base before taking pointers.
+        for fi in &instrs {
+            self.ensure_alloc(program, fi.out);
+            for input in &fi.inputs {
+                if let FusedInput::Reg(r) = input {
+                    self.ensure_alloc(program, *r);
+                }
+            }
+        }
+        // Un-share (copy-on-write) every written buffer *before* any
+        // pointer is captured: a CoW copy after a read pointer was taken
+        // would leave that reader staring at the stale allocation.
+        for fi in &instrs {
+            let buf = self.bases[fi.out.index()].as_mut().expect("just allocated");
+            with_dtype!(fi.out_dtype, T, {
+                let _ = buf.as_mut_slice::<T>().expect("dtype matches decl");
+            });
+        }
+        let mut steps: Vec<FusedStep> = Vec::with_capacity(instrs.len());
+        for fi in &instrs {
+            match self.compile_fused_step(fi) {
+                Some(step) => steps.push(step),
+                // Defensive fallback: interpret the group block-by-block.
+                None => return self.run_fused_group_interpreted(program, range, nelem, block),
+            }
+        }
+        // Accounting is analytic and shard-independent: each instruction
+        // counts once, traffic/flops scale with the full `nelem`, and the
+        // group is one kernel — identical counters for 1 or N threads.
+        self.stats.kernels += 1;
+        self.stats.fused_groups += 1;
+        let n = nelem as u64;
+        for fi in &instrs {
+            self.stats.instructions += 1;
+            self.stats.elements_written += n;
+            self.stats.bytes_written += n * fi.out_dtype.size_of() as u64;
+            for input in &fi.inputs {
+                if matches!(input, FusedInput::Reg(_)) {
+                    self.stats.bytes_read += n * fi.in_dtype.size_of() as u64;
+                }
+            }
+            self.stats.flops += fi.op.unit_cost() * n;
+        }
+        let run_chain = |lo: usize, hi: usize| {
+            let mut b = lo;
+            while b < hi {
+                let e = (b + block).min(hi);
+                for step in &steps {
+                    step(b, e);
+                }
+                b = e;
+            }
+        };
+        match self.workers.clone() {
+            Some(pool) if pool.threads() > 1 && nelem >= self.par_threshold => {
+                let shards = pool.run_ranges(nelem, block, &run_chain);
+                if shards > 1 {
+                    self.stats.par_shards += shards as u64;
+                }
+            }
+            _ => run_chain(0, nelem),
+        }
+        Ok(())
+    }
+
+    /// The seed's block-by-block interpreter for fused groups, kept as the
+    /// fallback when a step cannot be compiled.
+    fn run_fused_group_interpreted(
+        &mut self,
+        program: &Program,
+        range: std::ops::Range<usize>,
+        nelem: usize,
+        block: usize,
+    ) -> Result<(), VmError> {
+        self.stats.kernels += 1;
+        self.stats.fused_groups += 1;
+        // Count each instruction once (not once per block); restore the
+        // flag even if a block errors mid-group, so a pooled VM is not
+        // left undercounting.
+        self.count_kernel_per_instr = false;
+        let result = (|| -> Result<(), VmError> {
+            let mut lo = 0usize;
+            while lo < nelem {
+                let hi = (lo + block).min(nelem);
+                for i in range.clone() {
+                    self.exec_instr(program, &program.instrs()[i], Some((lo, hi)))?;
+                }
+                lo = hi;
+            }
+            Ok(())
+        })();
+        self.count_kernel_per_instr = true;
+        result
+    }
+
+    /// Compile one fused instruction into a closure executing it over an
+    /// element range `[lo, hi)` through raw base pointers.
+    ///
+    /// # Safety argument
+    ///
+    /// The closures dereference raw pointers captured from `self.bases`.
+    /// This is sound because (a) every written buffer was un-shared
+    /// before any pointer was taken and no buffer is reallocated until
+    /// the group finishes, (b) fusability guarantees every view is the
+    /// full contiguous `[0, nelem)` of its base, so concurrent shards
+    /// touch pairwise-disjoint index ranges, and (c) within one shard the
+    /// chain runs in program order, so a step's reads of an element
+    /// happen before any later step's write of it — exactly the serial
+    /// interpreter's order per element.
+    fn compile_fused_step(&mut self, fi: &FusedInstr) -> Option<FusedStep> {
+        let is_compare = fi.op.type_rule() == TypeRule::CompareLike;
+        let is_cast = fi.op == Opcode::Identity && fi.in_dtype != fi.out_dtype;
+        if is_compare {
+            with_dtype!(fi.in_dtype, T, {
+                let out = self.raw_mut::<bool>(fi.out)?;
+                if fi.op.arity() == 1 {
+                    let a = self.step_in::<T>(&fi.inputs[0])?;
+                    Some(fused_pred_step(out, a, exec::predicate_fn::<T>(fi.op)))
+                } else {
+                    let a = self.step_in::<T>(&fi.inputs[0])?;
+                    let b = self.step_in::<T>(&fi.inputs[1])?;
+                    Some(fused_cmp_step(out, a, b, exec::compare_fn::<T>(fi.op)))
+                }
+            })
+        } else if is_cast {
+            with_dtype!(fi.in_dtype, I, {
+                with_dtype!(fi.out_dtype, O, {
+                    let out = self.raw_mut::<O>(fi.out)?;
+                    match &fi.inputs[0] {
+                        FusedInput::Const(c) => {
+                            Some(fused_fill_step(out, c.cast(fi.out_dtype).get::<O>()))
+                        }
+                        FusedInput::Reg(r) => {
+                            let a = self.raw_const::<I>(*r)?;
+                            Some(fused_cast_step::<I, O>(out, a))
+                        }
+                    }
+                })
+            })
+        } else {
+            with_dtype!(fi.in_dtype, T, {
+                let out = self.raw_mut::<T>(fi.out)?;
+                if fi.op.arity() == 1 {
+                    let a = self.step_in::<T>(&fi.inputs[0])?;
+                    Some(fused_un_step(out, a, exec::unary_fn::<T>(fi.op)))
+                } else {
+                    let a = self.step_in::<T>(&fi.inputs[0])?;
+                    let b = self.step_in::<T>(&fi.inputs[1])?;
+                    // Direct dispatch (function *items*, not pointers) for
+                    // the hot arithmetic ops, so each compiled loop
+                    // inlines its operation — same trick as the
+                    // interpreter's `call_bin!`.
+                    macro_rules! bin {
+                        ($f:expr) => {
+                            Some(fused_bin_step(out, a, b, $f))
+                        };
+                    }
+                    match fi.op {
+                        Opcode::Add => bin!(T::vm_add),
+                        Opcode::Subtract => bin!(T::vm_sub),
+                        Opcode::Multiply => bin!(T::vm_mul),
+                        Opcode::Divide => bin!(T::vm_div),
+                        Opcode::Power => bin!(T::vm_pow),
+                        Opcode::Mod => bin!(T::vm_mod),
+                        Opcode::Maximum => bin!(T::vm_max),
+                        Opcode::Minimum => bin!(T::vm_min),
+                        Opcode::BitwiseAnd | Opcode::LogicalAnd => bin!(T::vm_and),
+                        Opcode::BitwiseOr | Opcode::LogicalOr => bin!(T::vm_or),
+                        Opcode::BitwiseXor | Opcode::LogicalXor => bin!(T::vm_xor),
+                        Opcode::LeftShift => bin!(T::vm_shl),
+                        Opcode::RightShift => bin!(T::vm_shr),
+                        other => bin!(exec::binary_fn::<T>(other)),
+                    }
+                }
+            })
+        }
+    }
+
+    /// Raw mutable pointer to a register's (already unique) base storage.
+    fn raw_mut<T: Element>(&mut self, reg: Reg) -> Option<RawMut<T>> {
+        let buf = self.bases.get_mut(reg.index())?.as_mut()?;
+        Some(RawMut(buf.as_mut_slice::<T>()?.as_mut_ptr()))
+    }
+
+    /// Raw const pointer to a register's base storage.
+    fn raw_const<T: Element>(&self, reg: Reg) -> Option<RawConst<T>> {
+        let buf = self.bases.get(reg.index())?.as_ref()?;
+        Some(RawConst(buf.as_slice::<T>()?.as_ptr()))
+    }
+
+    /// Resolve a fused input to a pointer or an in-dtype constant.
+    fn step_in<T: VmElement>(&self, input: &FusedInput) -> Option<StepIn<T>> {
+        Some(match input {
+            FusedInput::Const(c) => StepIn::Const(c.cast(T::DTYPE).get::<T>()),
+            FusedInput::Reg(r) => StepIn::Ptr(self.raw_const::<T>(*r)?),
+        })
     }
 
     fn ensure_slot(&mut self, reg: Reg) {
@@ -556,14 +793,17 @@ impl Vm {
         self.stats.flops += instr.op.unit_cost() * n;
 
         let mut out_buf = self.take_buffer(out_reg)?;
-        let threads = self.threads;
+        let par = ParCtx {
+            pool: self.workers.as_deref(),
+            threshold: self.par_threshold,
+        };
 
         // Classify into the typed execution paths.
         let rule = instr.op.type_rule();
         let is_compare = rule == TypeRule::CompareLike;
         let is_cast = instr.op == Opcode::Identity && in_dtype != out_dtype;
 
-        if is_compare {
+        let shards: usize = if is_compare {
             // T × T → bool (or T → bool predicates).
             with_dtype!(in_dtype, T, {
                 // Aliasing possible only when T == bool; materialise then.
@@ -580,6 +820,7 @@ impl Vm {
                         }
                     }
                 };
+                let exec = par.executor(out_geom.nelem());
                 if instr.op.arity() == 1 {
                     let a = gather(&rins[0]);
                     let f = exec::predicate_fn::<T>(instr.op);
@@ -588,9 +829,23 @@ impl Vm {
                         .as_mut_slice::<bool>()
                         .expect("compare output is bool");
                     match sa {
-                        SliceOr::Const(c) => bh_tensor::kernels::fill(out_slice, &out_geom, f(c)),
+                        SliceOr::Const(c) => {
+                            let v = f(c);
+                            let s =
+                                exec.and_then(|x| kernels::par_fill(x, out_slice, &out_geom, v));
+                            if s.is_none() {
+                                kernels::fill(out_slice, &out_geom, v);
+                            }
+                            s.unwrap_or(0)
+                        }
                         SliceOr::Data(da) => {
-                            bh_tensor::kernels::map1(out_slice, &out_geom, da, &ga, f)
+                            let s = exec.and_then(|x| {
+                                kernels::par_map1(x, out_slice, &out_geom, da, &ga, f)
+                            });
+                            if s.is_none() {
+                                kernels::map1(out_slice, &out_geom, da, &ga, f);
+                            }
+                            s.unwrap_or(0)
                         }
                     }
                 } else {
@@ -605,30 +860,60 @@ impl Vm {
                         .expect("compare output is bool");
                     match (sa, sb) {
                         (SliceOr::Const(x), SliceOr::Const(y)) => {
-                            bh_tensor::kernels::fill(out_slice, &out_geom, f(x, y))
+                            let v = f(x, y);
+                            let s =
+                                exec.and_then(|x| kernels::par_fill(x, out_slice, &out_geom, v));
+                            if s.is_none() {
+                                kernels::fill(out_slice, &out_geom, v);
+                            }
+                            s.unwrap_or(0)
                         }
                         (SliceOr::Data(da), SliceOr::Const(y)) => {
-                            bh_tensor::kernels::map1(out_slice, &out_geom, da, &ga, |v| f(v, y))
+                            let s = exec.and_then(|x| {
+                                kernels::par_map1(x, out_slice, &out_geom, da, &ga, |v| f(v, y))
+                            });
+                            if s.is_none() {
+                                kernels::map1(out_slice, &out_geom, da, &ga, |v| f(v, y));
+                            }
+                            s.unwrap_or(0)
                         }
                         (SliceOr::Const(x), SliceOr::Data(db)) => {
-                            bh_tensor::kernels::map1(out_slice, &out_geom, db, &gb, |v| f(x, v))
+                            let s = exec.and_then(|e| {
+                                kernels::par_map1(e, out_slice, &out_geom, db, &gb, |v| f(x, v))
+                            });
+                            if s.is_none() {
+                                kernels::map1(out_slice, &out_geom, db, &gb, |v| f(x, v));
+                            }
+                            s.unwrap_or(0)
                         }
                         (SliceOr::Data(da), SliceOr::Data(db)) => {
-                            bh_tensor::kernels::map2(out_slice, &out_geom, da, &ga, db, &gb, f)
+                            let s = exec.and_then(|e| {
+                                kernels::par_map2(e, out_slice, &out_geom, da, &ga, db, &gb, f)
+                            });
+                            if s.is_none() {
+                                kernels::map2(out_slice, &out_geom, da, &ga, db, &gb, f);
+                            }
+                            s.unwrap_or(0)
                         }
                     }
                 }
-            });
+            })
         } else if is_cast {
             // BH_IDENTITY with dtype conversion: I → O. Different dtypes
             // mean different registers, so no aliasing.
+            let exec = par.executor(out_geom.nelem());
             match &rins[0] {
                 RIn::Const(c) => {
                     let v = c.cast(out_dtype);
                     with_dtype!(out_dtype, O, {
                         let out_slice = out_buf.as_mut_slice::<O>().expect("out dtype");
-                        bh_tensor::kernels::fill(out_slice, &out_geom, v.get::<O>());
-                    });
+                        let v = v.get::<O>();
+                        let s = exec.and_then(|x| kernels::par_fill(x, out_slice, &out_geom, v));
+                        if s.is_none() {
+                            kernels::fill(out_slice, &out_geom, v);
+                        }
+                        s.unwrap_or(0)
+                    })
                 }
                 RIn::View(reg, g) => {
                     let in_buf = self.borrow_buffer(*reg)?;
@@ -636,11 +921,19 @@ impl Vm {
                         with_dtype!(out_dtype, O, {
                             let in_slice = in_buf.as_slice::<I>().expect("in dtype");
                             let out_slice = out_buf.as_mut_slice::<O>().expect("out dtype");
-                            bh_tensor::kernels::map1(out_slice, &out_geom, in_slice, g, |x| {
-                                cast_element::<I, O>(x)
+                            let s = exec.and_then(|x| {
+                                kernels::par_map1(x, out_slice, &out_geom, in_slice, g, |v| {
+                                    cast_element::<I, O>(v)
+                                })
                             });
-                        });
-                    });
+                            if s.is_none() {
+                                kernels::map1(out_slice, &out_geom, in_slice, g, |x| {
+                                    cast_element::<I, O>(x)
+                                });
+                            }
+                            s.unwrap_or(0)
+                        })
+                    })
                 }
             }
         } else {
@@ -665,15 +958,15 @@ impl Vm {
                     let out_slice = out_slice_owner.as_mut_slice::<T>().expect("dtype");
                     match a {
                         ClassIn::Const(c) => {
-                            exec::exec_unary(out_slice, &out_geom, BinIn::Const(c), f, threads)
+                            exec::exec_unary(out_slice, &out_geom, BinIn::Const(c), f, par)
                         }
                         ClassIn::Aliased(g) => {
-                            exec::exec_unary(out_slice, &out_geom, BinIn::Aliased(g), f, threads)
+                            exec::exec_unary(out_slice, &out_geom, BinIn::Aliased(g), f, par)
                         }
                         ClassIn::Other(reg, g) => {
                             let buf = self.borrow_buffer(reg)?;
                             let s = buf.as_slice::<T>().expect("validated dtype");
-                            exec::exec_unary(out_slice, &out_geom, BinIn::Slice(s, g), f, threads)
+                            exec::exec_unary(out_slice, &out_geom, BinIn::Slice(s, g), f, par)
                         }
                     }
                 } else {
@@ -689,7 +982,7 @@ impl Vm {
                     // call-bound execution on large arrays.
                     macro_rules! call_bin {
                         ($f:expr) => {
-                            exec::exec_binary(out_slice, &out_geom, sa, sb, $f, threads)
+                            exec::exec_binary(out_slice, &out_geom, sa, sb, $f, par)
                         };
                     }
                     match instr.op {
@@ -709,7 +1002,10 @@ impl Vm {
                         other => call_bin!(exec::binary_fn::<T>(other)),
                     }
                 }
-            });
+            })
+        };
+        if shards > 1 {
+            self.stats.par_shards += shards as u64;
         }
 
         self.bases[out_reg.index()] = Some(out_buf);
@@ -794,6 +1090,202 @@ impl Vm {
         self.stats.elements_written += n;
         self.stats.bytes_written += n * dtype.size_of() as u64;
     }
+}
+
+/// One compiled instruction of a fused group: executes the op over the
+/// element range `[lo, hi)` of every operand's full contiguous view.
+type FusedStep = Box<dyn Fn(usize, usize) + Send + Sync>;
+
+/// Raw mutable base pointer that may cross shard threads. Soundness is
+/// argued at [`Vm::compile_fused_step`].
+#[derive(Clone, Copy)]
+struct RawMut<T>(*mut T);
+unsafe impl<T: Send> Send for RawMut<T> {}
+unsafe impl<T: Sync> Sync for RawMut<T> {}
+
+impl<T> RawMut<T> {
+    /// Accessor (not field access) so closures capture the `Sync` wrapper.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Raw const base pointer that may cross shard threads.
+#[derive(Clone, Copy)]
+struct RawConst<T>(*const T);
+unsafe impl<T: Send> Send for RawConst<T> {}
+unsafe impl<T: Sync> Sync for RawConst<T> {}
+
+impl<T> RawConst<T> {
+    fn get(&self) -> *const T {
+        self.0
+    }
+}
+
+/// Input of a compiled fused step.
+#[derive(Clone, Copy)]
+enum StepIn<T> {
+    /// Full base view, read at the same index as the output element.
+    Ptr(RawConst<T>),
+    /// Immediate constant, already cast to the operating dtype.
+    Const(T),
+}
+
+/// Compiled `out[i] = f(a[i], b[i])` over pointer/constant operands.
+fn fused_bin_step<T: VmElement>(
+    out: RawMut<T>,
+    a: StepIn<T>,
+    b: StepIn<T>,
+    f: impl Fn(T, T) -> T + Copy + Send + Sync + 'static,
+) -> FusedStep {
+    Box::new(move |lo, hi| {
+        let o = out.get();
+        // SAFETY: see `Vm::compile_fused_step` — pointers are live for
+        // the group, ranges are in-bounds and disjoint across shards,
+        // reads of an element precede its write within a shard.
+        unsafe {
+            match (a, b) {
+                (StepIn::Ptr(pa), StepIn::Ptr(pb)) => {
+                    for k in lo..hi {
+                        *o.add(k) = f(*pa.get().add(k), *pb.get().add(k));
+                    }
+                }
+                (StepIn::Ptr(pa), StepIn::Const(cb)) => {
+                    for k in lo..hi {
+                        *o.add(k) = f(*pa.get().add(k), cb);
+                    }
+                }
+                (StepIn::Const(ca), StepIn::Ptr(pb)) => {
+                    for k in lo..hi {
+                        *o.add(k) = f(ca, *pb.get().add(k));
+                    }
+                }
+                (StepIn::Const(ca), StepIn::Const(cb)) => {
+                    let v = f(ca, cb);
+                    for k in lo..hi {
+                        *o.add(k) = v;
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Compiled `out[i] = f(a[i])`.
+fn fused_un_step<T: VmElement>(
+    out: RawMut<T>,
+    a: StepIn<T>,
+    f: impl Fn(T) -> T + Copy + Send + Sync + 'static,
+) -> FusedStep {
+    Box::new(move |lo, hi| {
+        let o = out.get();
+        // SAFETY: see `Vm::compile_fused_step`.
+        unsafe {
+            match a {
+                StepIn::Ptr(pa) => {
+                    for k in lo..hi {
+                        *o.add(k) = f(*pa.get().add(k));
+                    }
+                }
+                StepIn::Const(c) => {
+                    let v = f(c);
+                    for k in lo..hi {
+                        *o.add(k) = v;
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Compiled `out[i] = value` (cast identity from a constant).
+fn fused_fill_step<O: Element>(out: RawMut<O>, value: O) -> FusedStep {
+    Box::new(move |lo, hi| {
+        let o = out.get();
+        // SAFETY: see `Vm::compile_fused_step`.
+        unsafe {
+            for k in lo..hi {
+                *o.add(k) = value;
+            }
+        }
+    })
+}
+
+/// Compiled dtype-converting identity `out[i] = cast(a[i])`.
+fn fused_cast_step<I: Element, O: Element>(out: RawMut<O>, a: RawConst<I>) -> FusedStep {
+    Box::new(move |lo, hi| {
+        let o = out.get();
+        // SAFETY: see `Vm::compile_fused_step`; different dtypes mean
+        // different registers, so `a` never aliases `out`.
+        unsafe {
+            for k in lo..hi {
+                *o.add(k) = cast_element::<I, O>(*a.get().add(k));
+            }
+        }
+    })
+}
+
+/// Compiled comparison `out[i] = f(a[i], b[i])` with bool output.
+fn fused_cmp_step<T: VmElement>(
+    out: RawMut<bool>,
+    a: StepIn<T>,
+    b: StepIn<T>,
+    f: fn(T, T) -> bool,
+) -> FusedStep {
+    Box::new(move |lo, hi| {
+        let o = out.get();
+        // SAFETY: see `Vm::compile_fused_step`; when `T == bool` the
+        // output may alias an input, and each element is read before it
+        // is written.
+        unsafe {
+            match (a, b) {
+                (StepIn::Ptr(pa), StepIn::Ptr(pb)) => {
+                    for k in lo..hi {
+                        *o.add(k) = f(*pa.get().add(k), *pb.get().add(k));
+                    }
+                }
+                (StepIn::Ptr(pa), StepIn::Const(cb)) => {
+                    for k in lo..hi {
+                        *o.add(k) = f(*pa.get().add(k), cb);
+                    }
+                }
+                (StepIn::Const(ca), StepIn::Ptr(pb)) => {
+                    for k in lo..hi {
+                        *o.add(k) = f(ca, *pb.get().add(k));
+                    }
+                }
+                (StepIn::Const(ca), StepIn::Const(cb)) => {
+                    let v = f(ca, cb);
+                    for k in lo..hi {
+                        *o.add(k) = v;
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Compiled predicate `out[i] = f(a[i])` with bool output.
+fn fused_pred_step<T: VmElement>(out: RawMut<bool>, a: StepIn<T>, f: fn(T) -> bool) -> FusedStep {
+    Box::new(move |lo, hi| {
+        let o = out.get();
+        // SAFETY: see `Vm::compile_fused_step`.
+        unsafe {
+            match a {
+                StepIn::Ptr(pa) => {
+                    for k in lo..hi {
+                        *o.add(k) = f(*pa.get().add(k));
+                    }
+                }
+                StepIn::Const(c) => {
+                    let v = f(c);
+                    for k in lo..hi {
+                        *o.add(k) = v;
+                    }
+                }
+            }
+        }
+    })
 }
 
 enum ClassIn<T> {

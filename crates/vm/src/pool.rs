@@ -9,9 +9,238 @@
 
 use crate::machine::{Engine, Vm};
 use crate::stats::ExecStats;
+use bh_tensor::kernels::{shard_ranges, RangeExecutor};
 use parking_lot::Mutex;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A persistent pool of worker threads that executes contiguous element
+/// ranges in parallel: the engine behind the VM's fused-group sharding and
+/// the parallel kernel variants in [`bh_tensor::kernels`].
+///
+/// The pool spawns `threads - 1` OS threads once and keeps them parked
+/// between jobs; the caller of [`WorkerPool::run_ranges`] participates as
+/// the final worker, so a job never pays a context switch when the pool is
+/// size 1 and never leaves the caller idle while shards remain. This
+/// replaces the seed's per-operation `std::thread::scope` spawning, whose
+/// thread start-up cost swamped medium-sized operations.
+///
+/// # Examples
+///
+/// ```
+/// use bh_tensor::kernels::RangeExecutor;
+/// use bh_vm::WorkerPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = WorkerPool::new(4);
+/// let sum = AtomicU64::new(0);
+/// pool.run_ranges(1000, 1, &|lo, hi| {
+///     sum.fetch_add((lo..hi).map(|v| v as u64).sum(), Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+/// ```
+pub struct WorkerPool {
+    threads: usize,
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Borrowed range task, lifetime-erased. Valid for the lifetime of the
+/// job because `run_ranges` does not return until the job completes.
+type TaskPtr = *const (dyn Fn(usize, usize) + Sync);
+
+/// One published job: an element count pre-sharded into ranges, a borrowed
+/// task, and grab/complete bookkeeping.
+struct Job {
+    task: TaskPtr,
+    ranges: Vec<(usize, usize)>,
+    next: usize,
+    active: usize,
+}
+
+// SAFETY: `task` crosses threads only while the submitting `run_ranges`
+// call is blocked waiting for the job, keeping the referent alive.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    epoch: u64,
+    done_epoch: u64,
+    shutdown: bool,
+}
+
+impl PoolState {
+    /// Claim the next unclaimed shard of the current job (if any),
+    /// marking it active. Shared by the worker loop and the submitter's
+    /// participation loop so the `next`/`active` bookkeeping has exactly
+    /// one implementation.
+    fn grab_shard(&mut self) -> Option<(TaskPtr, (usize, usize))> {
+        let job = self.job.as_mut()?;
+        if job.next >= job.ranges.len() {
+            return None;
+        }
+        let range = job.ranges[job.next];
+        job.next += 1;
+        job.active += 1;
+        Some((job.task, range))
+    }
+}
+
+struct PoolShared {
+    state: std::sync::Mutex<PoolState>,
+    work: std::sync::Condvar,
+    done: std::sync::Condvar,
+}
+
+impl WorkerPool {
+    /// A pool with `threads` workers in total (clamped to at least 1). The
+    /// calling thread counts as one worker, so `threads - 1` OS threads
+    /// are spawned.
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: std::sync::Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                done_epoch: 0,
+                shutdown: false,
+            }),
+            work: std::sync::Condvar::new(),
+            done: std::sync::Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            threads,
+            shared,
+            handles,
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut g = shared.state.lock().unwrap();
+    loop {
+        if g.shutdown {
+            return;
+        }
+        match g.grab_shard() {
+            Some((task, (lo, hi))) => {
+                drop(g);
+                // SAFETY: the submitter keeps the closure alive until the
+                // job completes (it blocks in `run_ranges`).
+                unsafe { (*task)(lo, hi) };
+                g = shared.state.lock().unwrap();
+                finish_shard(shared, &mut g);
+            }
+            None => {
+                g = shared.work.wait(g).unwrap();
+            }
+        }
+    }
+}
+
+/// Decrement the active count after running a shard; when the job is fully
+/// drained, retire it and wake the submitter.
+fn finish_shard(shared: &PoolShared, g: &mut std::sync::MutexGuard<'_, PoolState>) {
+    let job = g.job.as_mut().expect("job present while shards active");
+    job.active -= 1;
+    if job.next == job.ranges.len() && job.active == 0 {
+        g.done_epoch = g.epoch;
+        g.job = None;
+        shared.done.notify_all();
+    }
+}
+
+impl RangeExecutor for WorkerPool {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn run_ranges(&self, n: usize, grain: usize, task: &(dyn Fn(usize, usize) + Sync)) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let ranges = shard_ranges(n, self.threads, grain);
+        if ranges.len() <= 1 {
+            task(0, n);
+            return 1;
+        }
+        let shards = ranges.len();
+        // Erase the borrow lifetime: the pointer is only dereferenced by
+        // workers between job publication and job retirement, and this
+        // call does not return until retirement.
+        let task_ptr: TaskPtr =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), TaskPtr>(task) };
+        let my_epoch;
+        {
+            let mut g = self.shared.state.lock().unwrap();
+            if g.job.is_some() {
+                // Another VM sharing this pool is mid-job (pools are shared
+                // across a `VmPool`). Degrade gracefully: run serially
+                // rather than deadlock or queue behind foreign work.
+                drop(g);
+                task(0, n);
+                return 1;
+            }
+            g.epoch += 1;
+            my_epoch = g.epoch;
+            g.job = Some(Job {
+                task: task_ptr,
+                ranges,
+                next: 0,
+                active: 0,
+            });
+        }
+        self.shared.work.notify_all();
+        // The caller participates as a worker until the job drains.
+        let mut g = self.shared.state.lock().unwrap();
+        loop {
+            if g.done_epoch == my_epoch {
+                return shards;
+            }
+            match g.grab_shard() {
+                // The submitter runs its shard through its own `task`
+                // reference; the returned pointer is for the workers.
+                Some((_task, (lo, hi))) => {
+                    drop(g);
+                    task(lo, hi);
+                    g = self.shared.state.lock().unwrap();
+                    finish_shard(&self.shared, &mut g);
+                }
+                None => {
+                    g = self.shared.done.wait(g).unwrap();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.state.lock().unwrap();
+            g.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
 
 /// Bounded stash of idle [`Vm`]s, all configured with one engine and
 /// thread count.
@@ -37,19 +266,33 @@ pub struct VmPool {
     threads: usize,
     limit: usize,
     idle: Mutex<Vec<Vm>>,
+    workers: Option<Arc<WorkerPool>>,
 }
 
 impl VmPool {
     /// A pool whose VMs run `engine` with `threads` workers, keeping at
     /// most `limit` idle VMs for reuse (checkouts beyond the limit build
     /// fresh VMs; returns beyond it drop them).
+    ///
+    /// With `threads > 1` the pool spawns **one** persistent
+    /// [`WorkerPool`] and installs it on every checked-out VM, so
+    /// concurrent VMs share a single set of worker threads instead of
+    /// each spawning their own.
     pub fn new(engine: Engine, threads: usize, limit: usize) -> VmPool {
+        let threads = threads.max(1);
         VmPool {
             engine,
-            threads: threads.max(1),
+            threads,
             limit,
             idle: Mutex::new(Vec::new()),
+            workers: (threads > 1).then(|| Arc::new(WorkerPool::new(threads))),
         }
+    }
+
+    /// The shared worker pool handed to checked-out VMs (`None` when the
+    /// pool is single-threaded).
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.workers.as_ref()
     }
 
     /// The engine every checked-out VM is configured with.
@@ -80,7 +323,10 @@ impl VmPool {
         let mut vm = self.idle.lock().pop().unwrap_or_default();
         vm.recycle();
         vm.set_engine(self.engine);
-        vm.set_threads(self.threads);
+        match &self.workers {
+            Some(pool) => vm.set_worker_pool(Arc::clone(pool)),
+            None => vm.set_threads(1),
+        };
         PooledVm {
             pool: self,
             vm: Some(vm),
@@ -211,6 +457,74 @@ mod tests {
         let vm = pool.checkout().detach();
         drop(vm);
         assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn worker_pool_covers_ranges_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = WorkerPool::new(4);
+        for n in [0usize, 1, 7, 1000, 4096] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let shards = pool.run_ranges(n, 64, &|lo, hi| {
+                for h in &hits[lo..hi] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(shards <= 4);
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "n={n}: every element must be visited exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_pool_reusable_across_jobs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = WorkerPool::new(3);
+        for _ in 0..50 {
+            let sum = AtomicU64::new(0);
+            pool.run_ranges(999, 10, &|lo, hi| {
+                sum.fetch_add((hi - lo) as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 999);
+        }
+    }
+
+    #[test]
+    fn worker_pool_degrades_serially_when_busy() {
+        // Two threads each driving jobs through one shared pool: one of
+        // them finds the job slot occupied sometimes and must fall back
+        // to inline execution without deadlock or data loss.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = std::sync::Arc::new(WorkerPool::new(2));
+        let total = std::sync::Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let pool = std::sync::Arc::clone(&pool);
+                let total = std::sync::Arc::clone(&total);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        pool.run_ranges(100, 1, &|lo, hi| {
+                            total.fetch_add((hi - lo) as u64, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 2 * 200 * 100);
+    }
+
+    #[test]
+    fn vm_pool_shares_one_worker_pool() {
+        let pool = VmPool::new(Engine::Naive, 3, 2);
+        let workers = Arc::clone(pool.worker_pool().expect("multi-threaded pool"));
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!(a.threads(), 3);
+        assert_eq!(b.threads(), 3);
+        // Both VMs plus the pool hold the same WorkerPool.
+        assert!(Arc::strong_count(&workers) >= 3);
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub struct ExecStats {
     pub kernels: u64,
     /// Fused groups executed (fusing engine only).
     pub fused_groups: u64,
+    /// Contiguous element shards dispatched to the worker pool — by
+    /// parallel fused-group runs and by sharded unfused element-wise
+    /// kernels (0 when everything ran serially). Purely observational:
+    /// sharding never changes results or the other counters
+    /// (DESIGN.md §10).
+    pub par_shards: u64,
     /// Elements written to output views.
     pub elements_written: u64,
     /// Bytes read from base arrays by input views.
@@ -60,6 +66,7 @@ impl ExecStats {
             instructions: self.instructions.saturating_sub(earlier.instructions),
             kernels: self.kernels.saturating_sub(earlier.kernels),
             fused_groups: self.fused_groups.saturating_sub(earlier.fused_groups),
+            par_shards: self.par_shards.saturating_sub(earlier.par_shards),
             elements_written: self
                 .elements_written
                 .saturating_sub(earlier.elements_written),
@@ -79,6 +86,7 @@ impl Add for ExecStats {
             instructions: self.instructions + rhs.instructions,
             kernels: self.kernels + rhs.kernels,
             fused_groups: self.fused_groups + rhs.fused_groups,
+            par_shards: self.par_shards + rhs.par_shards,
             elements_written: self.elements_written + rhs.elements_written,
             bytes_read: self.bytes_read + rhs.bytes_read,
             bytes_written: self.bytes_written + rhs.bytes_written,
@@ -98,10 +106,11 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "instrs={} kernels={} fused={} elems={} read={}B written={}B flops={} syncs={}",
+            "instrs={} kernels={} fused={} shards={} elems={} read={}B written={}B flops={} syncs={}",
             self.instructions,
             self.kernels,
             self.fused_groups,
+            self.par_shards,
             self.elements_written,
             self.bytes_read,
             self.bytes_written,

@@ -67,7 +67,27 @@ pub mod testing {
         seed: u64,
         engine: Engine,
     ) -> Result<BTreeMap<String, Tensor>, VmError> {
+        run_synced_threads(program, seed, engine, 1)
+    }
+
+    /// [`run_synced`] on a VM with `threads` workers and a parallel
+    /// threshold of 1, so even tiny test fixtures exercise the sharded
+    /// execution paths. `threads` comes from the `BH_VM_TEST_THREADS` env
+    /// knob in the equivalence suite (CI runs the matrix {1, 4}).
+    ///
+    /// # Errors
+    ///
+    /// Propagates VM validation/execution failures.
+    pub fn run_synced_threads(
+        program: &Program,
+        seed: u64,
+        engine: Engine,
+        threads: usize,
+    ) -> Result<BTreeMap<String, Tensor>, VmError> {
         let mut vm = Vm::with_engine(engine);
+        if threads > 1 {
+            vm.set_threads(threads).set_par_threshold(1);
+        }
         for (i, base) in program.bases().iter().enumerate() {
             if base.is_input {
                 let t = input_tensor(program, i, seed);
@@ -124,6 +144,16 @@ pub mod testing {
             d <= tol,
             "programs diverge by {d} (tol {tol})\n--- before ---\n{before}\n--- after ---\n{after}"
         );
+    }
+
+    /// VM worker-thread count under test: the `BH_VM_TEST_THREADS` env
+    /// knob (CI runs the {1, 4} matrix), defaulting to 1.
+    pub fn test_threads() -> usize {
+        std::env::var("BH_VM_TEST_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
     }
 }
 
