@@ -15,6 +15,13 @@
 //!   `par_map2_left_inplace` & friends) on the naive engine instead.
 //!   (A 2-D plate's interior rows are *strided*, which the parallel
 //!   kernels decline by design — the 1-D rod is the shape that shards.)
+//! * **reduce_scaling** — the parallel reduction/scan engine:
+//!   `sum_reduce` (full 2²⁰-element f64 sum, the deterministic blocked
+//!   combine of DESIGN.md §11), `fused_chain_reduce` (the same churn
+//!   chain terminated by a sum-reduction, contracted with the fold into
+//!   one sharded kernel) and `cumsum` (the three-phase parallel prefix
+//!   scan). Input-bound bases are bound once outside the timed region,
+//!   so the timed quantity is the fold itself, not data generation.
 //!
 //! Each configuration runs on a persistent [`bh_vm::Vm`] whose worker
 //! pool survives across repetitions — the quantity under test is shard
@@ -74,6 +81,7 @@ fn heat_program(n: usize) -> Program {
 fn measure(program: &Program, engine: Engine, threads: usize) -> f64 {
     let mut vm = Vm::with_engine(engine);
     vm.set_threads(threads);
+    bind_inputs(&mut vm, program);
     // Warm-up: allocations, pool spawn, page faults.
     vm.run(program).expect("workload runs");
     let mut best = f64::INFINITY;
@@ -83,6 +91,23 @@ fn measure(program: &Program, engine: Engine, threads: usize) -> f64 {
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
     }
     best
+}
+
+/// Bind deterministic random data to every `input` base, outside the
+/// timed region (binding is an O(1) copy-on-write handle clone).
+fn bind_inputs(vm: &mut Vm, program: &Program) {
+    for (i, base) in program.bases().iter().enumerate() {
+        if base.is_input {
+            let t = bh_tensor::random_tensor(
+                base.dtype,
+                base.shape.clone(),
+                0xC0FFEE ^ i as u64,
+                bh_tensor::Distribution::Uniform,
+            );
+            vm.bind_by_name(program, &base.name, &t)
+                .expect("input binds");
+        }
+    }
 }
 
 struct Sweep {
@@ -123,15 +148,24 @@ impl Sweep {
     }
 
     fn json(&self, out: &mut String, extra: &str) {
-        let _ = write!(out, "  \"{}\": {{\n{extra}    \"runs\": [", self.label);
+        self.json_at(out, extra, "  ");
+    }
+
+    /// Like [`Sweep::json`] but emitted at `indent` (for nested sections).
+    fn json_at(&self, out: &mut String, extra: &str, indent: &str) {
+        let _ = write!(
+            out,
+            "{indent}\"{}\": {{\n{extra}{indent}  \"runs\": [",
+            self.label
+        );
         for (i, (t, ms, s)) in self.runs.iter().enumerate() {
             let _ = write!(
                 out,
-                "{}\n      {{ \"threads\": {t}, \"best_ms\": {ms:.3}, \"speedup_vs_1\": {s:.3} }}",
+                "{}\n{indent}    {{ \"threads\": {t}, \"best_ms\": {ms:.3}, \"speedup_vs_1\": {s:.3} }}",
                 if i == 0 { "" } else { "," },
             );
         }
-        let _ = write!(out, "\n    ]\n  }}");
+        let _ = write!(out, "\n{indent}  ]\n{indent}}}");
     }
 }
 
@@ -165,6 +199,38 @@ fn main() {
         );
     }
 
+    let sum = Sweep::run(
+        "sum_reduce",
+        Engine::Naive,
+        bh_bench::sum_reduce(CHURN_NELEM),
+    );
+    // Sanity: the parallel fold really shards (and is observable).
+    {
+        let mut vm = Vm::with_engine(Engine::Naive);
+        vm.set_threads(2);
+        bind_inputs(&mut vm, &sum.program);
+        vm.run(&sum.program).expect("runs");
+        assert!(
+            vm.stats().reduce_shards > 0,
+            "sum workload must shard the fold across the pool"
+        );
+    }
+    let chain_reduce = Sweep::run(
+        "fused_chain_reduce",
+        Engine::Fusing { block: BLOCK },
+        bh_bench::elementwise_chain_reduce(CHURN_NELEM, CHURN_OPS),
+    );
+    // Sanity: chain + fold really contract into one fused reduction.
+    {
+        let mut vm = Vm::with_engine(Engine::Fusing { block: BLOCK });
+        vm.run(&chain_reduce.program).expect("runs");
+        assert!(
+            vm.stats().fused_reductions >= 1,
+            "chain+reduce workload must execute as a fused reduction"
+        );
+    }
+    let scan = Sweep::run("cumsum", Engine::Naive, bh_bench::cumsum(CHURN_NELEM));
+
     let mut out = String::new();
     let _ = write!(
         out,
@@ -178,25 +244,43 @@ fn main() {
     );
     let _ = writeln!(out, ",");
     heat.json(&mut out, &format!("    \"rod\": {HEAT_N},\n"));
+    let _ = writeln!(
+        out,
+        ",\n  \"reduce_scaling\": {{\n    \"nelem\": {CHURN_NELEM},\n    \"ops\": {CHURN_OPS},"
+    );
+    sum.json_at(&mut out, "", "    ");
+    let _ = writeln!(out, ",");
+    chain_reduce.json_at(&mut out, "", "    ");
+    let _ = writeln!(out, ",");
+    scan.json_at(&mut out, "", "    ");
+    let _ = write!(out, "\n  }}");
     let _ = write!(
         out,
         ",\n  \"note\": \"best of {RUNS} runs per point after warm-up; speedups are \
          wall-clock vs the 1-thread run of the same engine. Scaling is only \
-         observable when the host grants multiple CPUs (see host.cpus).\"\n}}\n"
+         observable when the host grants multiple CPUs (see host.cpus). The \
+         committed file should be refreshed from the CI perf-gate artifact \
+         (4-core runner), not a 1-vCPU build container.\"\n}}\n"
     );
     std::fs::write("BENCH_parallel.json", &out).expect("write BENCH_parallel.json");
     eprintln!("wrote BENCH_parallel.json");
 
-    // Acceptance gate: ≥ 2.5× at 4 threads on the fused churn workload —
-    // meaningful only where 4 workers can actually run in parallel.
+    // Acceptance gates, meaningful only where 4 workers can actually run
+    // in parallel: ≥ 2.5× at 4 threads on the fused churn workload and
+    // ≥ 2× at 4 threads on the 2²⁰-element sum-reduction.
     if cpus >= 4 {
         let s = churn.speedup_at(4);
         assert!(
             s >= 2.5,
             "churn_fused speedup at 4 threads is {s:.2}x, below the 2.5x gate"
         );
-        eprintln!("scaling gate passed: {s:.2}x at 4 threads");
+        let r = sum.speedup_at(4);
+        assert!(
+            r >= 2.0,
+            "sum_reduce speedup at 4 threads is {r:.2}x, below the 2x reduction gate"
+        );
+        eprintln!("scaling gates passed: churn {s:.2}x, reduce {r:.2}x at 4 threads");
     } else {
-        eprintln!("scaling gate skipped: host has {cpus} CPU(s), gate needs >= 4");
+        eprintln!("scaling gates skipped: host has {cpus} CPU(s), gates need >= 4");
     }
 }

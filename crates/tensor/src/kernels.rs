@@ -603,6 +603,336 @@ pub fn accumulate_axis<T: Element>(
     });
 }
 
+/// Canonical partial-block length (elements) for parallel reductions and
+/// scans.
+///
+/// Lanes longer than one block are folded as a sequence of independent
+/// block partials — each block left-folded from the identity in index
+/// order — combined **left-to-right in block order**. The block length is
+/// a fixed constant (never derived from thread count, executor or engine
+/// configuration), so the combine tree is identical for every thread
+/// count: results are bit-for-bit reproducible from 1 to N workers.
+/// Lanes of at most one block degenerate to the plain serial left fold,
+/// so short reductions keep their historical bit patterns.
+pub const REDUCE_BLOCK: usize = 4096;
+
+/// Deterministic blocked fold of one lane: the `len` elements at
+/// `base + k * stride` for `k ∈ [0, len)`.
+///
+/// Splits the lane into [`REDUCE_BLOCK`]-sized blocks, left-folds each
+/// block from `init`, and combines the block partials left-to-right in
+/// block order starting from `init` — see [`REDUCE_BLOCK`] for why this
+/// makes the result executor-independent. Block partials may be computed
+/// concurrently on `exec`. Returns `(value, shards)` where `shards` is
+/// the number of ranges dispatched (1 when the lane ran inline).
+///
+/// # Panics
+///
+/// Panics when any addressed element escapes `input`.
+pub fn par_reduce_lane<T: Element>(
+    exec: &dyn RangeExecutor,
+    input: &[T],
+    base: usize,
+    len: usize,
+    stride: isize,
+    init: T,
+    f: impl Fn(T, T) -> T + Sync,
+) -> (T, usize) {
+    if len == 0 {
+        return (init, 0);
+    }
+    let nblocks = len.div_ceil(REDUCE_BLOCK);
+    let mut partials = vec![init; nblocks];
+    let pptr = SyncPtr(partials.as_mut_ptr());
+    let ilen = input.len();
+    let shards = exec.run_ranges(len, REDUCE_BLOCK, &|lo, hi| {
+        // `lo` is a multiple of REDUCE_BLOCK (grain contract), so the
+        // blocks inside [lo, hi) are exactly the canonical blocks
+        // lo/REDUCE_BLOCK .. — independent of how ranges were sharded.
+        let mut blo = lo;
+        while blo < hi {
+            let bhi = (blo + REDUCE_BLOCK).min(hi);
+            let mut acc = init;
+            let mut off = base as isize + blo as isize * stride;
+            for _ in blo..bhi {
+                let i = off as usize;
+                assert!(i < ilen, "view escapes buffer");
+                acc = f(acc, input[i]);
+                off += stride;
+            }
+            // SAFETY: block indices are unique across disjoint ranges.
+            unsafe { *pptr.get().add(blo / REDUCE_BLOCK) = acc };
+            blo = bhi;
+        }
+    });
+    let mut acc = init;
+    for p in partials {
+        acc = f(acc, p);
+    }
+    (acc, shards)
+}
+
+/// Deterministic blocked prefix scan of one lane.
+///
+/// Canonical semantics, identical on every executor: split the lane into
+/// [`REDUCE_BLOCK`]-sized blocks; within block `b` compute the running
+/// left fold `w_k` of the block's elements; block totals (the last `w` of
+/// each block) are folded left-to-right in block order into an exclusive
+/// block prefix `p_b`; the output is `w_k` for block 0 and `f(p_b, w_k)`
+/// after. A single-block lane is the plain serial running fold. Returns
+/// the number of ranges dispatched.
+///
+/// # Panics
+///
+/// Panics when any addressed element escapes its buffer.
+#[allow(clippy::too_many_arguments)]
+pub fn par_scan_lane<T: Element>(
+    exec: &dyn RangeExecutor,
+    out: &mut [T],
+    obase: usize,
+    ostride: isize,
+    input: &[T],
+    ibase: usize,
+    istride: isize,
+    len: usize,
+    f: impl Fn(T, T) -> T + Sync,
+) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let nblocks = len.div_ceil(REDUCE_BLOCK);
+    let (olen, ilen) = (out.len(), input.len());
+    if nblocks == 1 || exec.threads() <= 1 {
+        // Serial single pass produces the canonical result directly: the
+        // in-block running fold restarts at each block boundary and is
+        // combined with the running block prefix.
+        let mut prefix: Option<T> = None;
+        let mut ioff = ibase as isize;
+        let mut ooff = obase as isize;
+        let mut k = 0usize;
+        while k < len {
+            let bhi = (k + REDUCE_BLOCK).min(len);
+            let mut w: Option<T> = None;
+            for _ in k..bhi {
+                let i = ioff as usize;
+                let o = ooff as usize;
+                assert!(i < ilen && o < olen, "view escapes buffer");
+                let v = input[i];
+                let next = match w {
+                    None => v,
+                    Some(a) => f(a, v),
+                };
+                out[o] = match prefix {
+                    None => next,
+                    Some(p) => f(p, next),
+                };
+                w = Some(next);
+                ioff += istride;
+                ooff += ostride;
+            }
+            let total = w.expect("non-empty block");
+            prefix = Some(match prefix {
+                None => total,
+                Some(p) => f(p, total),
+            });
+            k = bhi;
+        }
+        return 1;
+    }
+    // Phase A: per-block totals, in parallel.
+    let mut totals = vec![None::<T>; nblocks];
+    let tptr = SyncPtr(totals.as_mut_ptr());
+    let a_shards = exec.run_ranges(len, REDUCE_BLOCK, &|lo, hi| {
+        let mut blo = lo;
+        while blo < hi {
+            let bhi = (blo + REDUCE_BLOCK).min(hi);
+            let mut w: Option<T> = None;
+            let mut off = ibase as isize + blo as isize * istride;
+            for _ in blo..bhi {
+                let i = off as usize;
+                assert!(i < ilen, "view escapes buffer");
+                let v = input[i];
+                w = Some(match w {
+                    None => v,
+                    Some(a) => f(a, v),
+                });
+                off += istride;
+            }
+            // SAFETY: block indices are unique across disjoint ranges.
+            unsafe { *tptr.get().add(blo / REDUCE_BLOCK) = w };
+            blo = bhi;
+        }
+    });
+    // Phase B: exclusive block prefixes, serial and in block order — the
+    // fixed combine tree that makes the scan executor-independent.
+    let mut prefixes = vec![None::<T>; nblocks];
+    let mut acc: Option<T> = None;
+    for b in 0..nblocks {
+        prefixes[b] = acc;
+        let t = totals[b].expect("non-empty block");
+        acc = Some(match acc {
+            None => t,
+            Some(p) => f(p, t),
+        });
+    }
+    // Phase C: re-fold each block and write `f(prefix, w_k)`.
+    let optr = SyncPtr(out.as_mut_ptr());
+    let c_shards = exec.run_ranges(len, REDUCE_BLOCK, &|lo, hi| {
+        let mut blo = lo;
+        while blo < hi {
+            let bhi = (blo + REDUCE_BLOCK).min(hi);
+            let prefix = prefixes[blo / REDUCE_BLOCK];
+            let mut w: Option<T> = None;
+            let mut ioff = ibase as isize + blo as isize * istride;
+            let mut ooff = obase as isize + blo as isize * ostride;
+            for _ in blo..bhi {
+                let i = ioff as usize;
+                let o = ooff as usize;
+                assert!(i < ilen && o < olen, "view escapes buffer");
+                let v = input[i];
+                let next = match w {
+                    None => v,
+                    Some(a) => f(a, v),
+                };
+                let val = match prefix {
+                    None => next,
+                    Some(p) => f(p, next),
+                };
+                // SAFETY: lanes/blocks write pairwise-disjoint offsets.
+                unsafe { *optr.get().add(o) = val };
+                w = Some(next);
+                ioff += istride;
+                ooff += ostride;
+            }
+            blo = bhi;
+        }
+    });
+    a_shards + c_shards
+}
+
+/// Parallel [`reduce_axis`]: reduce `input` along `axis` into `out`,
+/// sharded over `exec`, with executor-independent results.
+///
+/// Multi-lane reductions (output has ≥ 2 elements) shard whole lanes —
+/// each lane is the plain serial left fold, so results match the serial
+/// kernel exactly. A single-lane reduction (e.g. a full 1-D sum) shards
+/// *within* the lane via [`par_reduce_lane`]'s canonical blocked combine.
+/// Returns the number of ranges dispatched.
+///
+/// # Panics
+///
+/// Panics if `axis >= rank`, the output shape does not match, or a view
+/// escapes its buffer.
+#[allow(clippy::too_many_arguments)]
+pub fn par_reduce_axis<T: Element>(
+    exec: &dyn RangeExecutor,
+    out: &mut [T],
+    ov: &ViewGeom,
+    input: &[T],
+    iv: &ViewGeom,
+    axis: usize,
+    init: T,
+    f: impl Fn(T, T) -> T + Sync,
+) -> usize {
+    assert!(axis < iv.rank(), "reduction axis out of range");
+    let axis_len = iv.dims()[axis].len;
+    let axis_stride = iv.dims()[axis].stride;
+    let reduced = remove_axis(iv, axis);
+    assert_eq!(
+        ov.shape(),
+        reduced.shape(),
+        "output shape must drop the reduced axis"
+    );
+    let mut lanes: Vec<(usize, usize)> = Vec::with_capacity(reduced.nelem());
+    zip_offsets([ov, &reduced], |[o, base]| lanes.push((o, base)));
+    let (olen, ilen) = (out.len(), input.len());
+    if let [(o, base)] = lanes[..] {
+        let (value, shards) = par_reduce_lane(exec, input, base, axis_len, axis_stride, init, f);
+        assert!(o < olen, "view escapes buffer");
+        out[o] = value;
+        return shards;
+    }
+    let optr = SyncPtr(out.as_mut_ptr());
+    exec.run_ranges(lanes.len(), 1, &|lo, hi| {
+        for &(o, base) in &lanes[lo..hi] {
+            let mut acc = init;
+            let mut off = base as isize;
+            for _ in 0..axis_len {
+                let i = off as usize;
+                assert!(i < ilen, "view escapes buffer");
+                acc = f(acc, input[i]);
+                off += axis_stride;
+            }
+            assert!(o < olen, "view escapes buffer");
+            // SAFETY: output offsets are unique per lane; lanes are
+            // partitioned disjointly across ranges.
+            unsafe { *optr.get().add(o) = acc };
+        }
+    })
+}
+
+/// Parallel [`accumulate_axis`]: prefix-scan `input` along `axis` into
+/// `out`, sharded over `exec`, with executor-independent results.
+///
+/// Multi-lane scans shard whole lanes (each lane the plain serial running
+/// fold, matching the serial kernel exactly); a single-lane scan uses
+/// [`par_scan_lane`]'s canonical blocked order. Returns the number of
+/// ranges dispatched.
+///
+/// # Panics
+///
+/// Panics if shapes disagree, `axis` is out of range, or a view escapes
+/// its buffer.
+pub fn par_scan_axis<T: Element>(
+    exec: &dyn RangeExecutor,
+    out: &mut [T],
+    ov: &ViewGeom,
+    input: &[T],
+    iv: &ViewGeom,
+    axis: usize,
+    f: impl Fn(T, T) -> T + Sync,
+) -> usize {
+    assert!(axis < iv.rank(), "accumulate axis out of range");
+    assert_eq!(ov.shape(), iv.shape(), "accumulate preserves shape");
+    let axis_len = iv.dims()[axis].len;
+    let in_stride = iv.dims()[axis].stride;
+    let out_stride = ov.dims()[axis].stride;
+    let in_lanes = remove_axis(iv, axis);
+    let out_lanes = remove_axis(ov, axis);
+    let mut lanes: Vec<(usize, usize)> = Vec::with_capacity(in_lanes.nelem());
+    zip_offsets([&out_lanes, &in_lanes], |[o, i]| lanes.push((o, i)));
+    if let [(obase, ibase)] = lanes[..] {
+        return par_scan_lane(
+            exec, out, obase, out_stride, input, ibase, in_stride, axis_len, f,
+        );
+    }
+    let (olen, ilen) = (out.len(), input.len());
+    let optr = SyncPtr(out.as_mut_ptr());
+    exec.run_ranges(lanes.len(), 1, &|lo, hi| {
+        for &(obase, ibase) in &lanes[lo..hi] {
+            let mut acc: Option<T> = None;
+            let mut ioff = ibase as isize;
+            let mut ooff = obase as isize;
+            for _ in 0..axis_len {
+                let i = ioff as usize;
+                let o = ooff as usize;
+                assert!(i < ilen && o < olen, "view escapes buffer");
+                let v = input[i];
+                let next = match acc {
+                    None => v,
+                    Some(a) => f(a, v),
+                };
+                // SAFETY: lanes write pairwise-disjoint elements and are
+                // partitioned disjointly across ranges.
+                unsafe { *optr.get().add(o) = next };
+                acc = Some(next);
+                ioff += in_stride;
+                ooff += out_stride;
+            }
+        }
+    })
+}
+
 /// Gather all view elements into a fresh contiguous vector (logical order).
 pub fn materialize<T: Element>(input: &[T], iv: &ViewGeom) -> Vec<T> {
     let mut out = Vec::with_capacity(iv.nelem());
@@ -885,6 +1215,153 @@ mod tests {
         let hi = ViewGeom::from_slices(&base, &[Slice::range(2, 4)]).unwrap();
         assert!(par_map1_inplace(&exec, &mut hazard, &lo, &hi, |x| x + 10.0).is_some());
         assert_eq!(hazard, vec![13.0, 14.0, 3.0, 4.0]);
+    }
+
+    /// Canonical reference for the blocked lane fold, written naively.
+    fn blocked_fold_ref(vals: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for block in vals.chunks(REDUCE_BLOCK) {
+            let mut p = 0.0;
+            for &v in block {
+                p += v;
+            }
+            acc += p;
+        }
+        acc
+    }
+
+    #[test]
+    fn par_reduce_lane_is_executor_independent() {
+        // Lengths straddling block boundaries, incl. non-powers-of-two.
+        for n in [1usize, 7, 4095, 4096, 4097, 10_000, 13_001] {
+            let vals: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let (serial, s1) = par_reduce_lane(&InlineExec, &vals, 0, n, 1, 0.0, |a, b| a + b);
+            assert_eq!(s1, 1);
+            for threads in [2usize, 3, 4] {
+                let (par, _) =
+                    par_reduce_lane(&ScopedExec(threads), &vals, 0, n, 1, 0.0, |a, b| a + b);
+                assert_eq!(
+                    par.to_bits(),
+                    serial.to_bits(),
+                    "n={n} threads={threads}: combine order must be fixed"
+                );
+            }
+            assert_eq!(serial.to_bits(), blocked_fold_ref(&vals).to_bits());
+        }
+    }
+
+    #[test]
+    fn par_reduce_lane_strided_and_offset() {
+        let vals: Vec<i64> = (0..100).collect();
+        // Every other element starting at 1: 1 + 3 + ... + 99.
+        let (sum, _) = par_reduce_lane(&ScopedExec(3), &vals, 1, 50, 2, 0i64, |a, b| a + b);
+        assert_eq!(sum, 2500);
+        // Reversed lane: same sum.
+        let (rev, _) = par_reduce_lane(&ScopedExec(3), &vals, 99, 100, -1, 0i64, |a, b| a + b);
+        assert_eq!(rev, 4950);
+    }
+
+    #[test]
+    fn par_reduce_axis_matches_serial_kernel() {
+        // Multi-lane: identical to `reduce_axis` (plain per-lane fold).
+        let input: Vec<f64> = (0..60).map(|i| i as f64 * 0.25).collect();
+        let iv = vg(&[6, 10]);
+        for axis in [0usize, 1] {
+            let out_n = if axis == 0 { 10 } else { 6 };
+            let mut want = vec![0.0f64; out_n];
+            reduce_axis(&mut want, &vg(&[out_n]), &input, &iv, axis, 0.0, |a, b| {
+                a + b
+            });
+            for threads in [1usize, 2, 4] {
+                let mut got = vec![0.0f64; out_n];
+                let shards = par_reduce_axis(
+                    &ScopedExec(threads),
+                    &mut got,
+                    &vg(&[out_n]),
+                    &input,
+                    &iv,
+                    axis,
+                    0.0,
+                    |a, b| a + b,
+                );
+                assert!(shards >= 1);
+                assert_eq!(got, want, "axis={axis} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_scan_lane_is_executor_independent() {
+        for n in [1usize, 4095, 4096, 4097, 9999, 12_288] {
+            let vals: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            let mut serial = vec![0.0f64; n];
+            assert_eq!(
+                par_scan_lane(&InlineExec, &mut serial, 0, 1, &vals, 0, 1, n, |a, b| a + b),
+                1
+            );
+            for threads in [2usize, 4] {
+                let mut par = vec![0.0f64; n];
+                par_scan_lane(
+                    &ScopedExec(threads),
+                    &mut par,
+                    0,
+                    1,
+                    &vals,
+                    0,
+                    1,
+                    n,
+                    |a, b| a + b,
+                );
+                let same = serial
+                    .iter()
+                    .zip(&par)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "n={n} threads={threads}: scan must be canonical");
+            }
+            // Short lanes degrade to the plain running fold.
+            if n <= REDUCE_BLOCK {
+                let mut want = vec![0.0f64; n];
+                accumulate_axis(&mut want, &vg(&[n]), &vals, &vg(&[n]), 0, |a, b| a + b);
+                assert_eq!(serial, want);
+            }
+        }
+    }
+
+    #[test]
+    fn par_scan_axis_matches_serial_kernel_on_lanes() {
+        let input: Vec<i64> = (0..24).collect();
+        let iv = vg(&[4, 6]);
+        for axis in [0usize, 1] {
+            let mut want = vec![0i64; 24];
+            accumulate_axis(&mut want, &iv, &input, &iv, axis, |a, b| a + b);
+            for threads in [1usize, 3] {
+                let mut got = vec![0i64; 24];
+                par_scan_axis(
+                    &ScopedExec(threads),
+                    &mut got,
+                    &iv,
+                    &input,
+                    &iv,
+                    axis,
+                    |a, b| a + b,
+                );
+                assert_eq!(got, want, "axis={axis} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_reduce_axis_single_lane_writes_through_view() {
+        // Scalar (rank-0) output at a non-zero offset.
+        let input: Vec<i64> = (1..=5000).collect();
+        let mut out = vec![0i64; 3];
+        let ov = ViewGeom::scalar_at(2);
+        let iv = vg(&[5000]);
+        let shards = par_reduce_axis(&ScopedExec(4), &mut out, &ov, &input, &iv, 0, 0, |a, b| {
+            a + b
+        });
+        assert!(shards >= 1);
+        assert_eq!(out, vec![0, 0, 5000 * 5001 / 2]);
     }
 
     #[test]

@@ -247,6 +247,20 @@ fn is_hazard(iv: &ViewGeom, ov: &ViewGeom) -> bool {
     !iv.same_layout(ov) && iv.may_overlap(ov)
 }
 
+/// Identity element of a reduction's fold op-code: the value folding
+/// starts from in every engine, serial or sharded (`f(init, x) == x` for
+/// all `x` the fold can produce, which is what makes the blocked combine
+/// in `bh_tensor::kernels::par_reduce_lane` exact on short lanes).
+pub(crate) fn fold_init<T: VmElement>(fold: Opcode) -> T {
+    match fold {
+        Opcode::Add => T::zero(),
+        Opcode::Multiply => T::one(),
+        Opcode::Maximum => T::vm_lowest(),
+        Opcode::Minimum => T::vm_highest(),
+        other => unreachable!("{other} is not a fold op"),
+    }
+}
+
 /// fn-pointer table for binary op-codes over one element type.
 pub(crate) fn binary_fn<T: VmElement>(op: Opcode) -> fn(T, T) -> T {
     match op {

@@ -22,6 +22,19 @@ pub(crate) enum Group {
         /// Shared element count of every operand view.
         nelem: usize,
     },
+    /// A fused element-wise `range` whose result feeds the single-lane
+    /// reduction at instruction index `reduce`: the chain and the fold
+    /// execute as **one** sharded kernel with per-block accumulators,
+    /// never materialising the chain output for a second pass.
+    FusedReduce {
+        /// Element-wise instruction index range (half-open, excludes the
+        /// reduction).
+        range: std::ops::Range<usize>,
+        /// Shared element count of every chain operand view.
+        nelem: usize,
+        /// Instruction index of the trailing reduction.
+        reduce: usize,
+    },
 }
 
 /// One input of a fused instruction, fully resolved: fusable views are
@@ -118,6 +131,60 @@ fn fusable_nelem(program: &Program, idx: usize) -> Option<usize> {
     common
 }
 
+/// True when instruction `idx` is a reduction the fusing engine can fold
+/// into a preceding fused group of `nelem`-element chains: a single-lane
+/// (rank-1, axis-0) reduction over the full contiguous view of an
+/// `nelem`-element base, producing a scalar of the same dtype in a
+/// distinct one-element base. Bool inputs are excluded (they widen to
+/// i64), as is `nelem <= 1` (no chain to amortise, and a 1-element chain
+/// base could alias the scalar output).
+fn fusable_reduce(program: &Program, idx: usize, nelem: usize) -> bool {
+    if nelem <= 1 {
+        return false;
+    }
+    let Some(instr) = program.instrs().get(idx) else {
+        return false;
+    };
+    if instr.op.kind() != bh_ir::OpKind::Reduction || instr.op.fold_op().is_none() {
+        return false;
+    }
+    let axis = instr
+        .operands
+        .get(2)
+        .and_then(Operand::as_const)
+        .and_then(Scalar::as_integral);
+    if axis != Some(0) {
+        return false;
+    }
+    let Some(in_ref) = instr.operands.get(1).and_then(Operand::as_view) else {
+        return false;
+    };
+    let Ok(in_geom) = program.resolve_view(in_ref) else {
+        return false;
+    };
+    let full = in_geom.rank() == 1
+        && in_geom.offset() == 0
+        && in_geom.is_contiguous()
+        && in_geom.nelem() == nelem
+        && in_geom.nelem() == program.base(in_ref.reg).shape.nelem();
+    if !full {
+        return false;
+    }
+    let Some(out_ref) = instr.out_view() else {
+        return false;
+    };
+    let out_base = program.base(out_ref.reg);
+    let Ok(out_geom) = program.resolve_view(out_ref) else {
+        return false;
+    };
+    // Same dtype (no bool→i64 widening) and a dedicated scalar base, so
+    // the output can never alias a chain operand.
+    out_geom.nelem() == 1
+        && out_base.shape.nelem() == 1
+        && out_base.dtype == program.base(in_ref.reg).dtype
+        && out_ref.reg != in_ref.reg
+}
+
 /// Partition the program into maximal fused groups and singletons.
 pub(crate) fn find_groups(program: &Program) -> Vec<Group> {
     let n = program.instrs().len();
@@ -135,6 +202,15 @@ pub(crate) fn find_groups(program: &Program) -> Vec<Group> {
                     j += 1;
                 }
                 if j - i >= 2 {
+                    if fusable_reduce(program, j, nelem) {
+                        out.push(Group::FusedReduce {
+                            range: i..j,
+                            nelem,
+                            reduce: j,
+                        });
+                        i = j + 1;
+                        continue;
+                    }
                     out.push(Group::Fused { range: i..j, nelem });
                 } else {
                     out.push(Group::Single(i));
@@ -238,5 +314,99 @@ mod tests {
     fn singleton_runs_stay_single() {
         let p = parse_program("BH_IDENTITY a0 [0:8:1] 1\nBH_SYNC a0\n").unwrap();
         assert_eq!(find_groups(&p), vec![Group::Single(0), Group::Single(1)]);
+    }
+
+    #[test]
+    fn trailing_full_reduction_joins_the_group() {
+        let p = parse_program(
+            ".base x f64[8]\n.base s f64[]\n\
+             BH_IDENTITY x 1\n\
+             BH_ADD x x 2\n\
+             BH_ADD_REDUCE s x 0\n\
+             BH_SYNC s\n",
+        )
+        .unwrap();
+        assert_eq!(
+            find_groups(&p),
+            vec![
+                Group::FusedReduce {
+                    range: 0..2,
+                    nelem: 8,
+                    reduce: 2
+                },
+                Group::Single(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn reduction_without_a_chain_stays_single() {
+        let p = parse_program(
+            ".base x f64[8] input\n.base s f64[]\n\
+             BH_ADD_REDUCE s x 0\nBH_SYNC s\n",
+        )
+        .unwrap();
+        assert_eq!(find_groups(&p), vec![Group::Single(0), Group::Single(1)]);
+    }
+
+    #[test]
+    fn multi_lane_and_widening_reductions_do_not_fuse() {
+        // Rank-2 input: multi-lane, stays outside the group.
+        let p = parse_program(
+            ".base m f64[2,4]\n.base s f64[4]\n\
+             BH_IDENTITY m 1\nBH_ADD m m 1\n\
+             BH_ADD_REDUCE s m 0\nBH_SYNC s\n",
+        )
+        .unwrap();
+        assert_eq!(
+            find_groups(&p),
+            vec![
+                Group::Fused {
+                    range: 0..2,
+                    nelem: 8
+                },
+                Group::Single(2),
+                Group::Single(3),
+            ]
+        );
+        // Bool input widens to i64: stays outside the group.
+        let p = parse_program(
+            ".base b bool[8]\n.base s i64[]\n\
+             BH_IDENTITY b 1\nBH_BITWISE_AND b b 1\n\
+             BH_ADD_REDUCE s b 0\nBH_SYNC s\n",
+        )
+        .unwrap();
+        assert_eq!(
+            find_groups(&p),
+            vec![
+                Group::Fused {
+                    range: 0..2,
+                    nelem: 8
+                },
+                Group::Single(2),
+                Group::Single(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_after_chain_does_not_join() {
+        let p = parse_program(
+            ".base x f64[8]\n.base c f64[8]\n\
+             BH_IDENTITY x 1\nBH_ADD x x 2\n\
+             BH_ADD_ACCUMULATE c x 0\nBH_SYNC c\n",
+        )
+        .unwrap();
+        assert_eq!(
+            find_groups(&p),
+            vec![
+                Group::Fused {
+                    range: 0..2,
+                    nelem: 8
+                },
+                Group::Single(2),
+                Group::Single(3),
+            ]
+        );
     }
 }

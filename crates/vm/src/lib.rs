@@ -425,6 +425,160 @@ BH_SYNC z\nBH_SYNC m\n";
     }
 
     #[test]
+    fn fused_chain_feeding_reduction_is_one_kernel() {
+        let text = ".base x f64[1000]\n.base s f64[]\n\
+                    BH_IDENTITY x 2\n\
+                    BH_ADD x x 1\n\
+                    BH_MULTIPLY x x x\n\
+                    BH_ADD_REDUCE s x 0\n\
+                    BH_SYNC s\n";
+        let p = parse_program(text).unwrap();
+        let mut naive = Vm::new();
+        naive.run(&p).unwrap();
+        let want = naive.read_by_name(&p, "s").unwrap();
+        assert_eq!(want.to_f64_vec(), vec![9000.0]);
+        assert_eq!(naive.stats().fused_reductions, 0);
+
+        let mut vm = Vm::with_engine(Engine::Fusing { block: 64 });
+        vm.run(&p).unwrap();
+        let s = vm.stats();
+        // Chain + reduction execute as one kernel, counters analytic:
+        // 3 element-wise + 1 reduction + 1 sync instructions.
+        assert_eq!(s.kernels, 1);
+        assert_eq!(s.fused_groups, 1);
+        assert_eq!(s.fused_reductions, 1);
+        assert_eq!(s.instructions, naive.stats().instructions);
+        assert_eq!(s.bytes_read, naive.stats().bytes_read);
+        assert_eq!(s.bytes_written, naive.stats().bytes_written);
+        assert_eq!(s.flops, naive.stats().flops);
+        assert_eq!(vm.read_by_name(&p, "s").unwrap(), want);
+    }
+
+    #[test]
+    fn fused_reduction_matches_unfused_at_every_thread_count() {
+        // Long enough to span several canonical partial blocks; the float
+        // sum must come out bit-identical on every engine × thread count.
+        let n = 20_000;
+        let text = format!(
+            ".base x f64[{n}]\n.base s f64[]\n\
+             BH_RANGE x\n\
+             BH_MULTIPLY x x 0.001\n\
+             BH_ADD x x 1\n\
+             BH_ADD_REDUCE s x 0\n\
+             BH_SYNC s\n"
+        );
+        let p = parse_program(&text).unwrap();
+        let mut reference: Option<Tensor> = None;
+        for engine in [Engine::Naive, Engine::Fusing { block: 512 }] {
+            for threads in [1usize, 2, 3, 4] {
+                let mut vm = Vm::with_engine(engine);
+                vm.set_threads(threads).set_par_threshold(1);
+                vm.run(&p).unwrap();
+                let got = vm.read_by_name(&p, "s").unwrap();
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => {
+                        assert_eq!(&got, want, "engine {engine:?} × {threads} threads diverged");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reduction_and_scan_record_shards() {
+        let n = 50_000;
+        let text = format!(
+            ".base x f64[{n}] input\n.base s f64[]\n.base c f64[{n}]\n\
+             BH_ADD_REDUCE s x 0\n\
+             BH_ADD_ACCUMULATE c x 0\n\
+             BH_SYNC s\nBH_SYNC c\n"
+        );
+        let p = parse_program(&text).unwrap();
+        let x = Tensor::from_vec((0..n).map(|i| i as f64 * 0.5).collect::<Vec<_>>());
+        let mut serial = Vm::new();
+        serial.bind_by_name(&p, "x", &x).unwrap();
+        serial.run(&p).unwrap();
+        assert_eq!(serial.stats().reduce_shards, 0);
+
+        let mut par = Vm::new();
+        par.set_threads(4).set_par_threshold(1);
+        par.bind_by_name(&p, "x", &x).unwrap();
+        par.run(&p).unwrap();
+        assert!(
+            par.stats().reduce_shards > 0,
+            "sharded folds must be observable: {}",
+            par.stats()
+        );
+        // Observability only — results and analytic counters unchanged.
+        assert_eq!(par.stats().instructions, serial.stats().instructions);
+        assert_eq!(par.stats().kernels, serial.stats().kernels);
+        assert_eq!(
+            par.read_by_name(&p, "s").unwrap(),
+            serial.read_by_name(&p, "s").unwrap()
+        );
+        assert_eq!(
+            par.read_by_name(&p, "c").unwrap(),
+            serial.read_by_name(&p, "c").unwrap()
+        );
+    }
+
+    #[test]
+    fn strided_view_reduction_avoids_materialise_and_matches() {
+        // Reduce every other element; direct-borrow path handles the
+        // strided lane without a copy, parallel or not.
+        let text = ".base x i64[101] input\n.base s i64[]\n\
+                    BH_ADD_REDUCE s x [0:101:2] 0\n\
+                    BH_SYNC s\n";
+        let p = parse_program(text).unwrap();
+        let x = Tensor::from_vec((0..101i64).collect::<Vec<_>>());
+        let want: i64 = (0..101i64).step_by(2).sum();
+        for threads in [1usize, 4] {
+            let mut vm = Vm::new();
+            vm.set_threads(threads).set_par_threshold(1);
+            vm.bind_by_name(&p, "x", &x).unwrap();
+            vm.run(&p).unwrap();
+            assert_eq!(
+                vm.read_by_name(&p, "s").unwrap().to_f64_vec(),
+                vec![want as f64],
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn bool_reduction_still_widens_to_i64() {
+        let text = ".base b bool[6] input\n.base s i64[]\n\
+                    BH_ADD_REDUCE s b 0\n\
+                    BH_SYNC s\n";
+        let p = parse_program(text).unwrap();
+        let b = Tensor::from_vec(vec![true, false, true, true, false, true]);
+        let mut vm = Vm::new();
+        vm.bind_by_name(&p, "b", &b).unwrap();
+        vm.run(&p).unwrap();
+        let s = vm.read_by_name(&p, "s").unwrap();
+        assert_eq!(s.dtype(), DType::Int64);
+        assert_eq!(s.to_f64_vec(), vec![4.0]);
+    }
+
+    #[test]
+    fn in_place_scan_keeps_materialise_semantics() {
+        // x = cumsum(x): output register aliases the input; the engine
+        // must snapshot the input rather than read half-written data.
+        let text = ".base x f64[5] input\nBH_ADD_ACCUMULATE x x 0\nBH_SYNC x\n";
+        let p = parse_program(text).unwrap();
+        let x = Tensor::from_vec(vec![1.0f64, 2.0, 3.0, 4.0, 5.0]);
+        let mut vm = Vm::new();
+        vm.set_threads(4).set_par_threshold(1);
+        vm.bind_by_name(&p, "x", &x).unwrap();
+        vm.run(&p).unwrap();
+        assert_eq!(
+            vm.read_by_name(&p, "x").unwrap().to_f64_vec(),
+            vec![1.0, 3.0, 6.0, 10.0, 15.0]
+        );
+    }
+
+    #[test]
     fn invalid_program_rejected_before_execution() {
         let p = parse_program("BH_ADD a0 [0:4:1] a0 [0:4:1] 1\n").unwrap();
         let mut vm = Vm::new();

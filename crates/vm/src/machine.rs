@@ -291,6 +291,13 @@ impl Vm {
                 fusion::Group::Fused { range, nelem } => {
                     self.run_fused_group(program, range, nelem, block)?;
                 }
+                fusion::Group::FusedReduce {
+                    range,
+                    nelem,
+                    reduce,
+                } => {
+                    self.run_fused_reduce_group(program, range, nelem, reduce, block)?;
+                }
             }
         }
         Ok(())
@@ -311,49 +318,16 @@ impl Vm {
         block: usize,
     ) -> Result<(), VmError> {
         let instrs = fusion::classify_group(program, range.clone());
-        // Materialise every touched base before taking pointers.
-        for fi in &instrs {
-            self.ensure_alloc(program, fi.out);
-            for input in &fi.inputs {
-                if let FusedInput::Reg(r) = input {
-                    self.ensure_alloc(program, *r);
-                }
-            }
-        }
-        // Un-share (copy-on-write) every written buffer *before* any
-        // pointer is captured: a CoW copy after a read pointer was taken
-        // would leave that reader staring at the stale allocation.
-        for fi in &instrs {
-            let buf = self.bases[fi.out.index()].as_mut().expect("just allocated");
-            with_dtype!(fi.out_dtype, T, {
-                let _ = buf.as_mut_slice::<T>().expect("dtype matches decl");
-            });
-        }
-        let mut steps: Vec<FusedStep> = Vec::with_capacity(instrs.len());
-        for fi in &instrs {
-            match self.compile_fused_step(fi) {
-                Some(step) => steps.push(step),
-                // Defensive fallback: interpret the group block-by-block.
-                None => return self.run_fused_group_interpreted(program, range, nelem, block),
-            }
-        }
+        let Some(steps) = self.prepare_fused_steps(program, &instrs) else {
+            // Defensive fallback: interpret the group block-by-block.
+            return self.run_fused_group_interpreted(program, range, nelem, block);
+        };
         // Accounting is analytic and shard-independent: each instruction
         // counts once, traffic/flops scale with the full `nelem`, and the
         // group is one kernel — identical counters for 1 or N threads.
         self.stats.kernels += 1;
         self.stats.fused_groups += 1;
-        let n = nelem as u64;
-        for fi in &instrs {
-            self.stats.instructions += 1;
-            self.stats.elements_written += n;
-            self.stats.bytes_written += n * fi.out_dtype.size_of() as u64;
-            for input in &fi.inputs {
-                if matches!(input, FusedInput::Reg(_)) {
-                    self.stats.bytes_read += n * fi.in_dtype.size_of() as u64;
-                }
-            }
-            self.stats.flops += fi.op.unit_cost() * n;
-        }
+        self.account_fused_chain(&instrs, nelem);
         let run_chain = |lo: usize, hi: usize| {
             let mut b = lo;
             while b < hi {
@@ -372,6 +346,176 @@ impl Vm {
                 }
             }
             _ => run_chain(0, nelem),
+        }
+        Ok(())
+    }
+
+    /// Shared prologue of the compiled fused paths: materialise every
+    /// touched base, CoW-unshare every *written* buffer **before** any
+    /// pointer is captured (a copy taken after a read pointer would leave
+    /// that reader staring at the stale allocation), then compile each
+    /// instruction. Returns `None` when a step cannot be compiled —
+    /// callers fall back to the interpreted group.
+    fn prepare_fused_steps(
+        &mut self,
+        program: &Program,
+        instrs: &[FusedInstr],
+    ) -> Option<Vec<FusedStep>> {
+        for fi in instrs {
+            self.ensure_alloc(program, fi.out);
+            for input in &fi.inputs {
+                if let FusedInput::Reg(r) = input {
+                    self.ensure_alloc(program, *r);
+                }
+            }
+        }
+        for fi in instrs {
+            let buf = self.bases[fi.out.index()].as_mut().expect("just allocated");
+            with_dtype!(fi.out_dtype, T, {
+                let _ = buf.as_mut_slice::<T>().expect("dtype matches decl");
+            });
+        }
+        let mut steps: Vec<FusedStep> = Vec::with_capacity(instrs.len());
+        for fi in instrs {
+            steps.push(self.compile_fused_step(fi)?);
+        }
+        Some(steps)
+    }
+
+    /// Analytic per-instruction accounting for a fused chain: one
+    /// `instructions` tick per byte-code, traffic/flops scaled by the
+    /// full `nelem` — the totals a naive run would report, independent of
+    /// sharding (DESIGN.md §10).
+    fn account_fused_chain(&mut self, instrs: &[FusedInstr], nelem: usize) {
+        let n = nelem as u64;
+        for fi in instrs {
+            self.stats.instructions += 1;
+            self.stats.elements_written += n;
+            self.stats.bytes_written += n * fi.out_dtype.size_of() as u64;
+            for input in &fi.inputs {
+                if matches!(input, FusedInput::Reg(_)) {
+                    self.stats.bytes_read += n * fi.in_dtype.size_of() as u64;
+                }
+            }
+            self.stats.flops += fi.op.unit_cost() * n;
+        }
+    }
+
+    /// Execute a fused element-wise chain *and* the single-lane reduction
+    /// it feeds as one sharded kernel: each shard walks its canonical
+    /// [`kernels::REDUCE_BLOCK`]-aligned range, applying the whole chain
+    /// in engine-block-sized chunks and folding the freshly written
+    /// reduction input into a per-block accumulator while it is still
+    /// cache-resident. Block partials are combined left-to-right in block
+    /// order (never arrival order), so the result is bit-identical to the
+    /// unfused engines at every thread count — the same canonical combine
+    /// tree as [`kernels::par_reduce_lane`] (DESIGN.md §11).
+    fn run_fused_reduce_group(
+        &mut self,
+        program: &Program,
+        range: std::ops::Range<usize>,
+        nelem: usize,
+        reduce: usize,
+        block: usize,
+    ) -> Result<(), VmError> {
+        let rinstr = &program.instrs()[reduce];
+        let in_ref = rinstr.operands[1].as_view().expect("validated: view input");
+        let out_ref = rinstr.out_view().expect("reductions have outputs");
+        let out_geom = program.resolve_view(out_ref)?;
+        let dtype = program.base(in_ref.reg).dtype;
+
+        let instrs = fusion::classify_group(program, range.clone());
+        self.ensure_alloc(program, in_ref.reg);
+        self.ensure_alloc(program, out_ref.reg);
+        let Some(steps) = self.prepare_fused_steps(program, &instrs) else {
+            // Defensive fallback: run the chain interpreted, then the
+            // reduction through its stand-alone (still parallel) path.
+            self.run_fused_group_interpreted(program, range, nelem, block)?;
+            return self.exec_instr(program, rinstr, None);
+        };
+        // Analytic accounting, shard-independent: chain instructions as in
+        // `run_fused_group`, plus the reduction's own traffic/flops — the
+        // per-instruction totals a naive run would report, under a single
+        // kernel launch.
+        self.stats.kernels += 1;
+        self.stats.fused_groups += 1;
+        self.stats.fused_reductions += 1;
+        self.account_fused_chain(&instrs, nelem);
+        let n = nelem as u64;
+        self.stats.instructions += 1;
+        self.stats.bytes_read += n * dtype.size_of() as u64;
+        self.account_out(&out_geom, dtype);
+        self.stats.flops += rinstr.op.unit_cost() * n;
+
+        let fold = rinstr.op.fold_op().expect("reductions fold");
+        let total_shards = with_dtype!(dtype, T, {
+            let src = self
+                .raw_const::<T>(in_ref.reg)
+                .expect("allocated and dtype matches decl");
+            let f = exec::binary_fn::<T>(fold);
+            let init: T = exec::fold_init::<T>(fold);
+            let nblocks = nelem.div_ceil(kernels::REDUCE_BLOCK);
+            let mut partials = vec![init; nblocks];
+            let pptr = RawMut(partials.as_mut_ptr());
+            let run = |lo: usize, hi: usize| {
+                // `lo` is a multiple of REDUCE_BLOCK (grain contract), so
+                // partial boundaries are the canonical blocks regardless
+                // of sharding; the chain is applied in engine-block-sized
+                // chunks clipped to the canonical block (element-wise, so
+                // chunking cannot change values).
+                let mut cb = lo;
+                while cb < hi {
+                    let ce = (cb + kernels::REDUCE_BLOCK).min(hi);
+                    let mut b = cb;
+                    while b < ce {
+                        let e = (b + block).min(ce);
+                        for step in &steps {
+                            step(b, e);
+                        }
+                        b = e;
+                    }
+                    let mut acc = init;
+                    // SAFETY: same invariants as `compile_fused_step`
+                    // (buffers un-shared before capture, disjoint shard
+                    // ranges, program order within a shard); the fold
+                    // reads elements the chain finished writing in this
+                    // same range. Partial slots are unique per canonical
+                    // block.
+                    unsafe {
+                        for k in cb..ce {
+                            acc = f(acc, *src.get().add(k));
+                        }
+                        *pptr.get().add(cb / kernels::REDUCE_BLOCK) = acc;
+                    }
+                    cb = ce;
+                }
+            };
+            let shards = match self.workers.clone() {
+                Some(pool) if pool.threads() > 1 && nelem >= self.par_threshold => {
+                    pool.run_ranges(nelem, kernels::REDUCE_BLOCK, &run)
+                }
+                _ => {
+                    run(0, nelem);
+                    1
+                }
+            };
+            // Fixed-order combine: block order, never arrival order.
+            let mut total = init;
+            for p in partials {
+                total = f(total, p);
+            }
+            let out_buf = self.bases[out_ref.reg.index()]
+                .as_mut()
+                .expect("just allocated");
+            let out_slice = out_buf.as_mut_slice::<T>().expect("dtype matches decl");
+            let o = out_geom.offset();
+            assert!(o < out_slice.len(), "view escapes buffer");
+            out_slice[o] = total;
+            shards
+        });
+        if total_shards > 1 {
+            self.stats.par_shards += total_shards as u64;
+            self.stats.reduce_shards += total_shards as u64;
         }
         Ok(())
     }
@@ -622,41 +766,61 @@ impl Vm {
 
         let fold = instr.op.fold_op().expect("reductions fold");
         // Bool reductions widen to i64 (NumPy); run the fold in the widened
-        // domain by materialising a cast input.
+        // domain by materialising a cast input. Otherwise fold straight out
+        // of the input base — the kernels walk strided/sliced views
+        // directly, so no materialise copy sits on the hot path.
         let work_dtype = program.base(out_reg).dtype;
-        let input_tensor = self.materialize_view(program, in_ref)?;
-        let input_cast = if work_dtype != dtype {
-            input_tensor.cast(work_dtype)
+        let direct = work_dtype == dtype && in_ref.reg != out_reg;
+        let (owned, in_view) = if direct {
+            (None, in_geom)
         } else {
-            input_tensor
+            let input_tensor = self.materialize_view(program, in_ref)?;
+            let input_cast = if work_dtype != dtype {
+                input_tensor.cast(work_dtype)
+            } else {
+                input_tensor
+            };
+            let view = ViewGeom::contiguous(input_cast.shape());
+            (Some(input_cast), view)
         };
         let mut out_buf = self.take_buffer(out_reg)?;
-        with_dtype!(work_dtype, T, {
-            let in_slice = input_cast.as_slice::<T>().expect("cast to work dtype");
-            let in_view = ViewGeom::contiguous(input_cast.shape());
+        let lane_work = in_view.nelem();
+        let workers = self.workers.clone();
+        let threshold = self.par_threshold;
+        let shards = with_dtype!(work_dtype, T, {
+            let in_slice: &[T] = match &owned {
+                Some(t) => t.as_slice::<T>().expect("cast to work dtype"),
+                None => self
+                    .borrow_buffer(in_ref.reg)?
+                    .as_slice::<T>()
+                    .expect("validated dtype"),
+            };
             let out_slice = out_buf.as_mut_slice::<T>().expect("dtype matches decl");
             let f = exec::binary_fn::<T>(fold);
-            let init: T = match fold {
-                Opcode::Add => <T as Element>::zero(),
-                Opcode::Multiply => <T as Element>::one(),
-                Opcode::Maximum => <T as VmElement>::vm_lowest(),
-                Opcode::Minimum => <T as VmElement>::vm_highest(),
-                other => unreachable!("{other} is not a fold op"),
+            // Serial and sharded runs share one kernel family whose
+            // combine order is executor-independent (DESIGN.md §11), so
+            // the executor choice below can never change results.
+            let executor: &dyn RangeExecutor = match &workers {
+                Some(p) if p.threads() > 1 && lane_work >= threshold => p.as_ref(),
+                _ => &kernels::InlineExec,
             };
             match instr.op.kind() {
                 OpKind::Reduction => {
-                    bh_tensor::kernels::reduce_axis(
-                        out_slice, &out_geom, in_slice, &in_view, axis, init, f,
-                    );
+                    let init: T = exec::fold_init::<T>(fold);
+                    kernels::par_reduce_axis(
+                        executor, out_slice, &out_geom, in_slice, &in_view, axis, init, f,
+                    )
                 }
-                OpKind::Scan => {
-                    bh_tensor::kernels::accumulate_axis(
-                        out_slice, &out_geom, in_slice, &in_view, axis, f,
-                    );
-                }
+                OpKind::Scan => kernels::par_scan_axis(
+                    executor, out_slice, &out_geom, in_slice, &in_view, axis, f,
+                ),
                 _ => unreachable!("dispatched as reduction/scan"),
             }
         });
+        if shards > 1 {
+            self.stats.par_shards += shards as u64;
+            self.stats.reduce_shards += shards as u64;
+        }
         self.bases[out_reg.index()] = Some(out_buf);
         Ok(())
     }

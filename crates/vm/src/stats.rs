@@ -25,6 +25,17 @@ pub struct ExecStats {
     /// sharding never changes results or the other counters
     /// (DESIGN.md §10).
     pub par_shards: u64,
+    /// Ranges dispatched to the worker pool by parallel reductions and
+    /// scans (lane shards of multi-lane reductions, canonical-block
+    /// shards of single-lane ones; 0 when every fold ran serially).
+    /// Observational like [`ExecStats::par_shards`]: the deterministic
+    /// combine tree keeps results and the analytic counters identical
+    /// at every thread count (DESIGN.md §11).
+    pub reduce_shards: u64,
+    /// Reductions executed fused into a preceding element-wise group
+    /// (fusing engine only): the chain and the fold ran as one sharded
+    /// kernel with per-block accumulators.
+    pub fused_reductions: u64,
     /// Elements written to output views.
     pub elements_written: u64,
     /// Bytes read from base arrays by input views.
@@ -67,6 +78,10 @@ impl ExecStats {
             kernels: self.kernels.saturating_sub(earlier.kernels),
             fused_groups: self.fused_groups.saturating_sub(earlier.fused_groups),
             par_shards: self.par_shards.saturating_sub(earlier.par_shards),
+            reduce_shards: self.reduce_shards.saturating_sub(earlier.reduce_shards),
+            fused_reductions: self
+                .fused_reductions
+                .saturating_sub(earlier.fused_reductions),
             elements_written: self
                 .elements_written
                 .saturating_sub(earlier.elements_written),
@@ -87,6 +102,8 @@ impl Add for ExecStats {
             kernels: self.kernels + rhs.kernels,
             fused_groups: self.fused_groups + rhs.fused_groups,
             par_shards: self.par_shards + rhs.par_shards,
+            reduce_shards: self.reduce_shards + rhs.reduce_shards,
+            fused_reductions: self.fused_reductions + rhs.fused_reductions,
             elements_written: self.elements_written + rhs.elements_written,
             bytes_read: self.bytes_read + rhs.bytes_read,
             bytes_written: self.bytes_written + rhs.bytes_written,
@@ -106,11 +123,13 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "instrs={} kernels={} fused={} shards={} elems={} read={}B written={}B flops={} syncs={}",
+            "instrs={} kernels={} fused={} shards={} rshards={} fredux={} elems={} read={}B written={}B flops={} syncs={}",
             self.instructions,
             self.kernels,
             self.fused_groups,
             self.par_shards,
+            self.reduce_shards,
+            self.fused_reductions,
             self.elements_written,
             self.bytes_read,
             self.bytes_written,
@@ -185,5 +204,23 @@ mod tests {
         assert_eq!(d.syncs, 1);
         // A stale (larger) snapshot saturates instead of wrapping.
         assert_eq!(before.since(&after).instructions, 0);
+    }
+
+    #[test]
+    fn reduction_counters_flow_through_add_and_since() {
+        let a = ExecStats {
+            reduce_shards: 3,
+            fused_reductions: 1,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            reduce_shards: 5,
+            fused_reductions: 2,
+            ..Default::default()
+        };
+        assert_eq!((a + b).reduce_shards, 8);
+        assert_eq!((a + b).fused_reductions, 3);
+        assert_eq!(b.since(&a).reduce_shards, 2);
+        assert_eq!(b.since(&a).fused_reductions, 1);
     }
 }

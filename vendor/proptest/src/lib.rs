@@ -10,7 +10,10 @@
 //! Differences from upstream, by design: cases are generated from a seed
 //! derived from the test name (deterministic across runs), failures panic
 //! immediately, and there is **no shrinking** — a failing case prints its
-//! inputs via the standard assertion message only.
+//! inputs via the standard assertion message only. The `PROPTEST_CASES`
+//! environment variable overrides the per-property case count (including
+//! explicit `with_cases` configs, unlike upstream), which is how the
+//! nightly CI job deepens every suite to 2048 cases uniformly.
 
 #![warn(missing_docs)]
 
@@ -33,6 +36,20 @@ pub mod test_runner {
         /// A config running `cases` cases per property.
         pub fn with_cases(cases: u32) -> ProptestConfig {
             ProptestConfig { cases }
+        }
+
+        /// The case count actually run: the `PROPTEST_CASES` environment
+        /// variable when set to a positive integer, else the configured
+        /// count. Unlike upstream (where the env var only feeds
+        /// `Config::default()`), the override also applies on top of
+        /// `with_cases` so a scheduled deep run (e.g. nightly CI with
+        /// `PROPTEST_CASES=2048`) deepens every suite uniformly.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(self.cases)
         }
     }
 
@@ -382,7 +399,7 @@ macro_rules! __proptest_impl {
                 let mut rng = $crate::test_runner::TestRng::from_name(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
-                for _case in 0..cfg.cases {
+                for _case in 0..cfg.effective_cases() {
                     $(
                         let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
                     )+
