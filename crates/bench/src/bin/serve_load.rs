@@ -216,6 +216,73 @@ fn run_serve(handles: &[ProgramHandle], rounds: usize, mode: BatchMode) -> Measu
     }
 }
 
+/// What the admission-time verifier costs and what it buys (DESIGN.md
+/// §12). One side measures the full abstract-interpretation pass
+/// (`bh_ir::verify`) per call — the price a verify-per-eval design would
+/// pay on every request. The other drives the checked-once hot path:
+/// after one cache miss the plan cache holds a `Verified` witness, so
+/// repeated evals of the same digest run zero verification passes
+/// ([`bh_runtime::RuntimeStats::verifications`] stays at 1 while `evals`
+/// climbs — asserted here, not just claimed).
+struct VerifyAmortisation {
+    verify_each: Duration,
+    eval_each: Duration,
+    evals: usize,
+    verifications: u64,
+}
+
+impl VerifyAmortisation {
+    /// Verify cost as a fraction of a cache-hit eval: the per-request
+    /// overhead a verify-per-eval design would add to the hot path.
+    fn unamortised_overhead(&self) -> f64 {
+        self.verify_each.as_secs_f64() / self.eval_each.as_secs_f64()
+    }
+}
+
+fn run_verify_amortisation() -> VerifyAmortisation {
+    const EVALS: usize = 2048;
+    let handle = tenant_program(0);
+    let program = handle.program();
+
+    // Per-call cost of the full verification pass on the bench program.
+    let start = Instant::now();
+    for _ in 0..EVALS {
+        std::hint::black_box(bh_ir::verify(std::hint::black_box(program)))
+            .expect("bench program verifies");
+    }
+    let verify_each = start.elapsed() / EVALS as u32;
+
+    // The checked-once hot path: warm the plan cache (the one and only
+    // verification), then time cache-hit evals that never re-verify.
+    let rt = runtime();
+    let x = program.reg_by_name("x").expect("input register");
+    let a = program.reg_by_name("a").expect("result register");
+    let input = Tensor::from_vec(vec![1.0f64; program.base(x).shape.nelem()]);
+    rt.eval(program, &[(x, input.clone())], a)
+        .expect("warm-up eval");
+    let start = Instant::now();
+    for _ in 0..EVALS {
+        let (value, _) = rt
+            .eval(program, &[(x, input.clone())], a)
+            .expect("bench program evaluates");
+        std::hint::black_box(value);
+    }
+    let eval_each = start.elapsed() / EVALS as u32;
+
+    let stats = rt.stats();
+    assert_eq!(
+        stats.verifications, 1,
+        "the hot path must verify once per digest, not per eval"
+    );
+    assert_eq!(stats.evals, EVALS as u64 + 1);
+    VerifyAmortisation {
+        verify_each,
+        eval_each,
+        evals: EVALS,
+        verifications: stats.verifications,
+    }
+}
+
 fn json_section(out: &mut String, name: &str, naive: &Measured, serve: &Measured) {
     let speedup = serve.rps() / naive.rps();
     let us = |d: Duration| d.as_secs_f64() * 1e6;
@@ -319,6 +386,17 @@ fn main() {
         vs_best_fixed,
     );
 
+    let verify = run_verify_amortisation();
+    eprintln!(
+        "verify: {:.1}us per pass vs {:.1}us per cached eval — {:.1}% overhead \
+         if paid per eval; paid {} time(s) across {} evals instead",
+        verify.verify_each.as_secs_f64() * 1e6,
+        verify.eval_each.as_secs_f64() * 1e6,
+        verify.unamortised_overhead() * 100.0,
+        verify.verifications,
+        verify.evals,
+    );
+
     let mut out = String::from("{\n");
     let _ = write!(
         out,
@@ -348,7 +426,7 @@ fn main() {
          \"speedup_vs_naive\": {:.2},\n    \"vs_best_fixed\": {:.2},\n    \
          \"best_fixed_max_batch\": {best_fixed_batch},\n    \"grows\": {},\n    \
          \"shrinks\": {},\n    \"final_limit\": {},\n    \
-         \"p95_us\": {:.1}\n  }}\n}}\n",
+         \"p95_us\": {:.1}\n  }},\n",
         adaptive.rps(),
         adaptive.mean_batch,
         adaptive.rps() / churn_naive.rps(),
@@ -357,6 +435,18 @@ fn main() {
         adapt.shrinks,
         adapt.last_limit.unwrap_or(0),
         adaptive.p95.as_secs_f64() * 1e6,
+    );
+    let _ = write!(
+        out,
+        "  \"verify_amortisation\": {{\n    \"verify_pass_us\": {:.2},\n    \
+         \"cached_eval_us\": {:.2},\n    \
+         \"unamortised_overhead_pct\": {:.1},\n    \"evals\": {},\n    \
+         \"verifications\": {}\n  }}\n}}\n",
+        verify.verify_each.as_secs_f64() * 1e6,
+        verify.eval_each.as_secs_f64() * 1e6,
+        verify.unamortised_overhead() * 100.0,
+        verify.evals,
+        verify.verifications,
     );
     std::fs::write("BENCH_serve.json", &out).expect("write BENCH_serve.json");
     eprintln!("wrote BENCH_serve.json");

@@ -28,7 +28,7 @@
 //! # Ok::<(), bh_ir::ParseError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
@@ -39,6 +39,7 @@ mod operand;
 mod parse;
 mod program;
 pub mod validate;
+pub mod verify;
 
 pub use analysis::{is_full_write, rerun_safe, DefUse, Liveness};
 pub use digest::ProgramDigest;
@@ -48,3 +49,6 @@ pub use operand::{Operand, Reg, ViewRef};
 pub use parse::{parse_program, parse_program_with, ParseError, ParseOptions};
 pub use program::{BaseDecl, PrintStyle, Program, ProgramBuilder};
 pub use validate::{validate, validate_instr, ValidationError};
+pub use verify::{
+    verify, verify_instr, verify_owned, Verified, VerifiedProgram, VerifyCode, VerifyError,
+};

@@ -1,15 +1,16 @@
-//! Static validation of byte-code programs.
+//! Static validation of byte-code programs — compatibility wrappers over
+//! the [`crate::verify()`] rule catalogue.
 //!
-//! Catches, before execution or transformation:
-//! shape disagreements between operands, dtype-rule violations, malformed
-//! reductions, linalg dimension mismatches, and reads of registers that
-//! were never written (and are not declared `input`).
+//! [`validate`] predates the verifier and reported stringly-typed
+//! findings; it now delegates to [`crate::verify::verify`] and flattens
+//! the structured [`crate::VerifyError`]s into [`ValidationError`]s, so
+//! the two APIs can never disagree about what a well-formed program is.
+//! New code should call [`crate::verify::verify`] directly and keep the
+//! stable [`crate::VerifyCode`]s (and the execution witness).
 
 use crate::instr::Instruction;
-use crate::opcode::{OpKind, Opcode};
-use crate::operand::Operand;
 use crate::program::Program;
-use bh_tensor::{DType, Shape};
+use crate::verify::{verify_instr, VerifyError};
 use std::fmt;
 
 /// A single validation failure, tagged with the instruction index.
@@ -34,44 +35,42 @@ impl fmt::Display for ValidationError {
 
 impl std::error::Error for ValidationError {}
 
+impl From<VerifyError> for ValidationError {
+    /// Flatten a structured finding: the detail becomes the message
+    /// verbatim (existing callers match on message substrings), the
+    /// instruction index carries over, the code is dropped.
+    fn from(e: VerifyError) -> ValidationError {
+        ValidationError {
+            instr: e.instr,
+            message: e.detail,
+        }
+    }
+}
+
 /// Validate a whole program, collecting every problem found.
+///
+/// Thin wrapper over [`crate::verify::verify`] (which additionally mints
+/// an execution witness and reports stable error codes).
 ///
 /// # Errors
 ///
 /// The list of problems; empty result means the program is well-formed.
 pub fn validate(program: &Program) -> Result<(), Vec<ValidationError>> {
-    let mut errors = Vec::new();
-    let mut written = vec![false; program.bases().len()];
-    for (i, b) in program.bases().iter().enumerate() {
-        written[i] = b.is_input;
+    match crate::verify::verify(program) {
+        Ok(_) => Ok(()),
+        Err(errors) => Err(errors.into_iter().map(ValidationError::from).collect()),
     }
-    for (i, instr) in program.instrs().iter().enumerate() {
-        if let Err(msg) = validate_instr(program, instr) {
-            errors.push(ValidationError {
-                instr: i,
-                message: msg,
-            });
-        }
-        // Read-before-write (skip FREE: freeing an unwritten base is legal).
-        if instr.op != Opcode::Free {
-            for r in instr.input_regs() {
-                if !written[r.index()] {
-                    errors.push(ValidationError {
-                        instr: i,
-                        message: format!(
-                            "register `{}` read before any write (declare it `input` \
-                             or initialise it with BH_IDENTITY)",
-                            program.base(r).name
-                        ),
-                    });
-                    written[r.index()] = true; // report once
-                }
-            }
-        }
-        if let Some(r) = instr.out_reg() {
-            written[r.index()] = true;
-        }
-    }
+}
+
+/// Validate one instruction against its program context, reporting
+/// **all** of its problems (data-flow rules, which need whole-program
+/// state, are only checked by [`validate`] / [`crate::verify::verify`]).
+///
+/// # Errors
+///
+/// Every instruction-local finding, as structured [`VerifyError`]s.
+pub fn validate_instr(program: &Program, instr: &Instruction) -> Result<(), Vec<VerifyError>> {
+    let errors = verify_instr(program, instr);
     if errors.is_empty() {
         Ok(())
     } else {
@@ -79,299 +78,10 @@ pub fn validate(program: &Program) -> Result<(), Vec<ValidationError>> {
     }
 }
 
-/// Validate one instruction against its program context.
-///
-/// # Errors
-///
-/// A human-readable description of the first problem found.
-pub fn validate_instr(program: &Program, instr: &Instruction) -> Result<(), String> {
-    let op = instr.op;
-    if op == Opcode::NoOp {
-        return Ok(());
-    }
-    if instr.operands.len() != op.operand_count() {
-        return Err(format!(
-            "{op} expects {} operands, found {}",
-            op.operand_count(),
-            instr.operands.len()
-        ));
-    }
-    if op.has_output() {
-        if instr.operands[0].as_view().is_none() {
-            return Err(format!("{op} result operand must be a view"));
-        }
-    } else if let Some(Operand::Const(_)) = instr.operands.first() {
-        return Err(format!("{op} target must be a view"));
-    }
-
-    // Resolve all view operands once.
-    let mut shapes: Vec<Option<Shape>> = Vec::new();
-    let mut dtypes: Vec<Option<DType>> = Vec::new();
-    for o in &instr.operands {
-        match o {
-            Operand::View(v) => {
-                let geom = program
-                    .resolve_view(v)
-                    .map_err(|e| format!("bad view of `{}`: {e}", program.base(v.reg).name))?;
-                shapes.push(Some(geom.shape()));
-                dtypes.push(Some(program.base(v.reg).dtype));
-            }
-            Operand::Const(c) => {
-                shapes.push(None);
-                dtypes.push(Some(c.dtype()));
-            }
-        }
-    }
-
-    match op.kind() {
-        OpKind::ElementwiseUnary | OpKind::ElementwiseBinary => {
-            validate_elementwise(op, instr, &shapes, &dtypes)
-        }
-        OpKind::Reduction => validate_reduction(program, op, instr, &shapes),
-        OpKind::Scan => validate_scan(op, instr, &shapes),
-        OpKind::Generator => validate_generator(op, instr, &dtypes),
-        OpKind::System => Ok(()),
-        OpKind::LinAlg => validate_linalg(op, instr, &shapes, &dtypes),
-    }
-}
-
-fn validate_elementwise(
-    op: Opcode,
-    instr: &Instruction,
-    shapes: &[Option<Shape>],
-    dtypes: &[Option<DType>],
-) -> Result<(), String> {
-    let out_shape = shapes[0].as_ref().expect("output checked to be a view");
-    // Input views must broadcast to the output shape.
-    for (k, s) in shapes.iter().enumerate().skip(1) {
-        if let Some(s) = s {
-            let ok = s
-                .broadcast(out_shape)
-                .map(|b| &b == out_shape)
-                .unwrap_or(false);
-            if !ok {
-                return Err(format!(
-                    "operand {k} shape {s} does not broadcast to output shape {out_shape}"
-                ));
-            }
-        }
-    }
-    // Dtype rule: all *view* inputs must share the output-relevant dtype.
-    let out_dtype = dtypes[0].expect("output is a view");
-    let mut in_view_dtype: Option<DType> = None;
-    for (k, o) in instr.operands.iter().enumerate().skip(1) {
-        if o.as_view().is_some() {
-            let d = dtypes[k].expect("views carry dtypes");
-            match in_view_dtype {
-                None => in_view_dtype = Some(d),
-                Some(prev) if prev != d => {
-                    return Err(format!(
-                        "input dtypes disagree: {prev} vs {d} (Bohrium inserts \
-                         BH_IDENTITY casts; do the same)"
-                    ));
-                }
-                _ => {}
-            }
-        }
-    }
-    // With only constants, the output dtype governs.
-    let in_dtype = in_view_dtype.unwrap_or(out_dtype);
-    let result = op.result_dtype(in_dtype).map_err(|e| e.to_string())?;
-    let expected_out = if op.type_rule() == crate::opcode::TypeRule::Cast {
-        out_dtype // BH_IDENTITY casts to whatever the output is
-    } else {
-        result
-    };
-    if out_dtype != expected_out {
-        return Err(format!(
-            "output dtype {out_dtype} does not match {op} result dtype {expected_out}"
-        ));
-    }
-    Ok(())
-}
-
-fn validate_reduction(
-    program: &Program,
-    op: Opcode,
-    instr: &Instruction,
-    shapes: &[Option<Shape>],
-) -> Result<(), String> {
-    let axis = reduce_axis_const(instr)?;
-    let in_shape = shapes[1]
-        .as_ref()
-        .ok_or_else(|| format!("{op} input must be a view"))?;
-    if in_shape.rank() == 0 {
-        return Err(format!("{op} cannot reduce a rank-0 view"));
-    }
-    if axis >= in_shape.rank() {
-        return Err(format!(
-            "reduction axis {axis} out of range for rank-{} input",
-            in_shape.rank()
-        ));
-    }
-    let expected = in_shape.without_axis(axis);
-    let out_shape = shapes[0].as_ref().expect("output is a view");
-    if *out_shape != expected {
-        return Err(format!(
-            "reduction output shape {out_shape} should be {expected}"
-        ));
-    }
-    let out_dtype = program.operand_dtype(&instr.operands[0]);
-    let in_dtype = program.operand_dtype(&instr.operands[1]);
-    if out_dtype != in_dtype.reduce_dtype() {
-        return Err(format!(
-            "reduction output dtype {out_dtype} should be {}",
-            in_dtype.reduce_dtype()
-        ));
-    }
-    Ok(())
-}
-
-fn validate_scan(op: Opcode, instr: &Instruction, shapes: &[Option<Shape>]) -> Result<(), String> {
-    let axis = reduce_axis_const(instr)?;
-    let in_shape = shapes[1]
-        .as_ref()
-        .ok_or_else(|| format!("{op} input must be a view"))?;
-    if axis >= in_shape.rank() {
-        return Err(format!(
-            "scan axis {axis} out of range for rank-{} input",
-            in_shape.rank()
-        ));
-    }
-    let out_shape = shapes[0].as_ref().expect("output is a view");
-    if out_shape != in_shape {
-        return Err(format!(
-            "scan preserves shape: output {out_shape} vs input {in_shape}"
-        ));
-    }
-    Ok(())
-}
-
-fn validate_generator(
-    op: Opcode,
-    instr: &Instruction,
-    _dtypes: &[Option<DType>],
-) -> Result<(), String> {
-    if op == Opcode::Random {
-        let seed = instr.operands[1]
-            .as_const()
-            .ok_or("BH_RANDOM seed must be a constant")?;
-        if seed.as_integral().is_none() {
-            return Err("BH_RANDOM seed must be integral".into());
-        }
-    }
-    Ok(())
-}
-
-fn validate_linalg(
-    op: Opcode,
-    instr: &Instruction,
-    shapes: &[Option<Shape>],
-    dtypes: &[Option<DType>],
-) -> Result<(), String> {
-    for (k, o) in instr.operands.iter().enumerate() {
-        if o.as_const().is_some() {
-            return Err(format!("{op} operand {k} must be a view, not a constant"));
-        }
-        let d = dtypes[k].expect("views carry dtypes");
-        if op != Opcode::Transpose && !d.is_float() {
-            return Err(format!("{op} requires float operands, found {d}"));
-        }
-    }
-    let shape = |k: usize| shapes[k].clone().expect("all linalg operands are views");
-    match op {
-        Opcode::MatMul => {
-            let (out, a, b) = (shape(0), shape(1), shape(2));
-            // Positional orientation, as in NumPy dot: rank-1 lhs is a row
-            // vector, rank-1 rhs a column vector.
-            let (ar, ac) = match a.rank() {
-                1 => (1, a.dim(0)),
-                2 => (a.dim(0), a.dim(1)),
-                _ => return Err("BH_MATMUL lhs must be rank 1 or 2".into()),
-            };
-            let (br, bc) = match b.rank() {
-                1 => (b.dim(0), 1),
-                2 => (b.dim(0), b.dim(1)),
-                _ => return Err("BH_MATMUL rhs must be rank 1 or 2".into()),
-            };
-            if ac != br {
-                return Err(format!("BH_MATMUL inner dimensions disagree: {a} @ {b}"));
-            }
-            let expected = match (a.rank(), b.rank()) {
-                (2, 2) => Shape::matrix(ar, bc),
-                (2, 1) => Shape::vector(ar),
-                (1, 2) => Shape::vector(bc),
-                _ => Shape::vector(1),
-            };
-            if out != expected {
-                return Err(format!("BH_MATMUL output shape {out} should be {expected}"));
-            }
-            Ok(())
-        }
-        Opcode::Transpose => {
-            let (out, a) = (shape(0), shape(1));
-            if a.rank() != 2 || out.rank() != 2 {
-                return Err("BH_TRANSPOSE operates on matrices".into());
-            }
-            if out.dim(0) != a.dim(1) || out.dim(1) != a.dim(0) {
-                return Err(format!(
-                    "BH_TRANSPOSE output shape {out} should be ({},{})",
-                    a.dim(1),
-                    a.dim(0)
-                ));
-            }
-            Ok(())
-        }
-        Opcode::Inverse => {
-            let (out, a) = (shape(0), shape(1));
-            if !is_square(&a) {
-                return Err(format!("BH_INVERSE requires a square matrix, found {a}"));
-            }
-            if out != a {
-                return Err(format!("BH_INVERSE output shape {out} should be {a}"));
-            }
-            Ok(())
-        }
-        Opcode::Solve => {
-            let (out, a, b) = (shape(0), shape(1), shape(2));
-            if !is_square(&a) {
-                return Err(format!(
-                    "BH_SOLVE coefficient matrix must be square, found {a}"
-                ));
-            }
-            let n = a.dim(0);
-            let b_rows = match b.rank() {
-                1 => b.dim(0),
-                2 => b.dim(0),
-                _ => return Err("BH_SOLVE rhs must be rank 1 or 2".into()),
-            };
-            if b_rows != n {
-                return Err(format!("BH_SOLVE rhs rows {b_rows} should be {n}"));
-            }
-            if out != b {
-                return Err(format!("BH_SOLVE output shape {out} should match rhs {b}"));
-            }
-            Ok(())
-        }
-        _ => Ok(()),
-    }
-}
-
-fn reduce_axis_const(instr: &Instruction) -> Result<usize, String> {
-    let c = instr.operands[2]
-        .as_const()
-        .ok_or("axis operand must be a constant")?;
-    let v = c.as_integral().ok_or("axis operand must be integral")?;
-    usize::try_from(v).map_err(|_| "axis operand must be non-negative".into())
-}
-
-fn is_square(s: &Shape) -> bool {
-    s.rank() == 2 && s.dim(0) == s.dim(1)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::opcode::Opcode;
     use crate::operand::ViewRef;
     use crate::parse::parse_program;
     use crate::program::ProgramBuilder;
@@ -577,5 +287,19 @@ mod tests {
         ));
         let errs = validate(&p).unwrap_err();
         assert!(errs[0].to_string().contains("expects 3 operands"));
+    }
+
+    #[test]
+    fn validate_instr_reports_every_problem() {
+        let p = parse_program(
+            ".base x i32[4] input\n\
+             .base y i32[5]\n\
+             BH_SQRT y x\n",
+        )
+        .unwrap();
+        let errs = validate_instr(&p, &p.instrs()[0]).unwrap_err();
+        assert!(errs.len() >= 2, "want broadcast + dtype findings: {errs:?}");
+        assert_valid(".base ok f64[2]\nBH_IDENTITY ok 1\nBH_SYNC ok\n");
+        assert!(validate_instr(&p, &crate::instr::Instruction::noop()).is_ok());
     }
 }

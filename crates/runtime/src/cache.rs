@@ -10,19 +10,23 @@
 //! sequence optimised under different levels/knobs occupies distinct
 //! entries. Eviction is least-recently-used.
 
-use bh_ir::{Program, ProgramDigest};
+use bh_ir::{ProgramDigest, Verified};
 use bh_opt::{OptOptions, OptReport};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// An optimised, validated, ready-to-execute program plus the report of
+/// An optimised, verified, ready-to-execute program plus the report of
 /// how it got that way. Immutable once built; shared via `Arc` between
 /// the cache and every [`crate::EvalOutcome`] that used it.
 #[derive(Debug)]
 pub struct EvalPlan {
-    /// The transformed program (validated at plan-build time, so
-    /// execution can skip re-validation).
-    pub program: Program,
+    /// The transformed program wrapped in its [`bh_ir::Verified`]
+    /// witness: verification ran exactly once, at plan-build time, and
+    /// the witness lets every later execution take
+    /// [`bh_vm::Vm::run_verified`]'s trusted path with zero re-checks.
+    /// (`Verified` derefs to [`bh_ir::Program`], so read-only callers
+    /// are unaffected.)
+    pub program: Verified,
     /// What the optimiser did to produce it.
     pub report: OptReport,
     /// Fingerprint of the source program's structural digest, for logs.
@@ -128,7 +132,7 @@ mod tests {
                 options: OptOptions::default(),
             },
             Arc::new(EvalPlan {
-                program,
+                program: bh_ir::verify_owned(program).expect("test program verifies"),
                 report,
                 source_fingerprint: fp,
             }),

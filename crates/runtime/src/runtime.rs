@@ -163,12 +163,16 @@ impl Runtime {
     /// cache already holds for a structurally identical program. The
     /// returned flag is true on a cache hit.
     ///
-    /// The plan is validated once here; execution skips re-validation,
-    /// like a byte-code verifier running at load time rather than per run.
+    /// The plan is verified once here and the [`bh_ir::Verified`] witness
+    /// is stored in the cache; execution takes the trusted
+    /// [`bh_vm::Vm::run_verified`] path with zero re-verification, like a
+    /// byte-code verifier running at load time rather than per run
+    /// ([`RuntimeStats::verifications`] counts how often this actually
+    /// happened).
     ///
     /// # Errors
     ///
-    /// [`VmError::Invalid`] when the optimised program fails validation.
+    /// [`VmError::Invalid`] when the optimised program fails verification.
     pub fn prepare(&self, program: &Program) -> Result<(Arc<EvalPlan>, bool), VmError> {
         self.prepare_with(program, &self.options)
     }
@@ -178,7 +182,7 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// [`VmError::Invalid`] when the optimised program fails validation.
+    /// [`VmError::Invalid`] when the optimised program fails verification.
     pub fn prepare_with(
         &self,
         program: &Program,
@@ -198,17 +202,21 @@ impl Runtime {
         let mut optimised = program.clone();
         let report = Optimizer::new(options.clone()).run(&mut optimised);
         {
-            // Record the miss before validation can bail: the optimiser
+            // Record the miss before verification can bail: the optimiser
             // *did* run, and an invalid program re-fed forever should show
             // up as misses on a dashboard, not as a free 100% hit rate.
+            // `verifications` counts alongside — verification runs exactly
+            // once per miss and never on a hit, which is what the
+            // checked-once claim means operationally.
             let mut stats = self.stats.lock();
             stats.cache_misses += 1;
+            stats.verifications += 1;
             stats.rules_fired += report.total_applications() as u64;
             stats.opt_iterations += report.iterations as u64;
         }
-        bh_ir::validate(&optimised).map_err(VmError::Invalid)?;
+        let verified = bh_ir::verify_owned(optimised).map_err(|(_, e)| VmError::Invalid(e))?;
         let plan = Arc::new(EvalPlan {
-            program: optimised,
+            program: verified,
             report,
             source_fingerprint: key.digest.fingerprint(),
         });
@@ -287,8 +295,9 @@ impl Runtime {
     /// Execute an already-prepared plan on a caller-held VM: the
     /// batched-serving hot path. Skips the digest computation, the cache
     /// lookup *and* the per-eval VM checkout that [`Runtime::eval`] pays;
-    /// the plan was validated when it was built, so execution is
-    /// unchecked.
+    /// the plan carries the [`bh_ir::Verified`] witness minted when it
+    /// was built, so execution takes [`bh_vm::Vm::run_verified`]'s
+    /// trusted path.
     ///
     /// The VM is **not** recycled, so back-to-back calls with the *same*
     /// plan reuse its base buffers. That reuse is only observation-free
@@ -320,8 +329,9 @@ impl Runtime {
         for (reg, tensor) in bindings {
             vm.bind(&plan.program, *reg, tensor)?;
         }
-        // Validated at plan-build time; skip re-validation per run.
-        vm.run_unchecked(&plan.program)?;
+        // The plan carries its verification witness from build time, so
+        // this is the trusted path: zero verify/validate calls per eval.
+        vm.run_verified(plan.program.as_verified())?;
         let value = match result {
             Some(reg) => Some(vm.read(&plan.program, reg)?),
             None => None,
@@ -602,8 +612,36 @@ mod tests {
         let o0 = OptOptions::level(OptLevel::O0);
         assert!(matches!(rt.prepare_with(&p, &o0), Err(VmError::Invalid(_))));
         assert_eq!(rt.cached_plans(), 0);
-        // The optimiser ran even though validation failed: that's a miss.
+        // The optimiser ran even though verification failed: that's a miss.
         assert_eq!(rt.stats().cache_misses, 1);
+        assert_eq!(rt.stats().verifications, 1);
+    }
+
+    #[test]
+    fn verification_runs_once_then_never_on_the_eval_path() {
+        let rt = Runtime::new();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        // Cold prepare: exactly one verification.
+        let (plan, hit) = rt.prepare(&p).unwrap();
+        assert!(!hit);
+        assert_eq!(rt.stats().verifications, 1);
+        // Cache-hit prepares and full evals: the counter must not move —
+        // the eval path performs zero verify/validate calls after a hit.
+        for _ in 0..5 {
+            let (_, hit) = rt.prepare(&p).unwrap();
+            assert!(hit);
+            rt.eval(&p, &[], reg).unwrap();
+        }
+        // The pinned-VM hot path trusts the witness too.
+        let mut vm = rt.lease_vm();
+        for _ in 0..5 {
+            rt.eval_prepared(&plan, &mut vm, &[], Some(reg), true)
+                .unwrap();
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.verifications, 1);
+        assert_eq!(stats.evals, 10);
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct RuntimeStats {
     pub cache_hits: u64,
     /// Plan lookups that had to run the optimiser.
     pub cache_misses: u64,
+    /// Byte-code verification passes run (`bh_ir::verify_owned` at plan
+    /// build). Verification happens exactly once per cache miss and never
+    /// on the eval path, so under steady-state traffic this counter stays
+    /// flat while [`RuntimeStats::evals`] climbs — the "checked once,
+    /// trusted forever" property, observable.
+    pub verifications: u64,
     /// Total rewrite-rule applications across all cache misses.
     pub rules_fired: u64,
     /// Fixpoint sweeps performed across all cache misses.
@@ -73,6 +79,7 @@ impl Add for RuntimeStats {
             evals: self.evals + rhs.evals,
             cache_hits: self.cache_hits + rhs.cache_hits,
             cache_misses: self.cache_misses + rhs.cache_misses,
+            verifications: self.verifications + rhs.verifications,
             rules_fired: self.rules_fired + rhs.rules_fired,
             opt_iterations: self.opt_iterations + rhs.opt_iterations,
             eval_nanos: self.eval_nanos + rhs.eval_nanos,
@@ -91,11 +98,12 @@ impl fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "evals={} hits={} misses={} hit-rate={:.0}% rules={} mean-eval={:?} [{}]",
+            "evals={} hits={} misses={} hit-rate={:.0}% verifies={} rules={} mean-eval={:?} [{}]",
             self.evals,
             self.cache_hits,
             self.cache_misses,
             self.hit_rate() * 100.0,
+            self.verifications,
             self.rules_fired,
             self.mean_eval_time(),
             self.exec

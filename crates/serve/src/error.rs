@@ -1,5 +1,6 @@
 //! Serving-layer errors.
 
+use bh_ir::VerifyError;
 use bh_vm::VmError;
 use std::fmt;
 use std::time::Duration;
@@ -14,6 +15,11 @@ pub enum ServeError {
         /// The configured queue capacity that was hit.
         capacity: usize,
     },
+    /// The submitted program failed byte-code verification at admission:
+    /// it was rejected *at submit time* and never enqueued. Each finding
+    /// carries a stable [`bh_ir::VerifyCode`] clients can switch on;
+    /// resubmitting the same program will fail the same way.
+    Malformed(Vec<VerifyError>),
     /// The request's deadline passed before execution started; it was
     /// failed fast without occupying a worker.
     DeadlineExceeded {
@@ -32,6 +38,17 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::QueueFull { capacity } => {
                 write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServeError::Malformed(errors) => {
+                write!(
+                    f,
+                    "program rejected at admission with {} verification error(s)",
+                    errors.len()
+                )?;
+                if let Some(first) = errors.first() {
+                    write!(f, ": {first}")?;
+                }
+                Ok(())
             }
             ServeError::DeadlineExceeded { missed_by } => {
                 write!(f, "deadline exceeded by {missed_by:?}")
@@ -76,5 +93,13 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("evaluation failed"));
+        let e = ServeError::Malformed(vec![VerifyError {
+            code: bh_ir::VerifyCode::UseAfterFree,
+            instr: 1,
+            detail: "register `a` used after BH_FREE".into(),
+        }]);
+        let s = e.to_string();
+        assert!(s.contains("admission"), "{s}");
+        assert!(s.contains("V201"), "{s}");
     }
 }

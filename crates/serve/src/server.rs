@@ -23,7 +23,7 @@ use bh_ir::{Program, ProgramDigest, Reg};
 use bh_runtime::Runtime;
 use bh_tensor::Tensor;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar};
@@ -36,8 +36,8 @@ use std::time::{Duration, Instant};
 pub struct Rejected {
     /// The request, returned unconsumed.
     pub request: Request,
-    /// Why it was rejected ([`ServeError::QueueFull`] or
-    /// [`ServeError::Shutdown`]).
+    /// Why it was rejected ([`ServeError::QueueFull`],
+    /// [`ServeError::Malformed`] or [`ServeError::Shutdown`]).
     pub reason: ServeError,
 }
 
@@ -362,9 +362,50 @@ struct Shared {
     /// ([`Server::service_once`] and the shutdown drain); worker threads
     /// own their controllers locally.
     external_ctl: Mutex<BatchController>,
+    /// Digests whose programs already passed admission verification, so
+    /// repeat traffic pays one `HashSet` probe instead of a re-verify —
+    /// the admission-side mirror of the runtime's transformation cache.
+    /// Bounded (see [`ADMITTED_DIGEST_LIMIT`]); eviction merely costs a
+    /// re-verify, never admits anything unverified.
+    admitted: Mutex<HashSet<ProgramDigest>>,
 }
 
+/// Known-good digests remembered at admission before the set is reset.
+/// 4096 digests ≈ a few hundred KiB — far above any realistic working
+/// set of distinct programs, small enough that hostile digest churn
+/// cannot balloon memory.
+const ADMITTED_DIGEST_LIMIT: usize = 4096;
+
 impl Shared {
+    /// Admission gate: verify the submitted byte-code before it can be
+    /// enqueued, so malformed programs are bounced at the front door with
+    /// a structured [`ServeError::Malformed`] instead of occupying queue
+    /// space and failing later inside a batch. Verification runs once per
+    /// distinct digest; known-good digests are admitted on a set probe.
+    ///
+    /// Called *outside* the sched lock — verification cost must never
+    /// stall other submitters or the workers.
+    #[allow(clippy::result_large_err)]
+    fn admit(&self, request: Request) -> Result<Request, Rejected> {
+        if self.admitted.lock().contains(&request.digest) {
+            return Ok(request);
+        }
+        match bh_ir::verify(&request.program) {
+            Ok(_) => {
+                let mut admitted = self.admitted.lock();
+                if admitted.len() >= ADMITTED_DIGEST_LIMIT {
+                    admitted.clear();
+                }
+                admitted.insert(request.digest.clone());
+                Ok(request)
+            }
+            Err(errors) => Err(Rejected {
+                reason: ServeError::Malformed(errors),
+                request,
+            }),
+        }
+    }
+
     /// Execute one micro-batch, resolving every request in it. Returns
     /// the completed requests' latency samples for the caller's batch
     /// controller (empty when nothing completed).
@@ -676,6 +717,7 @@ impl ServerBuilder {
             stats: Mutex::new(ServeStats::default()),
             shutdown: AtomicBool::new(false),
             external_ctl: Mutex::new(policy.controller()),
+            admitted: Mutex::new(HashSet::new()),
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -807,16 +849,28 @@ impl Server {
 
     /// Enqueue a request, returning a [`Ticket`] to wait on.
     ///
+    /// The submitted byte-code is verified at admission (once per
+    /// distinct program digest): malformed programs are bounced here
+    /// with the structured verification findings, never enqueued.
+    ///
     /// # Errors
     ///
-    /// [`Rejected`] with [`ServeError::QueueFull`] when the bounded queue
-    /// is at capacity (backpressure — the request is handed back, not
-    /// buffered), or [`ServeError::Shutdown`] after shutdown began.
+    /// [`Rejected`] with [`ServeError::Malformed`] when the program fails
+    /// byte-code verification, [`ServeError::QueueFull`] when the bounded
+    /// queue is at capacity (backpressure — the request is handed back,
+    /// not buffered), or [`ServeError::Shutdown`] after shutdown began.
     // Handing the whole Request back by value is the point of the error
     // type (retry without rebuilding); the fat Err is deliberate.
     #[allow(clippy::result_large_err)]
     pub fn submit(&self, request: Request) -> Result<Ticket, Rejected> {
         let now = Instant::now();
+        let request = match self.shared.admit(request) {
+            Ok(request) => request,
+            Err(rejected) => {
+                self.shared.stats.lock().rejected += 1;
+                return Err(rejected);
+            }
+        };
         {
             let mut sched = self.shared.sched.lock();
             match self.try_enqueue(&mut sched, request, now) {
@@ -851,7 +905,8 @@ impl Server {
     /// same-digest requests submitted together are adjacent in their
     /// lanes, so they gather into the same micro-batch. Each request is
     /// accepted or bounced individually — a full queue rejects the
-    /// overflow, not the whole group.
+    /// overflow, not the whole group, and a program failing admission
+    /// verification bounces only its own request.
     ///
     /// # Examples
     ///
@@ -872,6 +927,9 @@ impl Server {
     /// }
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
+    // The closures below return the deliberately fat Rejected (see
+    // `submit`); boxing it would cost every accepted request too.
+    #[allow(clippy::result_large_err)]
     pub fn submit_many(
         &self,
         requests: impl IntoIterator<Item = Request>,
@@ -881,14 +939,19 @@ impl Server {
         // must not stall workers and submitters for its whole duration,
         // and one calling back into this server (queue_depth, submit, …)
         // must not self-deadlock on the non-reentrant sched mutex.
-        let requests: Vec<Request> = requests.into_iter().collect();
+        // Admission verification also happens out here, for the same
+        // reason: verifying a cold digest must not stall the scheduler.
+        let requests: Vec<Result<Request, Rejected>> = requests
+            .into_iter()
+            .map(|request| self.shared.admit(request))
+            .collect();
         let mut out = Vec::with_capacity(requests.len());
         let mut accepted = 0u64;
         let mut bounced = 0u64;
         {
             let mut sched = self.shared.sched.lock();
             for request in requests {
-                match self.try_enqueue(&mut sched, request, now) {
+                match request.and_then(|r| self.try_enqueue(&mut sched, r, now)) {
                     Ok(slot) => {
                         accepted += 1;
                         out.push(Ok(Ticket { slot }));

@@ -471,20 +471,22 @@ fn default_deadline_applies_when_requests_carry_none() {
 }
 
 #[test]
-fn invalid_programs_fail_every_batched_request() {
-    // Reads a never-written register: rejected at plan validation. O0
-    // keeps the bad read (O2's dead-code elimination would delete it).
+fn invalid_programs_never_reach_a_batch() {
+    // Reads a never-written register. Before the admission verifier this
+    // was enqueued and failed every request of its batch at plan build;
+    // now it bounces at submit time and never occupies queue space.
     let rt = Runtime::builder()
         .opt_level(bh_opt::OptLevel::O0)
         .build_shared();
     let server = Server::builder(rt).workers(0).build();
     let bad = ProgramHandle::new(parse_program("BH_ADD a [0:4:1] a [0:4:1] 1\n").unwrap());
-    let t1 = server.submit(Request::with_handle("t", &bad)).unwrap();
-    let t2 = server.submit(Request::with_handle("t", &bad)).unwrap();
-    server.service_once();
-    assert!(matches!(t1.wait(), Err(ServeError::Eval(_))));
-    assert!(matches!(t2.wait(), Err(ServeError::Eval(_))));
-    assert_eq!(server.stats().failed, 2);
+    for _ in 0..2 {
+        let rejected = server.submit(Request::with_handle("t", &bad)).unwrap_err();
+        assert!(matches!(rejected.reason, ServeError::Malformed(_)));
+    }
+    assert!(!server.service_once());
+    assert_eq!(server.stats().rejected, 2);
+    assert_eq!(server.stats().failed, 0);
 }
 
 #[test]
@@ -655,4 +657,64 @@ fn concurrent_stress_every_request_resolves_exactly_once() {
     assert!(report.runtime.cache_misses <= 6, "{}", report.runtime);
     assert_eq!(report.serve.queue_depth, 0);
     assert!(report.serve.latency.count() >= 1);
+}
+
+#[test]
+fn malformed_programs_bounce_at_admission_with_their_verify_code() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .build();
+    // Reads `a0` before anything writes it: verifier code V200.
+    let bad = ProgramHandle::new(parse_program("BH_ADD a0 [0:4:1] a0 [0:4:1] 1\n").unwrap());
+
+    let rejected = server.submit(Request::with_handle("t", &bad)).unwrap_err();
+    match &rejected.reason {
+        ServeError::Malformed(errors) => {
+            assert!(!errors.is_empty());
+            assert_eq!(errors[0].code, bh_ir::VerifyCode::ReadBeforeWrite);
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    // The request comes back intact, nothing was enqueued, and the
+    // bounce is counted like any other rejection.
+    assert_eq!(rejected.request.tenant(), "t");
+    assert_eq!(server.queue_depth(), 0);
+    assert!(!server.service_once());
+    assert_eq!(server.stats().rejected, 1);
+
+    // submit_wait surfaces the same structured error.
+    match server.submit_wait(Request::with_handle("t", &bad)) {
+        Err(ServeError::Malformed(_)) => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn submit_many_bounces_only_the_malformed_requests() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .build();
+    let good = chain(8, 1);
+    let bad = ProgramHandle::new(parse_program("BH_ADD a0 [0:4:1] a0 [0:4:1] 1\n").unwrap());
+
+    let outcomes = server.submit_many(vec![
+        Request::with_handle("t", &good),
+        Request::with_handle("t", &bad),
+        Request::with_handle("t", &good),
+    ]);
+    assert!(outcomes[0].is_ok());
+    assert!(matches!(
+        outcomes[1].as_ref().unwrap_err().reason,
+        ServeError::Malformed(_)
+    ));
+    assert!(outcomes[2].is_ok());
+    assert_eq!(server.queue_depth(), 2);
+
+    // The two admitted requests (same digest, verified once) still run.
+    while server.service_once() {}
+    for outcome in outcomes.into_iter().flatten() {
+        outcome.wait().unwrap();
+    }
+    assert_eq!(server.stats().rejected, 1);
+    assert_eq!(server.stats().completed, 2);
 }

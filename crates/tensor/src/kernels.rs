@@ -88,7 +88,11 @@ pub fn shard_ranges(n: usize, shards: usize, grain: usize) -> Vec<(usize, usize)
 /// Raw pointer that may cross threads. Safety rests on the caller handing
 /// each thread a disjoint element range (the [`RangeExecutor`] contract).
 struct SyncPtr<T>(*mut T);
+// SAFETY: every user hands each thread a disjoint element range (the
+// [`RangeExecutor`] contract documented above), so moving the pointer to
+// another thread cannot create an aliased write.
 unsafe impl<T> Send for SyncPtr<T> {}
+// SAFETY: as above — concurrent shards never touch the same element.
 unsafe impl<T> Sync for SyncPtr<T> {}
 
 impl<T> SyncPtr<T> {

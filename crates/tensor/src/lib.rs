@@ -31,6 +31,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_debug_implementations)]
 
 mod buffer;

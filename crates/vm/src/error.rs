@@ -1,6 +1,6 @@
 //! VM error type.
 
-use bh_ir::ValidationError;
+use bh_ir::VerifyError;
 use bh_linalg::LinalgError;
 use bh_tensor::TensorError;
 use std::fmt;
@@ -8,8 +8,11 @@ use std::fmt;
 /// Errors surfaced while executing a byte-code program.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VmError {
-    /// The program failed static validation before execution.
-    Invalid(Vec<ValidationError>),
+    /// The program failed the static verifier before execution. Each
+    /// finding carries a stable [`bh_ir::VerifyCode`] so callers (and
+    /// serving layers) can reject untrusted byte-code with a
+    /// machine-readable reason.
+    Invalid(Vec<VerifyError>),
     /// A view or shape operation failed at run time.
     Tensor(TensorError),
     /// A linear-algebra extension op-code failed.
@@ -27,7 +30,7 @@ impl fmt::Display for VmError {
             VmError::Invalid(errors) => {
                 write!(
                     f,
-                    "program failed validation with {} error(s): ",
+                    "program failed verification with {} error(s): ",
                     errors.len()
                 )?;
                 if let Some(first) = errors.first() {
@@ -76,5 +79,17 @@ mod tests {
         assert!(e.to_string().contains("r0 unbound"));
         let e: VmError = TensorError::OutOfBounds { offset: 1, len: 0 }.into();
         assert!(e.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn invalid_display_surfaces_the_first_code() {
+        let e = VmError::Invalid(vec![VerifyError {
+            code: bh_ir::VerifyCode::ReadBeforeWrite,
+            instr: 3,
+            detail: "register `a` read before any write".into(),
+        }]);
+        let s = e.to_string();
+        assert!(s.contains("V200"), "{s}");
+        assert!(s.contains("1 error(s)"), "{s}");
     }
 }

@@ -254,15 +254,36 @@ impl Vm {
         self.read(program, reg)
     }
 
-    /// Validate and execute a program.
+    /// Verify and execute a program.
     ///
     /// # Errors
     ///
-    /// [`VmError::Invalid`] if validation fails, otherwise any runtime
+    /// [`VmError::Invalid`] if verification fails, otherwise any runtime
     /// failure.
     pub fn run(&mut self, program: &Program) -> Result<(), VmError> {
-        bh_ir::validate(program).map_err(VmError::Invalid)?;
-        self.run_unchecked(program)
+        let witness = bh_ir::verify(program).map_err(VmError::Invalid)?;
+        self.run_verified(witness)
+    }
+
+    /// Execute a program that already carries a verification witness.
+    ///
+    /// This is the checked-once, trusted-forever hot path: the witness
+    /// proves `bh_ir::verify` accepted the program, so no per-eval
+    /// verification happens here. Debug builds re-verify behind a
+    /// `debug_assert!` to catch witness misuse early; release builds
+    /// trust the proof.
+    ///
+    /// # Errors
+    ///
+    /// Runtime failures only (unbound registers, allocation failures);
+    /// never [`VmError::Invalid`].
+    pub fn run_verified(&mut self, program: bh_ir::VerifiedProgram<'_>) -> Result<(), VmError> {
+        debug_assert!(
+            bh_ir::verify(program.program()).is_ok(),
+            "VerifiedProgram witness no longer verifies — the program was \
+             mutated after verification"
+        );
+        self.run_unchecked(program.program())
     }
 
     /// Execute without re-validating (hot path for benchmarks).
@@ -419,7 +440,7 @@ impl Vm {
         block: usize,
     ) -> Result<(), VmError> {
         let rinstr = &program.instrs()[reduce];
-        let in_ref = rinstr.operands[1].as_view().expect("validated: view input");
+        let in_ref = trusted(rinstr.operands[1].as_view(), "reduce input is a view");
         let out_ref = rinstr.out_view().expect("reductions have outputs");
         let out_geom = program.resolve_view(out_ref)?;
         let dtype = program.base(in_ref.reg).dtype;
@@ -748,11 +769,11 @@ impl Vm {
 
     fn exec_reduce_scan(&mut self, program: &Program, instr: &Instruction) -> Result<(), VmError> {
         let out_ref = instr.out_view().expect("reductions have outputs");
-        let in_ref = instr.operands[1].as_view().expect("validated: view input");
-        let axis = instr.operands[2]
-            .as_const()
-            .and_then(Scalar::as_integral)
-            .expect("validated: integral axis") as usize;
+        let in_ref = trusted(instr.operands[1].as_view(), "reduce input is a view");
+        let axis = trusted(
+            instr.operands[2].as_const().and_then(Scalar::as_integral),
+            "reduce axis is an integral constant",
+        ) as usize;
         let out_reg = out_ref.reg;
         let out_geom = program.resolve_view(out_ref)?;
         let in_geom = program.resolve_view(in_ref)?;
@@ -790,10 +811,10 @@ impl Vm {
         let shards = with_dtype!(work_dtype, T, {
             let in_slice: &[T] = match &owned {
                 Some(t) => t.as_slice::<T>().expect("cast to work dtype"),
-                None => self
-                    .borrow_buffer(in_ref.reg)?
-                    .as_slice::<T>()
-                    .expect("validated dtype"),
+                None => trusted(
+                    self.borrow_buffer(in_ref.reg)?.as_slice::<T>(),
+                    "buffer dtype matches decl",
+                ),
             };
             let out_slice = out_buf.as_mut_slice::<T>().expect("dtype matches decl");
             let f = exec::binary_fn::<T>(fold);
@@ -1129,7 +1150,7 @@ impl Vm {
                         }
                         ClassIn::Other(reg, g) => {
                             let buf = self.borrow_buffer(reg)?;
-                            let s = buf.as_slice::<T>().expect("validated dtype");
+                            let s = trusted(buf.as_slice::<T>(), "buffer dtype matches decl");
                             exec::exec_unary(out_slice, &out_geom, BinIn::Slice(s, g), f, par)
                         }
                     }
@@ -1182,7 +1203,7 @@ impl Vm {
             ClassIn::Aliased(g) => BinIn::Aliased(g.clone()),
             ClassIn::Other(reg, g) => {
                 let buf = self.borrow_buffer(*reg)?;
-                let s = buf.as_slice::<T>().expect("validated dtype");
+                let s = trusted(buf.as_slice::<T>(), "buffer dtype matches decl");
                 BinIn::Slice(s, g.clone())
             }
         })
@@ -1197,7 +1218,7 @@ impl Vm {
             BinInOwned::Owned(v, g) => (SliceOr::Data(v.as_slice()), g.clone()),
             BinInOwned::Borrowed(reg, g) => {
                 let buf = self.borrow_buffer(*reg)?;
-                let s = buf.as_slice::<T>().expect("validated dtype");
+                let s = trusted(buf.as_slice::<T>(), "buffer dtype matches decl");
                 (SliceOr::Data(s), g.clone())
             }
         })
@@ -1264,7 +1285,12 @@ type FusedStep = Box<dyn Fn(usize, usize) + Send + Sync>;
 /// argued at [`Vm::compile_fused_step`].
 #[derive(Clone, Copy)]
 struct RawMut<T>(*mut T);
+// SAFETY: the wrapped pointer targets a base buffer that outlives the
+// fused run, and shards write disjoint `[lo, hi)` element ranges (see
+// `Vm::compile_fused_step`), so sending/sharing the pointer across the
+// pool threads cannot race.
 unsafe impl<T: Send> Send for RawMut<T> {}
+// SAFETY: as above — concurrent access is read-or-disjoint-write only.
 unsafe impl<T: Sync> Sync for RawMut<T> {}
 
 impl<T> RawMut<T> {
@@ -1277,7 +1303,11 @@ impl<T> RawMut<T> {
 /// Raw const base pointer that may cross shard threads.
 #[derive(Clone, Copy)]
 struct RawConst<T>(*const T);
+// SAFETY: the pointer targets a base buffer that outlives the fused run
+// and is only ever read through this wrapper; shared reads across the
+// pool threads are race-free (see `Vm::compile_fused_step`).
 unsafe impl<T: Send> Send for RawConst<T> {}
+// SAFETY: as above — read-only access for the duration of the run.
 unsafe impl<T: Sync> Sync for RawConst<T> {}
 
 impl<T> RawConst<T> {
@@ -1470,12 +1500,36 @@ enum SliceOr<'a, T> {
 }
 
 fn vm_read_view<T: Element>(buf: &Buffer, g: &ViewGeom) -> Vec<T> {
-    let s = buf.as_slice::<T>().expect("validated dtype");
+    let s = trusted(buf.as_slice::<T>(), "buffer dtype matches decl");
     bh_tensor::kernels::materialize(s, g)
 }
 
+/// Unwrap an `Option` the verifier proved is `Some`.
+///
+/// Programs only reach the execution hot path through a
+/// [`bh_ir::VerifiedProgram`] witness (or after `Vm::run`'s own verify
+/// call), so these invariants hold by construction. Debug builds assert
+/// them loudly to catch verifier gaps; release builds fall through to a
+/// cold panic naming the broken invariant — never undefined behaviour.
+#[inline(always)]
+#[track_caller]
+fn trusted<T>(value: Option<T>, invariant: &'static str) -> T {
+    debug_assert!(value.is_some(), "verifier invariant violated: {invariant}");
+    match value {
+        Some(v) => v,
+        None => invariant_broken(invariant),
+    }
+}
+
+#[cold]
+#[inline(never)]
+#[track_caller]
+fn invariant_broken(invariant: &'static str) -> ! {
+    panic!("verifier invariant violated: {invariant}")
+}
+
 fn view_of(o: &Operand) -> &ViewRef {
-    o.as_view().expect("validated: operand is a view")
+    trusted(o.as_view(), "operand is a view")
 }
 
 fn mat_dims(s: &Shape) -> (usize, usize) {

@@ -172,9 +172,10 @@ impl RangeExecutor for WorkerPool {
             return 1;
         }
         let shards = ranges.len();
-        // Erase the borrow lifetime: the pointer is only dereferenced by
-        // workers between job publication and job retirement, and this
-        // call does not return until retirement.
+        // SAFETY: the transmute only erases the borrow lifetime. Workers
+        // dereference the pointer exclusively between job publication and
+        // job retirement, and this call does not return until retirement,
+        // so the borrow outlives every dereference.
         let task_ptr: TaskPtr =
             unsafe { std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), TaskPtr>(task) };
         let my_epoch;
