@@ -258,9 +258,12 @@ fn main() {
         out,
         ",\n  \"note\": \"best of {RUNS} runs per point after warm-up; speedups are \
          wall-clock vs the 1-thread run of the same engine. Scaling is only \
-         observable when the host grants multiple CPUs (see host.cpus). The \
-         committed file should be refreshed from the CI perf-gate artifact \
-         (4-core runner), not a 1-vCPU build container.\"\n}}\n"
+         observable when the host grants multiple CPUs (see host.cpus). \
+         Refresh procedure: run `cargo run --release -p bh-bench --bin \
+         parallel_scaling` and commit the rewritten file; prefer the CI \
+         perf-gate artifact (4-core runner, where the >= 2.5x/2x gates \
+         actually fire) over a 1-vCPU build container, and never hand-edit \
+         the numbers.\"\n}}\n"
     );
     std::fs::write("BENCH_parallel.json", &out).expect("write BENCH_parallel.json");
     eprintln!("wrote BENCH_parallel.json");

@@ -1,0 +1,311 @@
+//! Fixed-footprint log₂ latency histogram.
+//!
+//! Lifted out of `bh-serve` so every layer of the stack (scheduler
+//! turnaround, per-digest stage latencies, bench harnesses) shares one
+//! histogram type with one set of percentile semantics. `bh_serve`
+//! re-exports it, so existing callers are unaffected.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Number of log₂ latency buckets; bucket `i` spans `[2^i, 2^{i+1})`
+/// nanoseconds, so the histogram covers up to ~18 minutes.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Fixed-footprint log-scale latency histogram with percentile
+/// estimation (bucket upper bounds, so estimates are conservative).
+///
+/// # Percentile semantics
+///
+/// [`LatencyHistogram::percentile`] uses the nearest-rank method on the
+/// bucketed counts and reports the containing bucket's *upper* bound,
+/// clamped to the exact maximum sample, so:
+///
+/// * an empty histogram reports [`Duration::ZERO`] for every quantile,
+/// * `q = 0.0` (clamped rank 1) reports the lowest occupied bucket,
+/// * `q = 1.0` reports the exact maximum sample,
+/// * a single-sample histogram reports that sample's bucket (clamped to
+///   the sample itself — i.e. exactly) for every quantile, and
+/// * merging histograms then taking a percentile equals recording all
+///   samples into one histogram first ([`LatencyHistogram::merge`]
+///   is exact on counts; only `max` can tighten the clamp).
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    total_nanos: u128,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            total_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.record_nanos(u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record one sample given directly in nanoseconds (the hot-path
+    /// variant: no `Duration` round trip).
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.buckets[Self::bucket_index(nanos)] += 1;
+        self.count += 1;
+        self.total_nanos += u128::from(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// The bucket a `nanos`-long sample lands in: `floor(log₂ nanos)`,
+    /// clamped into range (0 behaves as 1; the last bucket absorbs
+    /// everything ≥ 2³⁹ ns).
+    fn bucket_index(nanos: u64) -> usize {
+        (63 - nanos.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Fold another histogram into this one. Bucket counts, totals and
+    /// maxima combine exactly (saturating, never wrapping), so
+    /// merge-then-percentile agrees with record-everything-then-percentile.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples in nanoseconds (exact, not bucketed).
+    pub fn total_nanos(&self) -> u128 {
+        self.total_nanos
+    }
+
+    /// Arithmetic mean of all samples (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.total_nanos / u128::from(self.count)) as u64)
+    }
+
+    /// Largest sample seen (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// The raw per-bucket counts (bucket `i` spans `[2^i, 2^{i+1})` ns),
+    /// for exporters that render the histogram itself.
+    pub fn bucket_counts(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound of bucket `i` in nanoseconds (`2^{i+1}`, saturating).
+    pub fn bucket_upper_nanos(i: usize) -> u64 {
+        1u64 << (i + 1).min(63)
+    }
+
+    /// Estimated `q`-quantile, reported as the containing bucket's upper
+    /// bound clamped to the exact maximum sample; zero when empty (see
+    /// the type docs for the full edge-case contract).
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if i == LATENCY_BUCKETS - 1 {
+                    // The last bucket is open-ended (absorbs everything
+                    // ≥ 2³⁹ ns): its only honest upper bound is the max.
+                    return self.max();
+                }
+                let upper = Self::bucket_upper_nanos(i);
+                return Duration::from_nanos(upper.min(self.max_nanos.max(1)));
+            }
+        }
+        self.max()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Duration {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Duration {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Duration {
+        self.percentile(0.99)
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_ordered() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            for _ in 0..20 {
+                h.record(Duration::from_micros(us));
+            }
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+        assert!(h.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.percentile(0.0), Duration::ZERO);
+        assert_eq!(h.percentile(1.0), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_reported_exactly_at_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(777));
+        for q in [0.0, 0.01, 0.5, 0.95, 1.0] {
+            // The bucket upper bound (1024) is clamped to the exact max.
+            assert_eq!(h.percentile(q), Duration::from_nanos(777), "q={q}");
+        }
+        assert_eq!(h.mean(), Duration::from_nanos(777));
+    }
+
+    #[test]
+    fn extreme_quantiles_pick_lowest_and_highest_samples() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100)); // bucket [64, 128)
+        h.record(Duration::from_nanos(100_000)); // bucket [65536, 131072)
+                                                 // q=0.0 clamps to rank 1: the lowest occupied bucket's upper bound.
+        assert_eq!(h.percentile(0.0), Duration::from_nanos(128));
+        // Out-of-range q clamps rather than panicking or indexing wild.
+        assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+        // q=1.0 is the exact maximum, not its bucket's upper bound.
+        assert_eq!(h.percentile(1.0), Duration::from_nanos(100_000));
+        assert_eq!(h.percentile(7.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn samples_on_exact_bucket_boundaries_stay_in_their_bucket() {
+        // 2^k is the *inclusive lower* bound of bucket k: the estimate for
+        // a boundary sample must come from bucket k (upper bound 2^{k+1}),
+        // clamped to the exact sample.
+        for k in [4u32, 10, 20, 30] {
+            let exact = 1u64 << k;
+            let mut h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(exact));
+            assert_eq!(h.percentile(0.5), Duration::from_nanos(exact), "2^{k}");
+            // One below the boundary lands one bucket down.
+            let mut low = LatencyHistogram::new();
+            low.record(Duration::from_nanos(exact - 1));
+            assert_eq!(low.percentile(0.5), Duration::from_nanos(exact - 1));
+            // With a later larger sample the boundary bucket's upper bound
+            // is reported unclamped.
+            h.record(Duration::from_nanos(u64::from(k) << 40));
+            assert_eq!(h.percentile(0.25), Duration::from_nanos(exact * 2));
+        }
+    }
+
+    #[test]
+    fn zero_and_huge_samples_clamp_into_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO); // treated as 1 ns: bucket 0
+        h.record(Duration::from_secs(40_000)); // beyond the last bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.bucket_counts()[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(h.max(), Duration::from_secs(40_000));
+        assert_eq!(h.percentile(1.0), Duration::from_secs(40_000));
+    }
+
+    #[test]
+    fn merge_then_percentile_matches_recording_into_one() {
+        let samples_a = [3u64, 900, 17_000, 1 << 20, 5];
+        let samples_b = [250u64, 250, 1 << 30, 64, 8_191, 8_192];
+        let mut merged_into = LatencyHistogram::new();
+        let mut part_b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for &n in &samples_a {
+            merged_into.record_nanos(n);
+            all.record_nanos(n);
+        }
+        for &n in &samples_b {
+            part_b.record_nanos(n);
+            all.record_nanos(n);
+        }
+        merged_into.merge(&part_b);
+        assert_eq!(merged_into, all, "merge must be exact on all state");
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged_into.percentile(q), all.percentile(q), "q={q}");
+        }
+        assert_eq!(merged_into.mean(), all.mean());
+        assert_eq!(merged_into.max(), all.max());
+    }
+
+    #[test]
+    fn merge_into_empty_copies_and_from_empty_is_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(5));
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&h);
+        assert_eq!(empty, h);
+        let before = h.clone();
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    fn percentile_brackets_the_true_value() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100)); // 100_000 ns
+        }
+        // The estimate lands in the sample's own bucket: within 2× above.
+        let p = h.p50().as_nanos() as u64;
+        assert!((100_000..=200_000).contains(&p), "{p}");
+    }
+}

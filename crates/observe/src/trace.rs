@@ -1,0 +1,252 @@
+//! Request-lifecycle tracing: a zero-dependency flight recorder.
+//!
+//! A [`TraceSink`] receives span-style [`TraceEvent`]s (begin/end pairs
+//! tagged with stage, digest fingerprint and optionally tenant) from the
+//! runtime and serving layers. Tracing is **off by default**: when no
+//! sink is installed, emitting an event costs exactly one branch on an
+//! `Option` — no allocation, no clock read, no atomic (DESIGN.md §13).
+//!
+//! The bundled [`RingTraceSink`] keeps the last `capacity` events in a
+//! fixed ring, overwriting the oldest when full — a flight recorder: the
+//! moment a batch gets stuck, [`RingTraceSink::dump`] prints the recent
+//! history that led up to it. Events carry a monotonic sequence number
+//! assigned at record time, so overwritten gaps are visible in the dump
+//! (`seq` jumps) rather than silently smoothed over.
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which side of a span an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// The stage began.
+    Begin,
+    /// The stage finished.
+    End,
+}
+
+impl TracePhase {
+    /// `"B"` / `"E"`, the conventional compact phase tags.
+    pub const fn tag(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+        }
+    }
+}
+
+/// One flight-recorder record. `Copy`-cheap apart from the optional
+/// tenant tag, which is a shared `Arc<str>` so cloning never allocates.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Monotonic sequence number assigned by the sink at record time;
+    /// gaps in a dump mean the ring overwrote intervening events.
+    pub seq: u64,
+    /// Nanoseconds since the sink was created.
+    pub at_nanos: u64,
+    /// Begin or end of the stage.
+    pub phase: TracePhase,
+    /// Stage label (a [`crate::Stage`] name or a layer-specific tag such
+    /// as `"batch"`).
+    pub stage: &'static str,
+    /// Digest fingerprint of the program involved (0 when not tied to a
+    /// specific program).
+    pub fingerprint: u64,
+    /// Submitting tenant, when the emitting layer knows it.
+    pub tenant: Option<Arc<str>>,
+}
+
+/// Receiver for trace events. Implementations must be cheap and
+/// non-blocking: the runtime emits events from its hot path while
+/// holding no locks, but a slow sink still stalls evaluation.
+pub trait TraceSink: Send + Sync {
+    /// Record one event. `seq` and `at_nanos` are left to the sink so a
+    /// disabled/noop sink pays nothing for them.
+    fn record(
+        &self,
+        phase: TracePhase,
+        stage: &'static str,
+        fingerprint: u64,
+        tenant: Option<Arc<str>>,
+    );
+}
+
+struct Ring {
+    events: Vec<TraceEvent>,
+    /// Index the next event lands on once the ring is full.
+    head: usize,
+    next_seq: u64,
+}
+
+/// A bounded in-memory [`TraceSink`]: keeps the most recent `capacity`
+/// events, overwriting the oldest (flight-recorder semantics).
+pub struct RingTraceSink {
+    ring: Mutex<Ring>,
+    capacity: usize,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for RingTraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingTraceSink")
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl RingTraceSink {
+    /// A ring holding the most recent `capacity` events (clamped to ≥1).
+    pub fn new(capacity: usize) -> RingTraceSink {
+        RingTraceSink {
+            ring: Mutex::new(Ring {
+                events: Vec::new(),
+                head: 0,
+                next_seq: 0,
+            }),
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Convenience: a new ring behind the `Arc<dyn TraceSink>` the
+    /// builders accept.
+    pub fn shared(capacity: usize) -> Arc<RingTraceSink> {
+        Arc::new(RingTraceSink::new(capacity))
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.ring.lock().next_seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock();
+        let mut out = Vec::with_capacity(ring.events.len());
+        if ring.events.len() == self.capacity {
+            out.extend_from_slice(&ring.events[ring.head..]);
+            out.extend_from_slice(&ring.events[..ring.head]);
+        } else {
+            out.extend_from_slice(&ring.events);
+        }
+        out
+    }
+
+    /// Human-readable flight-recorder dump, oldest first: one line per
+    /// event (`seq`, time since the sink's epoch, `B`/`E`, stage, digest
+    /// fingerprint, tenant). A `…` line marks where the ring overwrote
+    /// history.
+    pub fn dump(&self) -> String {
+        let events = self.events();
+        let mut out = String::new();
+        let overwritten = self.recorded().saturating_sub(events.len() as u64);
+        if overwritten > 0 {
+            let _ = writeln!(out, "… {overwritten} earlier event(s) overwritten");
+        }
+        for e in &events {
+            let _ = write!(
+                out,
+                "#{seq:<6} {ms:>10.3}ms {tag} {stage:<12} digest={fp:016x}",
+                seq = e.seq,
+                ms = e.at_nanos as f64 / 1e6,
+                tag = e.phase.tag(),
+                stage = e.stage,
+                fp = e.fingerprint,
+            );
+            if let Some(tenant) = &e.tenant {
+                let _ = write!(out, " tenant={tenant}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for RingTraceSink {
+    fn record(
+        &self,
+        phase: TracePhase,
+        stage: &'static str,
+        fingerprint: u64,
+        tenant: Option<Arc<str>>,
+    ) {
+        let at_nanos = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut ring = self.ring.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let event = TraceEvent {
+            seq,
+            at_nanos,
+            phase,
+            stage,
+            fingerprint,
+            tenant,
+        };
+        if ring.events.len() < self.capacity {
+            ring.events.push(event);
+        } else {
+            let head = ring.head;
+            ring.events[head] = event;
+            ring.head = (head + 1) % self.capacity;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sequenced_and_ordered() {
+        let sink = RingTraceSink::new(8);
+        sink.record(TracePhase::Begin, "execute", 0xabc, None);
+        sink.record(TracePhase::End, "execute", 0xabc, Some(Arc::from("acme")));
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[0].phase, TracePhase::Begin);
+        assert_eq!(events[1].tenant.as_deref(), Some("acme"));
+        assert!(events[0].at_nanos <= events[1].at_nanos);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_keeps_sequence() {
+        let sink = RingTraceSink::new(3);
+        for i in 0..7u64 {
+            sink.record(TracePhase::Begin, "verify", i, None);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 5, 6], "oldest-first, most recent retained");
+        assert_eq!(sink.recorded(), 7);
+    }
+
+    #[test]
+    fn dump_is_readable_and_marks_overwrites() {
+        let sink = RingTraceSink::new(2);
+        for i in 0..4u64 {
+            sink.record(TracePhase::Begin, "bind", 0x10 + i, Some(Arc::from("t0")));
+        }
+        let dump = sink.dump();
+        assert!(dump.starts_with("… 2 earlier event(s) overwritten"));
+        assert!(dump.contains("B bind"));
+        assert!(dump.contains("digest=0000000000000013"));
+        assert!(dump.contains("tenant=t0"));
+        assert_eq!(dump.lines().count(), 3);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let sink = RingTraceSink::new(0);
+        sink.record(TracePhase::Begin, "a", 1, None);
+        sink.record(TracePhase::Begin, "b", 2, None);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].stage, "b");
+    }
+}

@@ -10,9 +10,9 @@
 //! sequence optimised under different levels/knobs occupies distinct
 //! entries. Eviction is least-recently-used.
 
-use bh_ir::{ProgramDigest, Verified};
+use bh_ir::{Opcode, Program, ProgramDigest, Verified};
 use bh_opt::{OptOptions, OptReport};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// An optimised, verified, ready-to-execute program plus the report of
@@ -31,6 +31,24 @@ pub struct EvalPlan {
     pub report: OptReport,
     /// Fingerprint of the source program's structural digest, for logs.
     pub source_fingerprint: u64,
+    /// Instructions the optimised plan executes per evaluation, counted
+    /// by op-code (sorted, `BH_NONE` excluded). Captured once at plan
+    /// build so per-digest opcode accounting costs the profiler nothing
+    /// on the eval path: totals are `census × hits`.
+    pub opcode_census: Vec<(Opcode, u64)>,
+}
+
+/// Count a program's instructions by op-code (sorted by op-code,
+/// `BH_NONE` excluded — matching what [`bh_vm::ExecStats`] calls an
+/// instruction).
+pub(crate) fn opcode_census(program: &Program) -> Vec<(Opcode, u64)> {
+    let mut counts: BTreeMap<Opcode, u64> = BTreeMap::new();
+    for instr in program.instrs() {
+        if instr.op != Opcode::NoOp {
+            *counts.entry(instr.op).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -132,9 +150,10 @@ mod tests {
                 options: OptOptions::default(),
             },
             Arc::new(EvalPlan {
-                program: bh_ir::verify_owned(program).expect("test program verifies"),
+                program: bh_ir::verify_owned(program.clone()).expect("test program verifies"),
                 report,
                 source_fingerprint: fp,
+                opcode_census: opcode_census(&program),
             }),
         )
     }

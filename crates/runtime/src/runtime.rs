@@ -1,8 +1,9 @@
 //! The unified runtime: optimise → plan → execute behind one handle.
 
-use crate::cache::{CacheKey, EvalPlan, TransformCache};
+use crate::cache::{opcode_census, CacheKey, EvalPlan, TransformCache};
 use crate::stats::RuntimeStats;
 use bh_ir::Program;
+use bh_observe::{DigestProfile, EvalSample, ProfileTable, TracePhase, TraceSink};
 use bh_opt::{OptLevel, OptOptions, Optimizer, RewriteCtx};
 use bh_tensor::Tensor;
 use bh_vm::{Engine, PooledVm, Vm, VmError, VmPool};
@@ -81,6 +82,8 @@ pub struct Runtime {
     stats: Mutex<RuntimeStats>,
     vm_pool: VmPool,
     sink: Option<StatsSink>,
+    profile: Option<Arc<ProfileTable>>,
+    tracer: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for Runtime {
@@ -137,6 +140,67 @@ impl Runtime {
     /// rebuilt runtime keep reporting to the same sink).
     pub fn stats_sink(&self) -> Option<StatsSink> {
         self.sink.clone()
+    }
+
+    /// The per-digest profile table, when profiling is enabled (the
+    /// default). Serving layers use this to record queue-wait per digest
+    /// and exporters render it via its `bh_observe::Collect` impl.
+    pub fn profile_table(&self) -> Option<&Arc<ProfileTable>> {
+        self.profile.as_ref()
+    }
+
+    /// The `k` hottest digests with their accumulated profiles — hit
+    /// count, per-stage mean latencies, per-opcode execution totals.
+    /// Empty when profiling was disabled at build time. This is the
+    /// hotness signal a tiered, profile-guided optimisation policy
+    /// consumes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bh_ir::parse_program;
+    /// use bh_observe::Stage;
+    /// use bh_runtime::Runtime;
+    ///
+    /// let rt = Runtime::new();
+    /// let program = parse_program(
+    ///     "BH_IDENTITY a0 [0:10:1] 0\n\
+    ///      BH_ADD a0 a0 1\nBH_ADD a0 a0 1\nBH_ADD a0 a0 1\n\
+    ///      BH_SYNC a0\n")?;
+    /// let reg = program.reg_by_name("a0").unwrap();
+    /// for _ in 0..3 {
+    ///     rt.eval(&program, &[], reg)?;
+    /// }
+    ///
+    /// let top = rt.profile(10);
+    /// assert_eq!(top.len(), 1);
+    /// let hottest = &top[0];
+    /// assert_eq!(hottest.hits, 3);
+    /// assert_eq!(hottest.plan_builds, 1); // optimised + verified once
+    /// assert!(hottest.mean_stage(Stage::Execute) > std::time::Duration::ZERO);
+    /// // Per-opcode accounting: the optimised plan's census × hits.
+    /// assert!(!hottest.opcode_totals().is_empty());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn profile(&self, k: usize) -> Vec<DigestProfile> {
+        self.profile
+            .as_ref()
+            .map(|t| t.top_k(k))
+            .unwrap_or_default()
+    }
+
+    /// The configured trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.tracer.as_ref()
+    }
+
+    /// Emit a span event to the trace sink: one branch when tracing is
+    /// disabled.
+    #[inline]
+    fn trace(&self, phase: TracePhase, stage: &'static str, fingerprint: u64) {
+        if let Some(t) = &self.tracer {
+            t.record(phase, stage, fingerprint, None);
+        }
     }
 
     /// Snapshot of the aggregated counters.
@@ -199,8 +263,13 @@ impl Runtime {
         }
         // Optimise outside the cache lock: a concurrent miss on the same
         // key duplicates work once, but never blocks other keys.
+        let fingerprint = key.digest.fingerprint();
         let mut optimised = program.clone();
+        self.trace(TracePhase::Begin, "optimise", fingerprint);
+        let opt_begun = Instant::now();
         let report = Optimizer::new(options.clone()).run(&mut optimised);
+        let opt_elapsed = opt_begun.elapsed();
+        self.trace(TracePhase::End, "optimise", fingerprint);
         {
             // Record the miss before verification can bail: the optimiser
             // *did* run, and an invalid program re-fed forever should show
@@ -214,11 +283,20 @@ impl Runtime {
             stats.rules_fired += report.total_applications() as u64;
             stats.opt_iterations += report.iterations as u64;
         }
+        let census = opcode_census(&optimised);
+        self.trace(TracePhase::Begin, "verify", fingerprint);
+        let verify_begun = Instant::now();
         let verified = bh_ir::verify_owned(optimised).map_err(|(_, e)| VmError::Invalid(e))?;
+        let verify_elapsed = verify_begun.elapsed();
+        self.trace(TracePhase::End, "verify", fingerprint);
+        if let Some(table) = &self.profile {
+            table.record_plan_build(fingerprint, opt_elapsed, verify_elapsed, &census);
+        }
         let plan = Arc::new(EvalPlan {
             program: verified,
             report,
-            source_fingerprint: key.digest.fingerprint(),
+            source_fingerprint: fingerprint,
+            opcode_census: census,
         });
         let plan = self.cache.lock().insert(key, plan);
         Ok((plan, false))
@@ -324,25 +402,67 @@ impl Runtime {
         result: Option<bh_ir::Reg>,
         cache_hit: bool,
     ) -> Result<(Option<Tensor>, EvalOutcome), VmError> {
+        let fingerprint = plan.source_fingerprint;
+        // Stage splits cost two extra clock reads per eval and only when
+        // profiling is on; the disabled path is the seed's, unchanged.
+        let profiling = self.profile.is_some();
         let before = *vm.stats();
+        self.trace(TracePhase::Begin, "bind", fingerprint);
         let begun = Instant::now();
         for (reg, tensor) in bindings {
             vm.bind(&plan.program, *reg, tensor)?;
         }
+        let bound_at = if profiling {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        self.trace(TracePhase::End, "bind", fingerprint);
+        self.trace(TracePhase::Begin, "execute", fingerprint);
         // The plan carries its verification witness from build time, so
         // this is the trusted path: zero verify/validate calls per eval.
         vm.run_verified(plan.program.as_verified())?;
+        let ran_at = if profiling {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        self.trace(TracePhase::End, "execute", fingerprint);
+        self.trace(TracePhase::Begin, "read_back", fingerprint);
         let value = match result {
             Some(reg) => Some(vm.read(&plan.program, reg)?),
             None => None,
         };
         let elapsed = begun.elapsed();
+        self.trace(TracePhase::End, "read_back", fingerprint);
         let exec = vm.stats().since(&before);
         {
             let mut stats = self.stats.lock();
             stats.evals += 1;
             stats.exec += exec;
             stats.eval_nanos += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        }
+        if let Some(table) = &self.profile {
+            let total = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            let bind = bound_at
+                .map(|t| t.duration_since(begun))
+                .unwrap_or_default();
+            let execute = match (bound_at, ran_at) {
+                (Some(b), Some(r)) => r.duration_since(b),
+                _ => Duration::ZERO,
+            };
+            let bind_nanos = u64::try_from(bind.as_nanos()).unwrap_or(u64::MAX);
+            let execute_nanos = u64::try_from(execute.as_nanos()).unwrap_or(u64::MAX);
+            table.record_eval(
+                fingerprint,
+                &EvalSample {
+                    bind_nanos,
+                    execute_nanos,
+                    read_back_nanos: total.saturating_sub(bind_nanos.saturating_add(execute_nanos)),
+                    exec,
+                },
+                &plan.opcode_census,
+            );
         }
         let outcome = EvalOutcome {
             plan: Arc::clone(plan),
@@ -380,6 +500,9 @@ pub struct RuntimeBuilder {
     threads: usize,
     cache_capacity: usize,
     sink: Option<StatsSink>,
+    profiling: bool,
+    profile_capacity: usize,
+    tracer: Option<Arc<dyn TraceSink>>,
 }
 
 impl Default for RuntimeBuilder {
@@ -390,6 +513,9 @@ impl Default for RuntimeBuilder {
             threads: default_threads(),
             cache_capacity: 256,
             sink: None,
+            profiling: true,
+            profile_capacity: 1024,
+            tracer: None,
         }
     }
 }
@@ -410,6 +536,9 @@ impl fmt::Debug for RuntimeBuilder {
             .field("threads", &self.threads)
             .field("cache_capacity", &self.cache_capacity)
             .field("has_sink", &self.sink.is_some())
+            .field("profiling", &self.profiling)
+            .field("profile_capacity", &self.profile_capacity)
+            .field("has_tracer", &self.tracer.is_some())
             .finish()
     }
 }
@@ -479,6 +608,29 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enable or disable the per-digest profile table (enabled by
+    /// default). Disabling removes even the profiler's two extra clock
+    /// reads from the eval path.
+    pub fn profiling(mut self, enabled: bool) -> RuntimeBuilder {
+        self.profiling = enabled;
+        self
+    }
+
+    /// Digests the profile table retains before evicting the coldest
+    /// (default 1024; clamped to at least one per lock stripe).
+    pub fn profile_capacity(mut self, capacity: usize) -> RuntimeBuilder {
+        self.profile_capacity = capacity;
+        self
+    }
+
+    /// Install a request-lifecycle trace sink (e.g.
+    /// [`bh_observe::RingTraceSink::shared`]). Tracing is off by default
+    /// and costs one branch per span point when disabled.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> RuntimeBuilder {
+        self.tracer = Some(sink);
+        self
+    }
+
     /// Build the runtime.
     pub fn build(self) -> Runtime {
         Runtime {
@@ -488,6 +640,10 @@ impl RuntimeBuilder {
             stats: Mutex::new(RuntimeStats::new()),
             vm_pool: VmPool::new(self.engine, self.threads, VM_POOL_LIMIT),
             sink: self.sink,
+            profile: self
+                .profiling
+                .then(|| Arc::new(ProfileTable::new(self.profile_capacity))),
+            tracer: self.tracer,
         }
     }
 
@@ -774,6 +930,82 @@ mod tests {
         // Bind and read-back are O(1) Arc bumps: the result still shares
         // the caller's allocation.
         assert!(v.unwrap().shares_storage_with(&input));
+    }
+
+    #[test]
+    fn profiling_records_stage_latencies_and_opcode_totals() {
+        use bh_observe::Stage;
+        let rt = Runtime::new();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        for _ in 0..4 {
+            rt.eval(&p, &[], reg).unwrap();
+        }
+        let top = rt.profile(8);
+        assert_eq!(top.len(), 1);
+        let prof = &top[0];
+        assert_eq!(prof.hits, 4);
+        assert_eq!(prof.plan_builds, 1);
+        // Optimise/verify sampled once (the miss); eval stages 4 times.
+        assert_eq!(prof.stages.get(Stage::Optimise).count(), 1);
+        assert_eq!(prof.stages.get(Stage::Verify).count(), 1);
+        assert_eq!(prof.stages.get(Stage::Execute).count(), 4);
+        assert_eq!(prof.stages.get(Stage::ReadBack).count(), 4);
+        // Queue wait is the serving layer's to record, not the runtime's.
+        assert_eq!(prof.stages.get(Stage::QueueWait).count(), 0);
+        // The census matches the optimised plan, and totals scale by hits.
+        let per_eval: u64 = prof.opcodes_per_eval.iter().map(|&(_, n)| n).sum();
+        let (plan, _) = rt.prepare(&p).unwrap();
+        assert_eq!(per_eval as usize, plan.program.instrs().len());
+        assert_eq!(
+            prof.opcode_totals().iter().map(|&(_, n)| n).sum::<u64>(),
+            per_eval * 4
+        );
+        // Analytic exec counters aggregate exactly: 4 identical evals.
+        assert_eq!(prof.exec.instructions % 4, 0);
+    }
+
+    #[test]
+    fn disabling_profiling_empties_the_signal() {
+        let rt = Runtime::builder().profiling(false).build();
+        let p = listing2();
+        rt.eval(&p, &[], p.reg_by_name("a0").unwrap()).unwrap();
+        assert!(rt.profile_table().is_none());
+        assert!(rt.profile(8).is_empty());
+    }
+
+    #[test]
+    fn trace_sink_sees_span_pairs_for_every_stage() {
+        use bh_observe::{RingTraceSink, TracePhase};
+        let sink = RingTraceSink::shared(64);
+        let rt = Runtime::builder()
+            .trace_sink(sink.clone() as Arc<dyn bh_observe::TraceSink>)
+            .build();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        rt.eval(&p, &[], reg).unwrap(); // miss: optimise + verify + eval
+        rt.eval(&p, &[], reg).unwrap(); // hit: eval stages only
+        let events = sink.events();
+        let count = |stage: &str, phase: TracePhase| {
+            events
+                .iter()
+                .filter(|e| e.stage == stage && e.phase == phase)
+                .count()
+        };
+        for stage in ["optimise", "verify"] {
+            assert_eq!(count(stage, TracePhase::Begin), 1, "{stage}");
+            assert_eq!(count(stage, TracePhase::End), 1, "{stage}");
+        }
+        for stage in ["bind", "execute", "read_back"] {
+            assert_eq!(count(stage, TracePhase::Begin), 2, "{stage}");
+            assert_eq!(count(stage, TracePhase::End), 2, "{stage}");
+        }
+        // Every event carries the plan's fingerprint.
+        let (plan, _) = rt.prepare(&p).unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.fingerprint == plan.source_fingerprint));
+        assert!(!sink.dump().is_empty());
     }
 
     #[test]

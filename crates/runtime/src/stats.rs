@@ -62,27 +62,38 @@ impl RuntimeStats {
         Duration::from_nanos(self.eval_nanos)
     }
 
-    /// Mean service time per evaluation (zero when none yet).
+    /// Mean service time per evaluation, rounded to the nearest
+    /// nanosecond (zero when none yet). Truncating here used to bias a
+    /// latency-SLO control loop low by up to 1 ns per read — harmless at
+    /// millisecond scale but wrong for the sub-microsecond cached path.
     pub fn mean_eval_time(&self) -> Duration {
         if self.evals == 0 {
             return Duration::ZERO;
         }
-        Duration::from_nanos(self.eval_nanos / self.evals)
+        let half = self.evals / 2;
+        Duration::from_nanos(
+            self.eval_nanos
+                .saturating_add(half)
+                .checked_div(self.evals)
+                .unwrap_or(0),
+        )
     }
 }
 
 impl Add for RuntimeStats {
     type Output = RuntimeStats;
 
+    // Saturating: merging snapshots from a long-running server must
+    // never overflow-panic in debug builds.
     fn add(self, rhs: RuntimeStats) -> RuntimeStats {
         RuntimeStats {
-            evals: self.evals + rhs.evals,
-            cache_hits: self.cache_hits + rhs.cache_hits,
-            cache_misses: self.cache_misses + rhs.cache_misses,
-            verifications: self.verifications + rhs.verifications,
-            rules_fired: self.rules_fired + rhs.rules_fired,
-            opt_iterations: self.opt_iterations + rhs.opt_iterations,
-            eval_nanos: self.eval_nanos + rhs.eval_nanos,
+            evals: self.evals.saturating_add(rhs.evals),
+            cache_hits: self.cache_hits.saturating_add(rhs.cache_hits),
+            cache_misses: self.cache_misses.saturating_add(rhs.cache_misses),
+            verifications: self.verifications.saturating_add(rhs.verifications),
+            rules_fired: self.rules_fired.saturating_add(rhs.rules_fired),
+            opt_iterations: self.opt_iterations.saturating_add(rhs.opt_iterations),
+            eval_nanos: self.eval_nanos.saturating_add(rhs.eval_nanos),
             exec: self.exec + rhs.exec,
         }
     }
@@ -91,6 +102,58 @@ impl Add for RuntimeStats {
 impl AddAssign for RuntimeStats {
     fn add_assign(&mut self, rhs: RuntimeStats) {
         *self = *self + rhs;
+    }
+}
+
+impl bh_observe::Collect for RuntimeStats {
+    /// Exports the runtime counter families (`bh_runtime_*`) and the
+    /// aggregated VM counters (`bh_vm_*`, via [`ExecStats`]'s own
+    /// `Collect`). Metric names are part of the golden-tested exporter
+    /// contract.
+    fn collect_into(&self, set: &mut bh_observe::MetricSet) {
+        set.counter("bh_runtime_evals_total", "Evaluations served.")
+            .value(self.evals);
+        set.counter(
+            "bh_runtime_cache_hits_total",
+            "Evaluations whose plan came from the transformation cache.",
+        )
+        .value(self.cache_hits);
+        set.counter(
+            "bh_runtime_cache_misses_total",
+            "Plan lookups that had to run the optimiser.",
+        )
+        .value(self.cache_misses);
+        set.gauge(
+            "bh_runtime_cache_hit_rate",
+            "Fraction of plan lookups served from the cache.",
+        )
+        .value(self.hit_rate());
+        set.counter(
+            "bh_runtime_verifications_total",
+            "Byte-code verification passes (once per cache miss).",
+        )
+        .value(self.verifications);
+        set.counter(
+            "bh_runtime_rules_fired_total",
+            "Rewrite-rule applications across all cache misses.",
+        )
+        .value(self.rules_fired);
+        set.counter(
+            "bh_runtime_opt_iterations_total",
+            "Fixpoint sweeps across all cache misses.",
+        )
+        .value(self.opt_iterations);
+        set.counter(
+            "bh_runtime_eval_nanos_total",
+            "Wall-clock nanoseconds inside evaluations (bind to read-back).",
+        )
+        .value(self.eval_nanos);
+        set.gauge(
+            "bh_runtime_mean_eval_nanos",
+            "Mean service time per evaluation in nanoseconds.",
+        )
+        .value(u64::try_from(self.mean_eval_time().as_nanos()).unwrap_or(u64::MAX));
+        self.exec.collect_into(set);
     }
 }
 

@@ -20,6 +20,7 @@ use crate::error::ServeError;
 use crate::request::{Request, Response, Slot, Ticket};
 use crate::stats::{BatchLimitEvent, ServeReport, ServeStats, TenantQuotas};
 use bh_ir::{Program, ProgramDigest, Reg};
+use bh_observe::{Collect, MetricSet, TracePhase, TraceSink};
 use bh_runtime::Runtime;
 use bh_tensor::Tensor;
 use parking_lot::Mutex;
@@ -230,6 +231,9 @@ struct Queued {
     deadline: Option<Instant>,
     submitted: Instant,
     slot: Arc<Slot>,
+    /// Tenant tag for trace events. Populated only when a trace sink is
+    /// installed, so the untraced path never allocates for it.
+    tenant: Option<Arc<str>>,
 }
 
 /// One backlogged tenant: its FIFO plus its smooth weighted round-robin
@@ -368,6 +372,10 @@ struct Shared {
     /// Bounded (see [`ADMITTED_DIGEST_LIMIT`]); eviction merely costs a
     /// re-verify, never admits anything unverified.
     admitted: Mutex<HashSet<ProgramDigest>>,
+    /// Optional request-lifecycle trace sink (`"queue"` and `"batch"`
+    /// span events). `None` — the default — keeps the serving path free
+    /// of tracing cost beyond one branch per would-be event.
+    tracer: Option<Arc<dyn TraceSink>>,
 }
 
 /// Known-good digests remembered at admission before the set is reset.
@@ -377,6 +385,28 @@ struct Shared {
 const ADMITTED_DIGEST_LIMIT: usize = 4096;
 
 impl Shared {
+    /// Emit one trace event when a sink is installed. Callers that would
+    /// pay to build the arguments (fingerprint hash, tenant clone) guard
+    /// on [`Shared::tracing`] first.
+    #[inline]
+    fn trace(
+        &self,
+        phase: TracePhase,
+        stage: &'static str,
+        fingerprint: u64,
+        tenant: Option<Arc<str>>,
+    ) {
+        if let Some(tracer) = &self.tracer {
+            tracer.record(phase, stage, fingerprint, tenant);
+        }
+    }
+
+    /// Whether a trace sink is installed (one branch).
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
     /// Admission gate: verify the submitted byte-code before it can be
     /// enqueued, so malformed programs are bounced at the front door with
     /// a structured [`ServeError::Malformed`] instead of occupying queue
@@ -414,6 +444,17 @@ impl Shared {
         let mut expired = 0u64;
         let mut live = Vec::with_capacity(batch.len());
         for r in batch {
+            // Every dequeued request ends its queue span here — expired
+            // ones too: they did wait, and a flight recorder that hides
+            // that would point debugging away from the queue.
+            if self.tracing() {
+                self.trace(
+                    TracePhase::End,
+                    "queue",
+                    r.digest.fingerprint(),
+                    r.tenant.clone(),
+                );
+            }
             match r.deadline {
                 Some(d) if d < started => {
                     expired += 1;
@@ -435,6 +476,13 @@ impl Shared {
         let mut completed = 0u64;
         let mut failed = 0u64;
         let mut samples: Vec<LatencySample> = Vec::with_capacity(batch_size);
+        let traced = self.tracing();
+        let leader_fp = if traced {
+            live[0].digest.fingerprint()
+        } else {
+            0
+        };
+        self.trace(TracePhase::Begin, "batch", leader_fp, None);
 
         // One plan lookup (or one optimiser run) for the whole batch …
         match self.runtime.prepare(&live[0].program) {
@@ -445,6 +493,18 @@ impl Shared {
                 }
             }
             Ok((plan, first_hit)) => {
+                // Queue wait is a profiled stage like any other: charge
+                // each request's wait to its digest. Recorded after
+                // `prepare` so the profile entry exists even for the
+                // first-ever batch of a digest ([`bh_observe::
+                // ProfileTable::record_queue_wait`] drops samples for
+                // digests it has never seen planned).
+                if let Some(table) = self.runtime.profile_table() {
+                    let fp = plan.source_fingerprint;
+                    for r in &live {
+                        table.record_queue_wait(fp, started.saturating_duration_since(r.submitted));
+                    }
+                }
                 // … and one pinned VM. Same-plan runs back-to-back reuse
                 // its base buffers only when that is provably invisible:
                 // the plan must never read residue (`rerun_safe`, see
@@ -519,6 +579,7 @@ impl Shared {
                 }
             }
         }
+        self.trace(TracePhase::End, "batch", leader_fp, None);
 
         let mut stats = self.stats.lock();
         stats.batches += 1;
@@ -598,7 +659,6 @@ impl Shared {
 ///     .build();
 /// # drop(server);
 /// ```
-#[derive(Debug)]
 pub struct ServerBuilder {
     runtime: Arc<Runtime>,
     workers: usize,
@@ -609,6 +669,23 @@ pub struct ServerBuilder {
     default_deadline: Option<Duration>,
     default_tenant_weight: u64,
     tenant_weights: HashMap<String, u64>,
+    tracer: Option<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for ServerBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerBuilder")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("min_batch", &self.min_batch)
+            .field("max_batch", &self.max_batch)
+            .field("batch_slo", &self.batch_slo)
+            .field("default_deadline", &self.default_deadline)
+            .field("default_tenant_weight", &self.default_tenant_weight)
+            .field("tenant_weights", &self.tenant_weights)
+            .field("has_tracer", &self.tracer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServerBuilder {
@@ -694,6 +771,20 @@ impl ServerBuilder {
         self
     }
 
+    /// Install a request-lifecycle trace sink (e.g.
+    /// [`bh_observe::RingTraceSink::shared`]). The server emits
+    /// tenant-tagged `"queue"` spans (begin at enqueue, end when the
+    /// request is pulled into a batch) and `"batch"` spans around each
+    /// micro-batch's execution. Pass the *same* sink to
+    /// [`bh_runtime::RuntimeBuilder::trace_sink`] to interleave the
+    /// runtime's optimise/verify/bind/execute/read-back spans into one
+    /// timeline. Default: no sink — tracing costs one branch per
+    /// would-be event and nothing else.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> ServerBuilder {
+        self.tracer = Some(sink);
+        self
+    }
+
     /// Build the server and spawn its workers.
     pub fn build(self) -> Server {
         let policy = BatchPolicy {
@@ -718,6 +809,7 @@ impl ServerBuilder {
             shutdown: AtomicBool::new(false),
             external_ctl: Mutex::new(policy.controller()),
             admitted: Mutex::new(HashSet::new()),
+            tracer: self.tracer,
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -791,6 +883,7 @@ impl Server {
             default_deadline: None,
             default_tenant_weight: 1,
             tenant_weights: HashMap::new(),
+            tracer: None,
         }
     }
 
@@ -832,6 +925,20 @@ impl Server {
             .or(self.shared.default_deadline)
             .map(|d| now + d);
         let slot = Slot::new();
+        // Tenant tag + queue-span begin only when a sink is installed:
+        // the untraced path pays one branch, no allocation, no hash.
+        let tenant_tag: Option<Arc<str>> = if self.shared.tracing() {
+            let tag: Arc<str> = Arc::from(request.tenant.as_str());
+            self.shared.trace(
+                TracePhase::Begin,
+                "queue",
+                request.digest.fingerprint(),
+                Some(Arc::clone(&tag)),
+            );
+            Some(tag)
+        } else {
+            None
+        };
         sched.enqueue(
             &request.tenant,
             Queued {
@@ -842,6 +949,7 @@ impl Server {
                 deadline,
                 submitted: now,
                 slot: Arc::clone(&slot),
+                tenant: tenant_tag,
             },
         );
         Ok(slot)
@@ -1042,6 +1150,24 @@ impl Server {
             serve: self.stats(),
             runtime: self.shared.runtime.stats(),
         }
+    }
+
+    /// One machine-readable snapshot of everything this server observes:
+    /// the scheduler counters (`bh_serve_*`), the runtime and VM counters
+    /// (`bh_runtime_*`, `bh_vm_*`) and — when runtime profiling is on —
+    /// the per-digest profile families (`bh_profile_*`, hottest
+    /// [`bh_observe::EXPORT_TOP_K`] digests). Render the result with
+    /// [`MetricSet::to_prometheus`] for a scrape endpoint or
+    /// [`MetricSet::to_json`] for logs and dashboards; the family names
+    /// are a stable, golden-tested contract (DESIGN.md §13).
+    pub fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        self.stats().collect_into(&mut set);
+        self.shared.runtime.stats().collect_into(&mut set);
+        if let Some(table) = self.shared.runtime.profile_table() {
+            table.collect_into(&mut set);
+        }
+        set
     }
 
     /// Stop accepting submissions, drain every queued request, and join

@@ -11,9 +11,9 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::time::Duration;
 
-/// Number of log₂ latency buckets; bucket `i` spans `[2^i, 2^{i+1})`
-/// nanoseconds, so the histogram covers up to ~18 minutes.
-const LATENCY_BUCKETS: usize = 40;
+// Lifted into `bh-observe` so every layer shares one histogram type with
+// one set of percentile semantics; re-exported here for compatibility.
+pub use bh_observe::LatencyHistogram;
 
 /// Most recent adaptive batch-limit decisions kept in the timeline;
 /// older ones are dropped (and counted) so the snapshot has a fixed
@@ -28,108 +28,6 @@ const TENANT_METRICS_CAP: usize = 64;
 /// Largest batch size tracked exactly; bigger batches land in the last
 /// bucket.
 const BATCH_BUCKETS: usize = 64;
-
-/// Fixed-footprint log-scale latency histogram with percentile
-/// estimation (bucket upper bounds, so estimates are conservative).
-#[derive(Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; LATENCY_BUCKETS],
-    count: u64,
-    total_nanos: u128,
-    max_nanos: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: [0; LATENCY_BUCKETS],
-            count: 0,
-            total_nanos: 0,
-            max_nanos: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram::default()
-    }
-
-    /// Record one sample.
-    pub fn record(&mut self, sample: Duration) {
-        let nanos = u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX);
-        let idx = (63 - nanos.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.total_nanos += u128::from(nanos);
-        self.max_nanos = self.max_nanos.max(nanos);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Arithmetic mean of all samples (zero when empty).
-    pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos((self.total_nanos / u128::from(self.count)) as u64)
-    }
-
-    /// Largest sample seen (exact, not bucketed).
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos)
-    }
-
-    /// Estimated `q`-quantile (`0 < q <= 1`), reported as the containing
-    /// bucket's upper bound; zero when empty.
-    pub fn percentile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                let upper = 1u64 << (i + 1).min(63);
-                return Duration::from_nanos(upper.min(self.max_nanos.max(1)));
-            }
-        }
-        self.max()
-    }
-
-    /// Median estimate.
-    pub fn p50(&self) -> Duration {
-        self.percentile(0.50)
-    }
-
-    /// 95th-percentile estimate.
-    pub fn p95(&self) -> Duration {
-        self.percentile(0.95)
-    }
-
-    /// 99th-percentile estimate.
-    pub fn p99(&self) -> Duration {
-        self.percentile(0.99)
-    }
-}
-
-impl fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LatencyHistogram")
-            .field("count", &self.count)
-            .field("mean", &self.mean())
-            .field("p50", &self.p50())
-            .field("p95", &self.p95())
-            .field("p99", &self.p99())
-            .field("max", &self.max())
-            .finish()
-    }
-}
 
 /// How many batches executed at each size (sizes above
 /// [`BatchSizeDist::tracked`] share the overflow bucket).
@@ -387,6 +285,111 @@ impl ServeStats {
     }
 }
 
+impl bh_observe::Collect for ServeStats {
+    /// Exports the scheduler counter families (`bh_serve_*`): queue and
+    /// throughput counters, batch-size distribution summary, turnaround
+    /// latency quantiles, adaptive batch-limit decisions, and per-tenant
+    /// dequeue counts (tenant-labelled). Metric names are part of the
+    /// golden-tested exporter contract.
+    fn collect_into(&self, set: &mut bh_observe::MetricSet) {
+        set.counter(
+            "bh_serve_submitted_total",
+            "Requests accepted into the queue.",
+        )
+        .value(self.submitted);
+        set.counter(
+            "bh_serve_rejected_total",
+            "Requests rejected at submit time (backpressure or shutdown).",
+        )
+        .value(self.rejected);
+        set.counter(
+            "bh_serve_completed_total",
+            "Requests completed successfully.",
+        )
+        .value(self.completed);
+        set.counter(
+            "bh_serve_failed_total",
+            "Requests failed during preparation or execution.",
+        )
+        .value(self.failed);
+        set.counter(
+            "bh_serve_expired_total",
+            "Requests failed fast because their deadline passed while queued.",
+        )
+        .value(self.expired);
+        set.counter("bh_serve_batches_total", "Micro-batches executed.")
+            .value(self.batches);
+        set.gauge("bh_serve_queue_depth", "Requests queued right now.")
+            .value(self.queue_depth);
+        set.gauge(
+            "bh_serve_peak_queue_depth",
+            "Deepest the queue has ever been.",
+        )
+        .value(self.peak_queue_depth);
+        set.gauge("bh_serve_batch_size_mean", "Mean executed batch size.")
+            .value(self.mean_batch_size());
+        set.counter(
+            "bh_serve_batch_requests_total",
+            "Requests across all executed batches.",
+        )
+        .value(self.batch_sizes.requests());
+        set.counter(
+            "bh_serve_latency_samples_total",
+            "Completed requests with a recorded turnaround latency.",
+        )
+        .value(self.latency.count());
+        set.counter(
+            "bh_serve_latency_nanos_total",
+            "Summed submission-to-completion nanoseconds.",
+        )
+        .value(u64::try_from(self.latency.total_nanos()).unwrap_or(u64::MAX));
+        let quantiles = set.gauge(
+            "bh_serve_latency_quantile_nanos",
+            "Turnaround latency quantile estimates in nanoseconds.",
+        );
+        for (q, d) in [
+            ("0.5", self.latency.p50()),
+            ("0.95", self.latency.p95()),
+            ("0.99", self.latency.p99()),
+            ("1", self.latency.max()),
+        ] {
+            quantiles.labelled(
+                &[("quantile", q)],
+                u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+        set.counter(
+            "bh_serve_batch_limit_grows_total",
+            "Adaptive batch-limit grow decisions.",
+        )
+        .value(self.batch_limits.grows());
+        set.counter(
+            "bh_serve_batch_limit_shrinks_total",
+            "Adaptive batch-limit shrink decisions.",
+        )
+        .value(self.batch_limits.shrinks());
+        if let Some(limit) = self.batch_limits.last_limit() {
+            set.gauge(
+                "bh_serve_batch_limit",
+                "Most recently decided adaptive batch limit.",
+            )
+            .value(limit);
+        }
+        let tenants = set.counter(
+            "bh_serve_tenant_served_total",
+            "Requests dequeued per tenant (bounded tracking).",
+        );
+        for (tenant, n) in self.tenants.iter() {
+            tenants.labelled(&[("tenant", tenant)], n);
+        }
+        set.counter(
+            "bh_serve_tenant_untracked_total",
+            "Dequeues for tenants beyond the exact-tracking cap.",
+        )
+        .value(self.tenants.untracked());
+    }
+}
+
 impl fmt::Display for ServeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -441,38 +444,14 @@ impl fmt::Display for ServeReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn histogram_percentiles_are_ordered() {
-        let mut h = LatencyHistogram::new();
-        for us in [1u64, 10, 100, 1000, 10_000] {
-            for _ in 0..20 {
-                h.record(Duration::from_micros(us));
-            }
-        }
-        assert_eq!(h.count(), 100);
-        assert!(h.p50() <= h.p95());
-        assert!(h.p95() <= h.p99());
-        assert!(h.p99() <= h.max());
-        assert!(h.mean() > Duration::ZERO);
-    }
+    // LatencyHistogram's own tests (percentile edge cases, merge
+    // consistency) live with the type in `bh-observe`.
 
     #[test]
-    fn empty_histogram_is_all_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.p50(), Duration::ZERO);
-        assert_eq!(h.mean(), Duration::ZERO);
-        assert_eq!(h.max(), Duration::ZERO);
-    }
-
-    #[test]
-    fn percentile_brackets_the_true_value() {
-        let mut h = LatencyHistogram::new();
-        for _ in 0..100 {
-            h.record(Duration::from_micros(100)); // 100_000 ns
-        }
-        // The estimate lands in the sample's own bucket: within 2× above.
-        let p = h.p50().as_nanos() as u64;
-        assert!((100_000..=200_000).contains(&p), "{p}");
+    fn reexported_histogram_is_the_observe_type() {
+        let mut h: LatencyHistogram = bh_observe::LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

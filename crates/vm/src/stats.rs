@@ -96,19 +96,21 @@ impl ExecStats {
 impl Add for ExecStats {
     type Output = ExecStats;
 
+    // Saturating: these counters aggregate for the life of a server, and
+    // merging snapshots must never overflow-panic in debug builds.
     fn add(self, rhs: ExecStats) -> ExecStats {
         ExecStats {
-            instructions: self.instructions + rhs.instructions,
-            kernels: self.kernels + rhs.kernels,
-            fused_groups: self.fused_groups + rhs.fused_groups,
-            par_shards: self.par_shards + rhs.par_shards,
-            reduce_shards: self.reduce_shards + rhs.reduce_shards,
-            fused_reductions: self.fused_reductions + rhs.fused_reductions,
-            elements_written: self.elements_written + rhs.elements_written,
-            bytes_read: self.bytes_read + rhs.bytes_read,
-            bytes_written: self.bytes_written + rhs.bytes_written,
-            flops: self.flops + rhs.flops,
-            syncs: self.syncs + rhs.syncs,
+            instructions: self.instructions.saturating_add(rhs.instructions),
+            kernels: self.kernels.saturating_add(rhs.kernels),
+            fused_groups: self.fused_groups.saturating_add(rhs.fused_groups),
+            par_shards: self.par_shards.saturating_add(rhs.par_shards),
+            reduce_shards: self.reduce_shards.saturating_add(rhs.reduce_shards),
+            fused_reductions: self.fused_reductions.saturating_add(rhs.fused_reductions),
+            elements_written: self.elements_written.saturating_add(rhs.elements_written),
+            bytes_read: self.bytes_read.saturating_add(rhs.bytes_read),
+            bytes_written: self.bytes_written.saturating_add(rhs.bytes_written),
+            flops: self.flops.saturating_add(rhs.flops),
+            syncs: self.syncs.saturating_add(rhs.syncs),
         }
     }
 }

@@ -1,0 +1,96 @@
+//! Observability quickstart: profile, trace and export one serving run.
+//!
+//! A runtime (profiling is on by default) and a server share a single
+//! flight-recorder trace sink. After a burst of two-tenant traffic the
+//! example prints the three observability surfaces:
+//!
+//! 1. the per-digest profile — hottest programs with per-stage mean
+//!    latencies and per-op-code instruction totals,
+//! 2. the flight-recorder dump — the interleaved queue/batch spans from
+//!    the server and optimise/verify/bind/execute/read-back spans from
+//!    the runtime,
+//! 3. the exporter — the same counters rendered as Prometheus text
+//!    exposition (scrape-ready) and JSON.
+//!
+//! Run with: `cargo run --release --example observe_quickstart`
+
+use bohrium_repro::ir::parse_program;
+use bohrium_repro::observe::{RingTraceSink, Stage};
+use bohrium_repro::runtime::Runtime;
+use bohrium_repro::serve::{ProgramHandle, Request, Server};
+use bohrium_repro::tensor::Tensor;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One sink for both layers: runtime stage spans and server
+    // queue/batch spans interleave into a single timeline.
+    let sink = RingTraceSink::shared(256);
+    let runtime = Runtime::builder().trace_sink(sink.clone()).build_shared();
+    let server = Server::builder(Arc::clone(&runtime))
+        .workers(0) // driven by service_once below: deterministic output
+        .trace_sink(sink.clone())
+        .build();
+
+    // Two endpoints: a popular one both tenants hit, and a niche one.
+    let popular = ProgramHandle::new(parse_program(
+        ".base x f64[64] input\n.base y f64[64]\n\
+         BH_MULTIPLY y x x\nBH_ADD y y x\nBH_ADD y y 1\nBH_SYNC y\n",
+    )?);
+    let niche = ProgramHandle::new(parse_program(
+        "BH_IDENTITY a [0:64:1] 2\nBH_ADD a a 2\nBH_SYNC a\n",
+    )?);
+    let x = popular.program().reg_by_name("x").unwrap();
+    let y = popular.program().reg_by_name("y").unwrap();
+    let a = niche.program().reg_by_name("a").unwrap();
+
+    let tickets = server.submit_many((0..12).map(|i| {
+        if i % 3 < 2 {
+            Request::with_handle(format!("tenant-{}", i % 3), &popular)
+                .bind(x, Tensor::from_vec(vec![i as f64; 64]))
+                .read(y)
+        } else {
+            Request::with_handle("tenant-2", &niche).read(a)
+        }
+    }));
+    while server.service_once() {}
+    for t in tickets {
+        t.expect("queue sized for the burst").wait()?;
+    }
+
+    // 1. The per-digest profile: hottest programs first.
+    println!("== profile (hottest digests) ==");
+    for p in runtime.profile(4) {
+        println!(
+            "digest {:016x}: {} evals, {} plan build(s)",
+            p.fingerprint, p.hits, p.plan_builds
+        );
+        for stage in [Stage::QueueWait, Stage::Optimise, Stage::Execute] {
+            println!("  mean {:<10} {:?}", stage.name(), p.mean_stage(stage));
+        }
+        let opcodes = p
+            .opcode_totals()
+            .iter()
+            .map(|(op, n)| format!("{} x{n}", op.name()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("  instructions: {opcodes}");
+    }
+
+    // 2. The flight recorder: the recent span history, oldest first.
+    println!("\n== trace (last {} events) ==", sink.events().len());
+    print!("{}", sink.dump());
+
+    // 3. The exporter: Prometheus text exposition (and JSON, elided).
+    println!("== metrics (Prometheus exposition, excerpt) ==");
+    let text = server.metrics().to_prometheus();
+    for line in text.lines().filter(|l| {
+        l.starts_with("bh_serve_completed")
+            || l.starts_with("bh_runtime_evals")
+            || l.starts_with("bh_profile_digest_hits")
+    }) {
+        println!("{line}");
+    }
+    let json = server.metrics().to_json();
+    println!("(JSON rendering: {} bytes)", json.len());
+    Ok(())
+}

@@ -13,6 +13,8 @@
 //!   the transformation cache (`bh-runtime`)
 //! * [`serve`] — the multi-tenant batching scheduler for concurrent eval
 //!   traffic (`bh-serve`)
+//! * [`observe`] — per-digest profiling, request-lifecycle tracing and
+//!   the Prometheus/JSON metrics exporter (`bh-observe`)
 //! * [`frontend`] — the lazy NumPy-flavoured front-end (`bh-frontend`)
 //!
 //! plus [`testing`], the cross-crate semantic-equivalence harness used by
@@ -26,6 +28,7 @@
 pub use bh_frontend as frontend;
 pub use bh_ir as ir;
 pub use bh_linalg as linalg;
+pub use bh_observe as observe;
 pub use bh_opt as opt;
 pub use bh_runtime as runtime;
 pub use bh_serve as serve;
