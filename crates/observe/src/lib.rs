@@ -32,5 +32,5 @@ mod trace;
 
 pub use export::{Collect, MetricFamily, MetricKind, MetricSet, MetricValue, Sample, EXPORT_TOP_K};
 pub use hist::{LatencyHistogram, LATENCY_BUCKETS};
-pub use profile::{DigestProfile, EvalSample, ProfileTable, Stage, StageLatencies};
+pub use profile::{DigestProfile, EvalSample, ProfileTable, Stage, StageLatencies, Tier};
 pub use trace::{RingTraceSink, TraceEvent, TracePhase, TraceSink};

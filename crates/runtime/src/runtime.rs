@@ -3,12 +3,13 @@
 use crate::cache::{opcode_census, CacheKey, EvalPlan, TransformCache};
 use crate::stats::RuntimeStats;
 use bh_ir::Program;
-use bh_observe::{DigestProfile, EvalSample, ProfileTable, TracePhase, TraceSink};
+use bh_observe::{DigestProfile, EvalSample, ProfileTable, Tier, TracePhase, TraceSink};
 use bh_opt::{OptLevel, OptOptions, Optimizer, RewriteCtx};
 use bh_tensor::Tensor;
 use bh_vm::{Engine, PooledVm, Vm, VmError, VmPool};
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -78,12 +79,19 @@ impl EvalOutcome {
 pub struct Runtime {
     options: OptOptions,
     cache_capacity: usize,
-    cache: Mutex<TransformCache>,
-    stats: Mutex<RuntimeStats>,
+    // Cache and stats sit behind `Arc` so a background promotion job can
+    // outlive the borrow of `&self` that spawned it (the job holds its
+    // own handles; the runtime handle may even be dropped mid-flight).
+    cache: Arc<Mutex<TransformCache>>,
+    stats: Arc<Mutex<RuntimeStats>>,
     vm_pool: VmPool,
     sink: Option<StatsSink>,
     profile: Option<Arc<ProfileTable>>,
     tracer: Option<Arc<dyn TraceSink>>,
+    tiered: bool,
+    promote_after: u64,
+    background_promotion: bool,
+    pending_promotions: Arc<AtomicU64>,
 }
 
 impl Default for Runtime {
@@ -134,6 +142,26 @@ impl Runtime {
     /// Configured capacity of the transformation cache (0 = disabled).
     pub fn cache_capacity(&self) -> usize {
         self.cache_capacity
+    }
+
+    /// True when this runtime compiles cache misses through the cheap
+    /// tier-0 pipeline and promotes hot digests (see
+    /// [`RuntimeBuilder::tiered`]).
+    pub fn tiered(&self) -> bool {
+        self.tiered
+    }
+
+    /// Fresh per-entry hits after which a tier-0 plan is promoted
+    /// (meaningful only when [`Runtime::tiered`] is true).
+    pub fn promote_after(&self) -> u64 {
+        self.promote_after
+    }
+
+    /// Background promotions currently in flight (always 0 in synchronous
+    /// mode). Tests and graceful-shutdown paths can spin on this reaching
+    /// zero to quiesce the promotion thread(s).
+    pub fn pending_promotions(&self) -> u64 {
+        self.pending_promotions.load(Ordering::SeqCst)
     }
 
     /// The configured per-eval observer, if any (shareable; lets a
@@ -244,6 +272,12 @@ impl Runtime {
     /// [`Runtime::prepare`] under explicit options (cached separately per
     /// options value, so callers can mix levels on one runtime).
     ///
+    /// On a tiered runtime ([`RuntimeBuilder::tiered`]) a miss compiles
+    /// through the cheap tier-0 pipeline instead of `options` as given,
+    /// and a hit on a tier-0 plan consults the promotion policy — which
+    /// may re-optimise at full strength, re-verify, and swap the
+    /// stronger plan into the cache before returning it.
+    ///
     /// # Errors
     ///
     /// [`VmError::Invalid`] when the optimised program fails verification.
@@ -257,31 +291,59 @@ impl Runtime {
             digest,
             options: options.clone(),
         };
-        if let Some(plan) = self.cache.lock().get(&key) {
+        // Bind the lookup to a local so the cache guard drops *here*: the
+        // promotion path below re-locks the cache, and `if let` on the
+        // temporary would hold the guard across the whole body.
+        let cached = self.cache.lock().get(&key);
+        if let Some(plan) = cached {
             self.stats.lock().cache_hits += 1;
+            if self.tiered && plan.tier == Tier::Tier0 {
+                if let Some(promoted) = self.maybe_promote(&key, program) {
+                    return Ok((promoted, true));
+                }
+            }
             return Ok((plan, true));
         }
         // Optimise outside the cache lock: a concurrent miss on the same
         // key duplicates work once, but never blocks other keys.
         let fingerprint = key.digest.fingerprint();
+        let (build_options, tier) = if self.tiered {
+            (tier0_options(options), Tier::Tier0)
+        } else {
+            (options.clone(), Tier::Tier2)
+        };
         let mut optimised = program.clone();
         self.trace(TracePhase::Begin, "optimise", fingerprint);
         let opt_begun = Instant::now();
-        let report = Optimizer::new(options.clone()).run(&mut optimised);
+        let report = Optimizer::new(build_options).run(&mut optimised);
         let opt_elapsed = opt_begun.elapsed();
         self.trace(TracePhase::End, "optimise", fingerprint);
+        // The promotion baseline: hits the digest already has *before*
+        // this entry goes live. Non-zero means an earlier incarnation was
+        // evicted — its hotness must not count towards promoting this one.
+        let baseline_hits = if self.tiered {
+            self.profile.as_ref().map_or(0, |t| t.hits(fingerprint))
+        } else {
+            0
+        };
         {
             // Record the miss before verification can bail: the optimiser
             // *did* run, and an invalid program re-fed forever should show
             // up as misses on a dashboard, not as a free 100% hit rate.
             // `verifications` counts alongside — verification runs exactly
-            // once per miss and never on a hit, which is what the
+            // once per tier compile and never on a hit, which is what the
             // checked-once claim means operationally.
             let mut stats = self.stats.lock();
             stats.cache_misses += 1;
             stats.verifications += 1;
             stats.rules_fired += report.total_applications() as u64;
             stats.opt_iterations += report.iterations as u64;
+            if self.tiered {
+                stats.tiers.tier0_builds += 1;
+                if baseline_hits > 0 {
+                    stats.tiers.rebaselines += 1;
+                }
+            }
         }
         let census = opcode_census(&optimised);
         self.trace(TracePhase::Begin, "verify", fingerprint);
@@ -297,9 +359,61 @@ impl Runtime {
             report,
             source_fingerprint: fingerprint,
             opcode_census: census,
+            tier,
         });
-        let plan = self.cache.lock().insert(key, plan);
+        let plan = {
+            let mut cache = self.cache.lock();
+            let plan = cache.insert(key, plan, baseline_hits);
+            // The live-tier gauge is written under the cache lock, with
+            // the *surviving* plan's tier: a build that lost the insert
+            // race (or raced a completed promotion) reports the winner's
+            // tier, never its own stale one. Lock order is always
+            // cache → profile stripe; no path nests them the other way.
+            if let Some(table) = &self.profile {
+                table.set_tier(fingerprint, plan.tier);
+            }
+            plan
+        };
         Ok((plan, false))
+    }
+
+    /// The promotion policy, consulted on every cache hit of a tier-0
+    /// plan. Reads the digest's ProfileTable hotness and, when the entry
+    /// has earned [`Runtime::promote_after`] hits since its own insertion,
+    /// claims the (exactly-once) promotion and runs it — inline by
+    /// default, or on a detached thread when
+    /// [`RuntimeBuilder::background_promotion`] is on. Returns the
+    /// promoted plan when it went live synchronously.
+    fn maybe_promote(&self, key: &CacheKey, program: &Program) -> Option<Arc<EvalPlan>> {
+        let profile = self.profile.as_ref()?;
+        let hits = profile.hits(key.digest.fingerprint());
+        if !self
+            .cache
+            .lock()
+            .try_claim_promotion(key, hits, self.promote_after)
+        {
+            return None;
+        }
+        let job = PromotionJob {
+            cache: Arc::clone(&self.cache),
+            stats: Arc::clone(&self.stats),
+            profile: Some(Arc::clone(profile)),
+            tracer: self.tracer.clone(),
+            key: key.clone(),
+            program: program.clone(),
+            options: tier2_options(&key.options),
+        };
+        if self.background_promotion {
+            let pending = Arc::clone(&self.pending_promotions);
+            pending.fetch_add(1, Ordering::SeqCst);
+            std::thread::spawn(move || {
+                job.run();
+                pending.fetch_sub(1, Ordering::SeqCst);
+            });
+            None
+        } else {
+            job.run()
+        }
     }
 
     /// Optimise (or fetch) and execute `program`, binding `bindings`
@@ -477,6 +591,133 @@ impl Runtime {
     }
 }
 
+/// The cheap first-compile pipeline of a tiered runtime: optimisation
+/// level [`OptLevel::O0`] (empty rule schedule) and a single fixpoint
+/// sweep — the time between a cache miss and the first execution is
+/// essentially parse + verify.
+fn tier0_options(base: &OptOptions) -> OptOptions {
+    let mut options = base.clone();
+    options.level = OptLevel::O0;
+    options.max_iterations = 1;
+    options
+}
+
+/// Full-strength promotion options: the *requested* level and rewrite
+/// knobs (promotion must never change the semantics the caller chose,
+/// e.g. strict-math), with the fixpoint budget raised so the hot digest
+/// gets every rewrite the schedule can reach.
+fn tier2_options(base: &OptOptions) -> OptOptions {
+    let mut options = base.clone();
+    options.max_iterations = options
+        .max_iterations
+        .max(2 * OptOptions::default().max_iterations);
+    options
+}
+
+/// Emit a span event when tracing is configured (free-function twin of
+/// [`Runtime::trace`] for code that runs detached from `&Runtime`).
+#[inline]
+fn trace_to(
+    tracer: &Option<Arc<dyn TraceSink>>,
+    phase: TracePhase,
+    stage: &'static str,
+    fingerprint: u64,
+) {
+    if let Some(t) = tracer {
+        t.record(phase, stage, fingerprint, None);
+    }
+}
+
+/// One claimed promotion: re-optimise the source program at full
+/// strength, re-verify, and swap the result into the cache. Owns `Arc`
+/// handles to everything it touches so it can run inline *or* on a
+/// detached thread — even one that outlives the `Runtime` handle.
+struct PromotionJob {
+    cache: Arc<Mutex<TransformCache>>,
+    stats: Arc<Mutex<RuntimeStats>>,
+    profile: Option<Arc<ProfileTable>>,
+    tracer: Option<Arc<dyn TraceSink>>,
+    key: CacheKey,
+    program: Program,
+    /// Tier-2 build options (see [`tier2_options`]).
+    options: OptOptions,
+}
+
+impl PromotionJob {
+    /// Run the promotion to completion. Returns the promoted plan when it
+    /// was swapped live; `None` when re-verification failed (the tier-0
+    /// plan stays live and stays claimed — re-verifying the same
+    /// deterministic optimiser output would fail again, so the digest is
+    /// never retried) or when the entry was evicted before the swap
+    /// landed (the stale result is dropped; a re-inserted entry starts a
+    /// fresh lifecycle).
+    fn run(self) -> Option<Arc<EvalPlan>> {
+        let fingerprint = self.key.digest.fingerprint();
+        trace_to(&self.tracer, TracePhase::Begin, "promote", fingerprint);
+        let mut optimised = self.program;
+        trace_to(&self.tracer, TracePhase::Begin, "optimise", fingerprint);
+        let opt_begun = Instant::now();
+        let report = Optimizer::new(self.options).run(&mut optimised);
+        let opt_elapsed = opt_begun.elapsed();
+        trace_to(&self.tracer, TracePhase::End, "optimise", fingerprint);
+        {
+            let mut stats = self.stats.lock();
+            stats.verifications += 1;
+            stats.rules_fired += report.total_applications() as u64;
+            stats.opt_iterations += report.iterations as u64;
+        }
+        let census = opcode_census(&optimised);
+        trace_to(&self.tracer, TracePhase::Begin, "verify", fingerprint);
+        let verify_begun = Instant::now();
+        let verified = match bh_ir::verify_owned(optimised) {
+            Ok(v) => v,
+            Err(_) => {
+                // Soundness gate: a plan that fails re-verification never
+                // reaches the unchecked hot path. Keep serving tier-0.
+                trace_to(&self.tracer, TracePhase::End, "verify", fingerprint);
+                trace_to(&self.tracer, TracePhase::End, "promote", fingerprint);
+                self.stats.lock().tiers.failed_promotions += 1;
+                return None;
+            }
+        };
+        let verify_elapsed = verify_begun.elapsed();
+        trace_to(&self.tracer, TracePhase::End, "verify", fingerprint);
+        if let Some(table) = &self.profile {
+            table.record_plan_build(fingerprint, opt_elapsed, verify_elapsed, &census);
+        }
+        let plan = Arc::new(EvalPlan {
+            program: verified,
+            report,
+            source_fingerprint: fingerprint,
+            opcode_census: census,
+            tier: Tier::Tier2,
+        });
+        let installed = {
+            let mut cache = self.cache.lock();
+            let installed = cache.install_promoted(&self.key, Arc::clone(&plan));
+            // Report tier-2 live only if the swap actually landed, and
+            // under the cache lock so the gauge stays ordered with the
+            // transition (a dropped stale swap must not claim tier-2).
+            if installed {
+                if let Some(table) = &self.profile {
+                    table.set_tier(fingerprint, Tier::Tier2);
+                }
+            }
+            installed
+        };
+        {
+            let mut stats = self.stats.lock();
+            if installed {
+                stats.tiers.promotions += 1;
+            } else {
+                stats.tiers.failed_promotions += 1;
+            }
+        }
+        trace_to(&self.tracer, TracePhase::End, "promote", fingerprint);
+        installed.then_some(plan)
+    }
+}
+
 /// Configures and builds a [`Runtime`].
 ///
 /// # Examples
@@ -503,6 +744,9 @@ pub struct RuntimeBuilder {
     profiling: bool,
     profile_capacity: usize,
     tracer: Option<Arc<dyn TraceSink>>,
+    tiered: bool,
+    promote_after: u64,
+    background_promotion: bool,
 }
 
 impl Default for RuntimeBuilder {
@@ -516,9 +760,18 @@ impl Default for RuntimeBuilder {
             profiling: true,
             profile_capacity: 1024,
             tracer: None,
+            tiered: false,
+            promote_after: DEFAULT_PROMOTE_AFTER,
+            background_promotion: false,
         }
     }
 }
+
+/// Default promotion threshold: fresh per-entry hits before a tier-0
+/// plan is re-optimised at full strength. 32 keeps one-shot and churn
+/// digests on the cheap pipeline while a digest served every few seconds
+/// still promotes within its first minutes of life.
+pub const DEFAULT_PROMOTE_AFTER: u64 = 32;
 
 /// Default VM worker-thread count: every core the host grants us
 /// (`std::thread::available_parallelism`), so large element-wise
@@ -539,6 +792,9 @@ impl fmt::Debug for RuntimeBuilder {
             .field("profiling", &self.profiling)
             .field("profile_capacity", &self.profile_capacity)
             .field("has_tracer", &self.tracer.is_some())
+            .field("tiered", &self.tiered)
+            .field("promote_after", &self.promote_after)
+            .field("background_promotion", &self.background_promotion)
             .finish()
     }
 }
@@ -631,19 +887,60 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enable tiered, profile-guided optimisation (off by default).
+    ///
+    /// When on, cache misses compile through the cheap tier-0 pipeline
+    /// (`O0`, one sweep) for low first-eval latency; digests that earn
+    /// [`RuntimeBuilder::promote_after`] hits are re-optimised at full
+    /// strength, re-verified, and atomically swapped into the cache
+    /// (DESIGN.md §14). Implies profiling: the ProfileTable is the
+    /// hotness signal, so `tiered(true)` overrides `profiling(false)`.
+    pub fn tiered(mut self, enabled: bool) -> RuntimeBuilder {
+        self.tiered = enabled;
+        self
+    }
+
+    /// Fresh per-entry hits after which a tier-0 plan is promoted
+    /// (default [`DEFAULT_PROMOTE_AFTER`]; clamped to at least 1 — a
+    /// plan must prove *some* reuse before the fixpoint is worth paying).
+    /// Hits recorded before the entry was inserted — e.g. by an earlier
+    /// incarnation that the LRU evicted — never count.
+    pub fn promote_after(mut self, hits: u64) -> RuntimeBuilder {
+        self.promote_after = hits.max(1);
+        self
+    }
+
+    /// Run promotions on a detached background thread instead of inline
+    /// on the triggering `prepare` call (off by default). Inline
+    /// promotion hands the promoted plan straight to the caller that
+    /// crossed the threshold; background promotion keeps that caller on
+    /// the tier-0 plan and swaps the stronger plan in for *later* evals —
+    /// trading one eval of freshness for zero added latency on the
+    /// serving path. [`Runtime::pending_promotions`] exposes in-flight
+    /// jobs for quiescing.
+    pub fn background_promotion(mut self, enabled: bool) -> RuntimeBuilder {
+        self.background_promotion = enabled;
+        self
+    }
+
     /// Build the runtime.
     pub fn build(self) -> Runtime {
+        // Tiering consumes the ProfileTable's hotness signal, so a tiered
+        // runtime always profiles regardless of the `profiling` knob.
+        let profiling = self.profiling || self.tiered;
         Runtime {
             options: self.options,
             cache_capacity: self.cache_capacity,
-            cache: Mutex::new(TransformCache::new(self.cache_capacity)),
-            stats: Mutex::new(RuntimeStats::new()),
+            cache: Arc::new(Mutex::new(TransformCache::new(self.cache_capacity))),
+            stats: Arc::new(Mutex::new(RuntimeStats::new())),
             vm_pool: VmPool::new(self.engine, self.threads, VM_POOL_LIMIT),
             sink: self.sink,
-            profile: self
-                .profiling
-                .then(|| Arc::new(ProfileTable::new(self.profile_capacity))),
+            profile: profiling.then(|| Arc::new(ProfileTable::new(self.profile_capacity))),
             tracer: self.tracer,
+            tiered: self.tiered,
+            promote_after: self.promote_after,
+            background_promotion: self.background_promotion,
+            pending_promotions: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -798,6 +1095,110 @@ mod tests {
         let stats = rt.stats();
         assert_eq!(stats.verifications, 1);
         assert_eq!(stats.evals, 10);
+    }
+
+    #[test]
+    fn tiered_verification_is_once_per_tier_compile_never_per_eval() {
+        // The tiered world's version of the checked-once property:
+        // `verifications` moves exactly once per tier compile — the
+        // tier-0 build and the promotion — so ≤ 2 per digest, and never
+        // on the eval path however many evals run.
+        let rt = Runtime::builder().tiered(true).promote_after(2).build();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        let mut tiers = Vec::new();
+        for _ in 0..8 {
+            let (_, o) = rt.eval(&p, &[], reg).unwrap();
+            tiers.push(o.plan.tier);
+        }
+        let stats = rt.stats();
+        assert_eq!(
+            stats.verifications, 2,
+            "tier-0 build + promotion, nothing else: {stats}"
+        );
+        assert_eq!(stats.tiers.tier0_builds, 1);
+        assert_eq!(stats.tiers.promotions, 1);
+        assert_eq!(stats.tiers.failed_promotions, 0);
+        assert_eq!(stats.evals, 8);
+        // The lifecycle is monotone: tier0 evals, then tier2 forever.
+        assert_eq!(tiers[0], Tier::Tier0);
+        assert_eq!(*tiers.last().unwrap(), Tier::Tier2);
+        let flip = tiers.iter().position(|&t| t == Tier::Tier2).unwrap();
+        assert!(tiers[flip..].iter().all(|&t| t == Tier::Tier2));
+        // Hits 1 and 2 are recorded by evals 1–2; eval 3's prepare sees
+        // hits == promote_after and promotes synchronously.
+        assert_eq!(flip, 2);
+    }
+
+    #[test]
+    fn promoted_plan_computes_the_same_value_with_fewer_instructions() {
+        let rt = Runtime::builder().tiered(true).promote_after(1).build();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        let (v0, o0) = rt.eval(&p, &[], reg).unwrap();
+        assert_eq!(o0.plan.tier, Tier::Tier0);
+        let (v2, o2) = rt.eval(&p, &[], reg).unwrap();
+        assert_eq!(o2.plan.tier, Tier::Tier2);
+        assert_eq!(v0, v2);
+        // O2 merges the three adds that O0 left untouched.
+        assert!(o2.plan.program.instrs().len() < o0.plan.program.instrs().len());
+        // The swap is visible to plain cache hits too.
+        let (plan, hit) = rt.prepare(&p).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&plan, &o2.plan));
+    }
+
+    #[test]
+    fn tiered_runtime_forces_profiling_on() {
+        let rt = Runtime::builder().tiered(true).profiling(false).build();
+        assert!(
+            rt.profile_table().is_some(),
+            "tiering needs the hotness signal"
+        );
+        assert!(rt.tiered());
+        assert_eq!(
+            Runtime::builder().build().promote_after(),
+            DEFAULT_PROMOTE_AFTER
+        );
+    }
+
+    #[test]
+    fn untiered_runtime_never_tiers() {
+        let rt = Runtime::new();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        for _ in 0..100 {
+            let (_, o) = rt.eval(&p, &[], reg).unwrap();
+            assert_eq!(o.plan.tier, Tier::Tier2);
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.tiers, crate::TierDecisions::default());
+        assert_eq!(stats.verifications, 1);
+    }
+
+    #[test]
+    fn background_promotion_lands_between_evals() {
+        let rt = Runtime::builder()
+            .tiered(true)
+            .promote_after(1)
+            .background_promotion(true)
+            .build();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        let (v0, o0) = rt.eval(&p, &[], reg).unwrap();
+        assert_eq!(o0.plan.tier, Tier::Tier0);
+        // The second eval triggers the claim but must not block on the
+        // promotion; it may still run tier-0.
+        rt.eval(&p, &[], reg).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rt.pending_promotions() > 0 {
+            assert!(Instant::now() < deadline, "promotion never quiesced");
+            std::thread::yield_now();
+        }
+        let (v, o) = rt.eval(&p, &[], reg).unwrap();
+        assert_eq!(o.plan.tier, Tier::Tier2);
+        assert_eq!(v, v0);
+        assert_eq!(rt.stats().tiers.promotions, 1);
     }
 
     #[test]

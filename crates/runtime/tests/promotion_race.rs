@@ -1,0 +1,155 @@
+//! Promotion-race stress tests (DESIGN.md §14).
+//!
+//! Many threads hammer the *same* digest through a tiered runtime while
+//! the promotion swap lands. The properties under stress:
+//!
+//! * the promotion is claimed and installed **exactly once** — however
+//!   many threads cross the threshold simultaneously;
+//! * no eval ever observes a half-swapped plan — every result is either
+//!   the tier-0 or the tier-2 output, and they are equal by
+//!   construction, so every value checks out;
+//! * no stats are lost: evals, cache hits/misses and per-digest profile
+//!   hits all add up after the dust settles.
+
+use bh_ir::{parse_program, Program};
+use bh_observe::Tier;
+use bh_runtime::Runtime;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const THREADS: usize = 8;
+const EVALS_PER_THREAD: usize = 50;
+
+/// A 24-add chain: long enough that the tier-0 (O0) and tier-2 (O2)
+/// plans differ materially, with a trivially checkable result.
+fn workload() -> Program {
+    let mut text = String::from("BH_IDENTITY a0 [0:64:1] 0\n");
+    for _ in 0..24 {
+        text.push_str("BH_ADD a0 a0 1\n");
+    }
+    text.push_str("BH_SYNC a0\n");
+    parse_program(&text).unwrap()
+}
+
+/// Spin until every background promotion has retired (no-op in
+/// synchronous mode).
+fn quiesce(rt: &Runtime) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while rt.pending_promotions() > 0 {
+        assert!(Instant::now() < deadline, "promotion never quiesced");
+        std::thread::yield_now();
+    }
+}
+
+fn stress(rt: Arc<Runtime>) {
+    let program = workload();
+    let reg = program.reg_by_name("a0").unwrap();
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let rt = Arc::clone(&rt);
+            let program = program.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..EVALS_PER_THREAD {
+                    let (v, o) = rt.eval(&program, &[], reg).unwrap();
+                    // Whatever side of the swap this eval landed on, the
+                    // plan is whole: tier is a real tier and the value is
+                    // the chain's.
+                    assert!(matches!(o.plan.tier, Tier::Tier0 | Tier::Tier2));
+                    assert!(v.to_f64_vec().iter().all(|&x| x == 24.0));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    quiesce(&rt);
+
+    let total = (THREADS * EVALS_PER_THREAD) as u64;
+    let stats = rt.stats();
+    // Exactly once, no losses.
+    assert_eq!(stats.tiers.promotions, 1, "{stats}");
+    assert_eq!(stats.tiers.failed_promotions, 0, "{stats}");
+    assert_eq!(stats.evals, total, "{stats}");
+    assert_eq!(stats.cache_hits + stats.cache_misses, total, "{stats}");
+    // Racing first misses may duplicate the tier-0 build (each counts a
+    // miss and a verification); verification otherwise runs only for the
+    // single promotion — never on the eval path.
+    assert_eq!(stats.tiers.tier0_builds, stats.cache_misses);
+    assert_eq!(stats.verifications, stats.cache_misses + 1, "{stats}");
+    // The profile lost no hits either.
+    let profile = &rt.profile(1)[0];
+    assert_eq!(profile.hits, total);
+    assert_eq!(profile.tier, Tier::Tier2);
+    // And the surviving cached plan is the promoted one.
+    let (plan, hit) = rt.prepare(&workload()).unwrap();
+    assert!(hit);
+    assert_eq!(plan.tier, Tier::Tier2);
+}
+
+#[test]
+fn concurrent_evals_promote_exactly_once_in_background_mode() {
+    stress(
+        Runtime::builder()
+            .tiered(true)
+            .promote_after(8)
+            .background_promotion(true)
+            .threads(1)
+            .build_shared(),
+    );
+}
+
+#[test]
+fn concurrent_evals_promote_exactly_once_in_synchronous_mode() {
+    stress(
+        Runtime::builder()
+            .tiered(true)
+            .promote_after(8)
+            .threads(1)
+            .build_shared(),
+    );
+}
+
+/// Race the *claim* itself: park every thread right at the threshold,
+/// then release them into `prepare` simultaneously. Exactly one may win
+/// the claim and run the promotion; the rest must sail through on a
+/// whole plan (tier-0 until the swap, tier-2 after).
+#[test]
+fn simultaneous_prepares_claim_the_promotion_exactly_once() {
+    let rt = Runtime::builder()
+        .tiered(true)
+        .promote_after(1)
+        .threads(1)
+        .build_shared();
+    let program = workload();
+    let reg = program.reg_by_name("a0").unwrap();
+    // One eval earns the threshold hit while the plan is still tier-0.
+    let (_, o) = rt.eval(&program, &[], reg).unwrap();
+    assert_eq!(o.plan.tier, Tier::Tier0);
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let rt = Arc::clone(&rt);
+            let program = program.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (plan, hit) = rt.prepare(&program).unwrap();
+                assert!(hit);
+                assert!(matches!(plan.tier, Tier::Tier0 | Tier::Tier2));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    quiesce(&rt);
+    let stats = rt.stats();
+    assert_eq!(stats.tiers.promotions, 1, "{stats}");
+    assert_eq!(stats.tiers.failed_promotions, 0, "{stats}");
+    assert_eq!(stats.verifications, stats.cache_misses + 1, "{stats}");
+}

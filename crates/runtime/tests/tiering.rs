@@ -1,0 +1,157 @@
+//! Tiering policy integration tests (DESIGN.md §14).
+//!
+//! The headline regression here is the **eviction / profile interplay**:
+//! the ProfileTable outlives cache entries, so a digest whose promoted
+//! plan the LRU evicted still looks white-hot by raw hit count. A naive
+//! policy would promote the re-inserted tier-0 entry on its very first
+//! hit — paying the full fixpoint on what is, from the cache's point of
+//! view, a cold entry that has proven nothing yet. The fix baselines
+//! each entry's hotness at insert time; these tests pin that behaviour
+//! end-to-end through the public `Runtime` API.
+
+use bh_ir::{parse_program, Program};
+use bh_observe::Tier;
+use bh_runtime::{Runtime, DEFAULT_PROMOTE_AFTER};
+
+/// Distinct structural digests: an add-chain over a length-`len` vector.
+fn chain(len: usize) -> Program {
+    parse_program(&format!(
+        "BH_IDENTITY a0 [0:{len}:1] 0\n\
+         BH_ADD a0 a0 1\nBH_ADD a0 a0 1\nBH_ADD a0 a0 1\n\
+         BH_SYNC a0\n"
+    ))
+    .unwrap()
+}
+
+fn eval(rt: &Runtime, p: &Program) -> Tier {
+    let reg = p.reg_by_name("a0").unwrap();
+    let (v, o) = rt.eval(p, &[], reg).unwrap();
+    assert!(v.to_f64_vec().iter().all(|&x| x == 3.0));
+    o.plan.tier
+}
+
+/// The regression pin: after an eviction, stale ProfileTable hotness
+/// must not immediately re-promote the re-inserted cold entry — it has
+/// to earn `promote_after` *fresh* hits first.
+#[test]
+fn eviction_resets_the_promotion_baseline() {
+    let rt = Runtime::builder()
+        .tiered(true)
+        .promote_after(3)
+        .cache_capacity(1)
+        .build();
+    let hot = chain(8);
+    let churn = chain(9);
+
+    // Earn the first promotion honestly: evals 1–3 run tier-0 and record
+    // hits 1–3; eval 4's prepare sees 3 fresh hits and promotes inline.
+    for _ in 0..3 {
+        assert_eq!(eval(&rt, &hot), Tier::Tier0);
+    }
+    assert_eq!(eval(&rt, &hot), Tier::Tier2);
+    assert_eq!(rt.stats().tiers.promotions, 1);
+
+    // Capacity 1: one eval of a different digest evicts the promoted plan.
+    assert_eq!(eval(&rt, &churn), Tier::Tier0);
+    assert_eq!(rt.cached_plans(), 1);
+
+    // The hot digest misses and rebuilds at tier-0. Its profile now shows
+    // 4 stale hits (≥ promote_after), but the fresh entry must NOT be
+    // promoted off that history — not on the rebuild, not on the next hit.
+    assert_eq!(eval(&rt, &hot), Tier::Tier0);
+    assert_eq!(eval(&rt, &hot), Tier::Tier0);
+    let stats = rt.stats();
+    assert_eq!(
+        stats.tiers.promotions, 1,
+        "stale hotness re-promoted a cold entry: {stats}"
+    );
+    assert!(
+        stats.tiers.rebaselines >= 1,
+        "the rebuild should be visible as a rebaseline: {stats}"
+    );
+    assert_eq!(stats.tiers.tier0_builds, 3, "hot, churn, hot again");
+
+    // Fresh hits still count: the rebuilt entry carries hits 5–7 (one from
+    // the rebuild eval, two from the loop below), and the next prepare
+    // crosses the threshold again.
+    assert_eq!(eval(&rt, &hot), Tier::Tier0);
+    assert_eq!(eval(&rt, &hot), Tier::Tier2);
+    let stats = rt.stats();
+    assert_eq!(stats.tiers.promotions, 2, "{stats}");
+    assert_eq!(stats.tiers.failed_promotions, 0);
+    // Two tier compiles per promotion lifecycle, nothing per eval.
+    assert_eq!(
+        stats.verifications,
+        stats.cache_misses + stats.tiers.promotions
+    );
+}
+
+/// Digests that never reach the threshold stay on the cheap pipeline
+/// forever: churn traffic never pays the full fixpoint.
+#[test]
+fn churn_digests_stay_tier0() {
+    let rt = Runtime::builder().tiered(true).promote_after(5).build();
+    let programs: Vec<Program> = (0..4).map(|i| chain(16 + i)).collect();
+    for _ in 0..3 {
+        for p in &programs {
+            assert_eq!(eval(&rt, p), Tier::Tier0);
+        }
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.tiers.tier0_builds, 4);
+    assert_eq!(stats.tiers.promotions, 0);
+    assert_eq!(stats.verifications, 4, "one tier-0 compile each, no more");
+}
+
+/// The profile table reports the digest's current tier — the signal the
+/// exporter's `bh_profile_digest_tier` gauge renders.
+#[test]
+fn profile_reports_the_promoted_tier() {
+    let rt = Runtime::builder().tiered(true).promote_after(1).build();
+    let p = chain(32);
+    assert_eq!(eval(&rt, &p), Tier::Tier0);
+    let before = &rt.profile(1)[0];
+    assert_eq!(before.tier, Tier::Tier0);
+    assert_eq!(before.plan_builds, 1);
+    assert_eq!(eval(&rt, &p), Tier::Tier2);
+    let after = &rt.profile(1)[0];
+    assert_eq!(after.tier, Tier::Tier2);
+    assert_eq!(after.plan_builds, 2, "tier-0 build + promotion rebuild");
+}
+
+/// Builder-knob contract: `promote_after` clamps to ≥ 1 and defaults to
+/// [`DEFAULT_PROMOTE_AFTER`]; tiering is off by default.
+#[test]
+fn promotion_knobs_clamp_and_default() {
+    assert_eq!(
+        Runtime::builder()
+            .tiered(true)
+            .promote_after(0)
+            .build()
+            .promote_after(),
+        1
+    );
+    let default = Runtime::builder().build();
+    assert!(!default.tiered());
+    assert_eq!(default.promote_after(), DEFAULT_PROMOTE_AFTER);
+    assert_eq!(default.pending_promotions(), 0);
+}
+
+/// Per-options cache partitions keep independent tier lifecycles: the
+/// same digest prepared under two options values promotes twice.
+#[test]
+fn options_partitions_promote_independently() {
+    use bh_opt::{OptLevel, OptOptions};
+    let rt = Runtime::builder().tiered(true).promote_after(1).build();
+    let p = chain(64);
+    let reg = p.reg_by_name("a0").unwrap();
+    let o1 = OptOptions::level(OptLevel::O1);
+    for _ in 0..2 {
+        rt.eval(&p, &[], reg).unwrap();
+        rt.eval_with(&p, &[], reg, &o1).unwrap();
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.tiers.tier0_builds, 2);
+    assert_eq!(stats.tiers.promotions, 2);
+    assert_eq!(rt.cached_plans(), 2);
+}

@@ -1,0 +1,200 @@
+//! Tier-equivalence property suite (DESIGN.md §14).
+//!
+//! Tiered, profile-guided re-optimisation is an *internal* policy change:
+//! every digest's observable behaviour must be independent of which tier
+//! built the plan that served it. For random verified programs this suite
+//! pins, across Naive and Fusing engines and VM thread counts {1, 2, 4}:
+//!
+//! * **bit-for-bit value equivalence** (i64 dtype, so "equal" needs no
+//!   tolerance) between tier-0 plans, tier-2 plans, a forced mid-stream
+//!   promotion, and a non-tiered always-max reference runtime;
+//! * an **identical tier lifecycle** on every engine/thread combination
+//!   (the promotion policy consumes deterministic hit counts, never
+//!   wall clocks);
+//! * **identical analytic `ExecStats`** across thread counts for the same
+//!   engine and tier (sharding parallelises work, it never changes what
+//!   work is done);
+//! * the tier counters themselves: one tier-0 build, one promotion, one
+//!   verification per tier compile.
+//!
+//! `PROPTEST_CASES` deepens the suite uniformly (nightly CI runs 2048).
+
+use bohrium_repro::ir::parse_program;
+use bohrium_repro::runtime::{Runtime, Tier};
+use bohrium_repro::testing::test_threads;
+use bohrium_repro::vm::{Engine, ExecStats};
+use proptest::prelude::*;
+
+/// Evals per tiered runtime. With `PROMOTE_AFTER = 3` the lifecycle is
+/// [T0, T0, T0, T2, T2]: hits 1–3 are recorded by evals 1–3, so eval 4's
+/// prepare crosses the threshold and promotes synchronously — a forced
+/// mid-stream promotion in every single case.
+const EVALS: usize = 5;
+const PROMOTE_AFTER: u64 = 3;
+
+/// Random element-wise i64 programs over three registers, folded into
+/// `r0` at the end so one synced read observes every register's state.
+fn arb_program(max_len: usize) -> impl Strategy<Value = String> {
+    let ops = prop_oneof![
+        Just("BH_ADD"),
+        Just("BH_SUBTRACT"),
+        Just("BH_MULTIPLY"),
+        Just("BH_MAXIMUM"),
+        Just("BH_MINIMUM"),
+    ];
+    let operand = prop_oneof![
+        Just("r0".to_owned()),
+        Just("r1".to_owned()),
+        Just("r2".to_owned()),
+        (0i64..4).prop_map(|c| c.to_string()),
+    ];
+    let instr = (ops, 0usize..3, operand.clone(), operand)
+        .prop_map(|(op, out, a, b)| format!("{op} r{out} {a} {b}"));
+    proptest::collection::vec(instr, 1..max_len).prop_map(move |body| {
+        let mut text = String::from(
+            ".base r0 i64[16]\n.base r1 i64[16]\n.base r2 i64[16]\n\
+             BH_IDENTITY r0 1\nBH_IDENTITY r1 2\nBH_IDENTITY r2 3\n",
+        );
+        for line in body {
+            text.push_str(&line);
+            text.push('\n');
+        }
+        text.push_str("BH_ADD r0 r0 r1\nBH_ADD r0 r0 r2\nBH_SYNC r0\n");
+        text
+    })
+}
+
+/// The engine × thread-count matrix. Thread counts honour the CI knob
+/// (`BH_VM_TEST_THREADS`) on top of the fixed {1, 2, 4}.
+fn combos() -> Vec<(Engine, usize)> {
+    let mut threads = vec![1usize, 2, 4, test_threads()];
+    threads.sort_unstable();
+    threads.dedup();
+    let mut combos = Vec::new();
+    for engine in [Engine::Naive, Engine::Fusing { block: 64 }] {
+        for &t in &threads {
+            combos.push((engine, t));
+        }
+    }
+    combos
+}
+
+/// The thread-count-invariant subset of [`ExecStats`]: everything except
+/// the shard counts, which legitimately scale with workers.
+fn analytic(exec: &ExecStats) -> [u64; 8] {
+    [
+        exec.instructions,
+        exec.kernels,
+        exec.fused_groups,
+        exec.fused_reductions,
+        exec.elements_written,
+        exec.bytes_read,
+        exec.bytes_written,
+        exec.flops,
+    ]
+}
+
+/// What one engine/thread combo observed over [`EVALS`] evaluations of a
+/// tiered runtime.
+struct CombRun {
+    engine: Engine,
+    threads: usize,
+    values: Vec<bohrium_repro::tensor::Tensor>,
+    tiers: Vec<Tier>,
+    analytics: Vec<[u64; 8]>,
+}
+
+fn run_tiered(engine: Engine, threads: usize, text: &str) -> CombRun {
+    let program = parse_program(text).expect("generated text parses");
+    let reg = program.reg_by_name("r0").unwrap();
+    let rt = Runtime::builder()
+        .tiered(true)
+        .promote_after(PROMOTE_AFTER)
+        .engine(engine)
+        .threads(threads)
+        .build();
+    let mut values = Vec::new();
+    let mut tiers = Vec::new();
+    let mut analytics = Vec::new();
+    for _ in 0..EVALS {
+        let (v, o) = rt.eval(&program, &[], reg).expect("verified program runs");
+        values.push(v);
+        tiers.push(o.plan.tier);
+        analytics.push(analytic(&o.exec));
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.cache_misses, 1, "one tier-0 compile: {stats}");
+    assert_eq!(stats.tiers.tier0_builds, 1, "{stats}");
+    assert_eq!(stats.tiers.promotions, 1, "{stats}");
+    assert_eq!(stats.tiers.failed_promotions, 0, "{stats}");
+    assert_eq!(
+        stats.verifications, 2,
+        "once per tier compile, never per eval: {stats}"
+    );
+    CombRun {
+        engine,
+        threads,
+        values,
+        tiers,
+        analytics,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The headline property: tier-0 output ≡ tier-2 output ≡ the
+    // non-tiered always-max reference, bit for bit, on every engine and
+    // thread count — including across the forced mid-stream promotion.
+    #[test]
+    fn tiers_are_observationally_equivalent(text in arb_program(12)) {
+        let program = parse_program(&text).expect("generated text parses");
+        let reg = program.reg_by_name("r0").unwrap();
+        // Always-max reference: default options, no tiering.
+        let reference = {
+            let rt = Runtime::builder().build();
+            let (v, o) = rt.eval(&program, &[], reg).expect("runs");
+            prop_assert_eq!(o.plan.tier, Tier::Tier2);
+            v
+        };
+
+        let runs: Vec<CombRun> = combos()
+            .into_iter()
+            .map(|(engine, threads)| run_tiered(engine, threads, &text))
+            .collect();
+
+        let expected_tiers = [Tier::Tier0, Tier::Tier0, Tier::Tier0, Tier::Tier2, Tier::Tier2];
+        for run in &runs {
+            // Tier-0 evals, the promotion eval and post-promotion evals
+            // all equal the always-max reference, bit for bit.
+            for (i, v) in run.values.iter().enumerate() {
+                prop_assert_eq!(
+                    v, &reference,
+                    "eval {} ({:?} on {:?}×{}) diverged from the always-max reference",
+                    i, run.tiers[i], run.engine, run.threads
+                );
+            }
+            // The lifecycle is identical on every combo: promotion is
+            // driven by deterministic hit counts, not timing.
+            prop_assert_eq!(
+                &run.tiers[..], &expected_tiers[..],
+                "lifecycle drifted on {:?}×{}", run.engine, run.threads
+            );
+        }
+
+        // Analytic exec counters are thread-count invariant per engine:
+        // compare each combo against the 1-thread run of its engine,
+        // eval by eval (same tier at the same index, per the lifecycle).
+        for run in &runs {
+            let base = runs
+                .iter()
+                .find(|r| r.engine == run.engine && r.threads == 1)
+                .unwrap();
+            prop_assert_eq!(
+                &run.analytics, &base.analytics,
+                "analytic ExecStats drifted between {}-thread and 1-thread {:?}",
+                run.threads, run.engine
+            );
+        }
+    }
+}
