@@ -284,6 +284,88 @@ fn run_verify_amortisation() -> VerifyAmortisation {
     }
 }
 
+/// What the whole-plan translation-validation audit costs
+/// ([`bh_runtime::RuntimeBuilder::audit`], DESIGN.md §15). One side
+/// times the cache-miss `prepare` compile with the audit off, the other
+/// with it on — the audit runs exactly once per compile, so the miss
+/// path is the *only* place it can cost anything. The cached-eval hot
+/// path is asserted free by counter, not by stopwatch:
+/// `RuntimeStats::audits` stays at the miss count while `evals` climbs.
+struct AuditOverhead {
+    prepare_off_us: f64,
+    prepare_on_us: f64,
+    hot_evals: usize,
+    hot_audits: u64,
+}
+
+impl AuditOverhead {
+    /// Fractional compile-time slowdown the audit adds per cache miss.
+    fn overhead(&self) -> f64 {
+        self.prepare_on_us / self.prepare_off_us - 1.0
+    }
+}
+
+fn run_audit_overhead() -> AuditOverhead {
+    const PROGRAMS: usize = 64;
+    const REPS: usize = 5;
+    const CHAIN: usize = 96;
+    // Long chains over small vectors (disjoint lengths from every other
+    // workload here): the O2 fixpoint dominates `prepare`, the regime
+    // where a whole-plan audit pass has the most to add.
+    let programs: Vec<ProgramHandle> = (0..PROGRAMS)
+        .map(|i| mix_program(4096 + i, CHAIN))
+        .collect();
+    let measure = |audit: bool| -> f64 {
+        let mut best: Option<f64> = None;
+        for _ in 0..REPS {
+            let rt = Runtime::builder().threads(1).audit(audit).build();
+            let start = Instant::now();
+            for h in &programs {
+                std::hint::black_box(rt.prepare(h.program()).expect("bench program prepares"));
+            }
+            let each = start.elapsed().as_secs_f64() * 1e6 / PROGRAMS as f64;
+            if best.is_none_or(|b| each < b) {
+                best = Some(each);
+            }
+        }
+        best.expect("reps measured")
+    };
+    let prepare_off_us = measure(false);
+    let prepare_on_us = measure(true);
+
+    // The hot path: one miss (one audit), then cached evals that must
+    // never re-prove the plan.
+    const EVALS: usize = 2048;
+    let handle = tenant_program(0);
+    let program = handle.program();
+    let x = program.reg_by_name("x").expect("input register");
+    let a = program.reg_by_name("a").expect("result register");
+    let input = Tensor::from_vec(vec![1.0f64; program.base(x).shape.nelem()]);
+    let rt = Runtime::builder().audit(true).build();
+    rt.eval(program, &[(x, input.clone())], a)
+        .expect("warm-up eval");
+    for _ in 0..EVALS {
+        let (value, _) = rt
+            .eval(program, &[(x, input.clone())], a)
+            .expect("bench program evaluates");
+        std::hint::black_box(value);
+    }
+    let stats = rt.stats();
+    assert_eq!(
+        stats.audits.total(),
+        1,
+        "the audit must run once per compile, never per cached eval"
+    );
+    assert_eq!(stats.audits.failed, 0, "the optimiser's plans must prove");
+    assert_eq!(stats.evals, EVALS as u64 + 1);
+    AuditOverhead {
+        prepare_off_us,
+        prepare_on_us,
+        hot_evals: EVALS,
+        hot_audits: stats.audits.total(),
+    }
+}
+
 /// What per-digest profiling costs on the hot cached-eval path — the
 /// price of leaving it on in production (it defaults to on). Each side
 /// is the *best* of several timed repetitions, so allocator or scheduler
@@ -656,6 +738,17 @@ fn main() {
         verify.evals,
     );
 
+    let audit = run_audit_overhead();
+    eprintln!(
+        "audit: {:.1}us per audited prepare vs {:.1}us unaudited — {:+.1}% per cache miss; \
+         {} audit(s) across {} cached evals",
+        audit.prepare_on_us,
+        audit.prepare_off_us,
+        audit.overhead() * 100.0,
+        audit.hot_audits,
+        audit.hot_evals,
+    );
+
     let mut out = String::from("{\n");
     let _ = write!(
         out,
@@ -706,6 +799,17 @@ fn main() {
         verify.unamortised_overhead() * 100.0,
         verify.evals,
         verify.verifications,
+    );
+    let _ = write!(
+        out,
+        "  \"audit_overhead\": {{\n    \"unaudited_prepare_us\": {:.2},\n    \
+         \"audited_prepare_us\": {:.2},\n    \"overhead_pct\": {:.1},\n    \
+         \"hot_evals\": {},\n    \"hot_audits\": {}\n  }},\n",
+        audit.prepare_off_us,
+        audit.prepare_on_us,
+        audit.overhead() * 100.0,
+        audit.hot_evals,
+        audit.hot_audits,
     );
     let _ = write!(
         out,
@@ -767,6 +871,12 @@ fn main() {
         "the adaptive policy must match the best hand-tuned fixed max_batch \
          on the churn workload (>= 0.9x), measured {vs_best_fixed:.2}x \
          vs fixed max_batch {best_fixed_batch}"
+    );
+    assert!(
+        audit.overhead() <= 0.15,
+        "the whole-plan audit must add <= 15% to cache-miss prepare latency, \
+         measured {:+.1}%",
+        audit.overhead() * 100.0
     );
     assert!(
         overhead.overhead() <= 0.05,

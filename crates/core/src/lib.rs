@@ -46,15 +46,18 @@
 
 pub mod chains;
 pub mod cost;
-mod fold;
 mod pipeline;
 mod rule;
 pub mod rules;
 
+/// Compile-time scalar folding, re-exported from `bh-ir` (it moved there
+/// so the static plan auditor can share the exact same arithmetic).
+pub use bh_ir::fold;
+
+pub use bh_ir::fold::const_eval;
 pub use cost::{estimate, CostEstimate, CostParams};
-pub use fold::const_eval;
 pub use pipeline::{
-    optimize, optimize_at, standard_rules, OptLevel, OptOptions, OptReport, Optimizer,
+    optimize, optimize_at, standard_rules, AuditMode, OptLevel, OptOptions, OptReport, Optimizer,
 };
 pub use rule::{
     is_full_view, reassoc_allowed, views_equivalent, LiveAtExit, RewriteCtx, RewriteRule,

@@ -7,8 +7,28 @@ use crate::rules::{
     InverseSolveRewrite, MultiplyChainReroll, PowerExpansion, StrengthReduction,
     TrivialCopyElision,
 };
+use bh_ir::equiv::{check_equiv, EquivOptions};
 use bh_ir::Program;
 use std::fmt;
+
+/// When the pass manager runs the static plan auditor
+/// ([`bh_ir::equiv::check_equiv`]).
+///
+/// Marked `#[non_exhaustive]`: a per-sweep or sampling mode may be added;
+/// match with a wildcard arm outside this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum AuditMode {
+    /// No auditing (the default): rules are trusted.
+    #[default]
+    Off,
+    /// Every rule application is audited against the program it rewrote.
+    /// A rewrite the auditor cannot prove equivalent is rolled back and
+    /// counted in [`OptReport::audit_rollbacks`]; the pipeline continues
+    /// with the remaining rules — graceful degradation instead of a
+    /// wrong plan.
+    PerRule,
+}
 
 /// Optimization level, LLVM-style.
 ///
@@ -45,6 +65,9 @@ pub struct OptOptions {
     pub max_iterations: usize,
     /// Weights for the before/after cost report.
     pub cost_params: CostParams,
+    /// Translation-validation policy (participates in cache keys like
+    /// every other field).
+    pub audit: AuditMode,
 }
 
 impl Default for OptOptions {
@@ -54,6 +77,7 @@ impl Default for OptOptions {
             ctx: RewriteCtx::default(),
             max_iterations: 8,
             cost_params: CostParams::default(),
+            audit: AuditMode::Off,
         }
     }
 }
@@ -78,6 +102,27 @@ impl OptOptions {
     pub fn observe_all(mut self) -> OptOptions {
         self.ctx.live_at_exit = LiveAtExit::AllRegisters;
         self
+    }
+
+    /// Set the translation-validation policy.
+    pub fn audit(mut self, mode: AuditMode) -> OptOptions {
+        self.audit = mode;
+        self
+    }
+
+    /// The [`EquivOptions`] matching this rewrite context: the audit must
+    /// accept exactly the algebra the rules were allowed to assume.
+    pub fn equiv_options(&self) -> EquivOptions {
+        let opts = EquivOptions::default();
+        let opts = if self.ctx.fast_math {
+            opts
+        } else {
+            opts.strict_math()
+        };
+        match self.ctx.live_at_exit {
+            LiveAtExit::SyncedOnly => opts,
+            _ => opts.observe_all(),
+        }
     }
 }
 
@@ -143,16 +188,32 @@ impl Optimizer {
             .iter()
             .map(|r| (r.name().to_owned(), 0))
             .collect();
+        let audit = self.options.audit == AuditMode::PerRule;
+        let equiv_opts = self.options.equiv_options();
+        let mut audits = 0;
+        let mut audit_rollbacks = 0;
         let mut iterations = 0;
         for _ in 0..self.options.max_iterations {
             let mut changed = false;
             for (k, rule) in self.rules.iter().enumerate() {
+                let snapshot = if audit { Some(program.clone()) } else { None };
                 let n = rule.apply(program, &self.options.ctx);
-                if n > 0 {
-                    by_rule[k].1 += n;
-                    changed = true;
-                    program.compact();
+                if n == 0 {
+                    continue;
                 }
+                program.compact();
+                if let Some(snapshot) = snapshot {
+                    audits += 1;
+                    if check_equiv(&snapshot, program, &equiv_opts).is_err() {
+                        // The rewrite could not be proved sound: undo it
+                        // and keep going with the remaining rules.
+                        *program = snapshot;
+                        audit_rollbacks += 1;
+                        continue;
+                    }
+                }
+                by_rule[k].1 += n;
+                changed = true;
             }
             iterations += 1;
             if !changed {
@@ -166,6 +227,8 @@ impl Optimizer {
             by_rule,
             before,
             after,
+            audits,
+            audit_rollbacks,
         }
     }
 }
@@ -206,6 +269,11 @@ pub struct OptReport {
     pub before: CostEstimate,
     /// Static cost after transformation.
     pub after: CostEstimate,
+    /// Per-rule audits performed (0 unless [`AuditMode::PerRule`]).
+    pub audits: usize,
+    /// Rule applications undone because the auditor could not prove them
+    /// equivalent.
+    pub audit_rollbacks: usize,
 }
 
 impl OptReport {
@@ -241,6 +309,13 @@ impl fmt::Display for OptReport {
             if *n > 0 {
                 writeln!(f, "  {name}: {n}")?;
             }
+        }
+        if self.audits > 0 {
+            writeln!(
+                f,
+                "  audited {} rewrite(s), rolled back {}",
+                self.audits, self.audit_rollbacks
+            )?;
         }
         Ok(())
     }
@@ -366,6 +441,66 @@ BH_SYNC x
         // f64 adds cannot merge under strict IEEE; DCE keeps synced value.
         assert_eq!(p.count_op(Opcode::Add), 3);
         let _ = report;
+    }
+
+    #[test]
+    fn per_rule_audit_accepts_the_standard_pipeline() {
+        let mut audited = parse_program(LISTING2).unwrap();
+        let report =
+            Optimizer::new(OptOptions::default().audit(AuditMode::PerRule)).run(&mut audited);
+        assert!(report.audits > 0);
+        assert_eq!(report.audit_rollbacks, 0);
+        // The audited run lands on the same plan as the unaudited one.
+        let mut plain = parse_program(LISTING2).unwrap();
+        optimize(&mut plain);
+        assert_eq!(audited, plain);
+    }
+
+    /// A rewrite that silently corrupts the program: it "merges" the
+    /// constant-add chain by deleting one add without adjusting another.
+    #[derive(Debug)]
+    struct DropsAnAdd;
+
+    impl RewriteRule for DropsAnAdd {
+        fn name(&self) -> &'static str {
+            "drops-an-add"
+        }
+
+        fn apply(&self, program: &mut Program, _ctx: &RewriteCtx) -> usize {
+            let Some(idx) = program.instrs().iter().position(|i| i.op == Opcode::Add) else {
+                return 0;
+            };
+            program.instrs_mut()[idx] = bh_ir::Instruction::noop();
+            1
+        }
+    }
+
+    #[test]
+    fn per_rule_audit_rolls_back_an_unsound_rule() {
+        let mut p = parse_program(LISTING2).unwrap();
+        let unsound: Vec<Box<dyn RewriteRule>> = vec![Box::new(DropsAnAdd)];
+        let report =
+            Optimizer::with_rules(OptOptions::default().audit(AuditMode::PerRule), unsound)
+                .run(&mut p);
+        assert!(report.audit_rollbacks > 0);
+        assert_eq!(report.total_applications(), 0);
+        // Rollback restored the program: all three adds survive.
+        assert_eq!(p.count_op(Opcode::Add), 3);
+        // Without the audit the same rule destroys the plan.
+        let mut p2 = parse_program(LISTING2).unwrap();
+        let unsound: Vec<Box<dyn RewriteRule>> = vec![Box::new(DropsAnAdd)];
+        Optimizer::with_rules(OptOptions::default(), unsound).run(&mut p2);
+        assert!(p2.count_op(Opcode::Add) < 3);
+    }
+
+    #[test]
+    fn audit_mode_partitions_option_equality() {
+        // OptOptions keys caches; an audited configuration must never
+        // collide with an unaudited one.
+        assert_ne!(
+            OptOptions::default(),
+            OptOptions::default().audit(AuditMode::PerRule)
+        );
     }
 
     #[test]

@@ -116,8 +116,11 @@ fn try_merge_at(
         }
     }
     // Fold: for Add/Mul chains the constants combine with the same op; for
-    // Subtract/Divide right-chains they combine with Add/Mul.
+    // Subtract/Divide right-chains they combine with Add/Mul. Bool
+    // subtract is XOR — its own inverse — so the chain folds with XOR
+    // itself, never with Add (which is OR on bool).
     let fold_op = match a.op {
+        Opcode::Subtract if dtype == bh_tensor::DType::Bool => Opcode::Subtract,
         Opcode::Subtract => Opcode::Add,
         Opcode::Divide => Opcode::Multiply,
         op => op,
@@ -289,6 +292,25 @@ BH_SYNC a0 [0:10:1]
         assert_eq!(n, 1);
         assert_eq!(p.count_op(Opcode::Add), 1);
         assert!(p.to_text(PrintStyle::COMPACT).contains('3'));
+    }
+
+    #[test]
+    fn bool_subtract_chain_folds_with_xor() {
+        // Bool subtract is XOR: (x ⊻ t) ⊻ t is x, so the merged constant
+        // must be t ⊻ t = false — folding with Add (OR on bool) gave ¬x.
+        let (p, n) = optimize_text(
+            ".base a0 bool[4]\n\
+             BH_IDENTITY a0 true\n\
+             BH_SUBTRACT a0 a0 true\nBH_SUBTRACT a0 a0 true\nBH_SYNC a0\n",
+            &RewriteCtx::default(),
+        );
+        assert_eq!(n, 1);
+        assert!(
+            p.to_text(PrintStyle::COMPACT)
+                .contains("BH_SUBTRACT a0 a0 false"),
+            "{}",
+            p.to_text(PrintStyle::COMPACT)
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! computations." (§2). That side condition is exactly what
 //! [`DefUse::read_after`] checks.
 
-use crate::rule::{is_full_view, RewriteCtx, RewriteRule};
+use crate::rule::{is_full_view, LiveAtExit, RewriteCtx, RewriteRule};
 use bh_ir::{DefUse, Instruction, Opcode, Program};
 
 /// See the module documentation.
@@ -23,7 +23,15 @@ impl RewriteRule for InverseSolveRewrite {
         "inverse-solve"
     }
 
-    fn apply(&self, program: &mut Program, _ctx: &RewriteCtx) -> usize {
+    fn apply(&self, program: &mut Program, ctx: &RewriteCtx) -> usize {
+        // Dropping the BH_INVERSE destroys t's final value. Under the
+        // all-registers-live policy t is host-observable, which is exactly
+        // the paper's "use A⁻¹ for anything else" disqualifier — and
+        // keeping the inverse alongside a solve would be slower than the
+        // original, so the rewrite simply does not fire.
+        if !matches!(ctx.live_at_exit, LiveAtExit::SyncedOnly) {
+            return 0;
+        }
         let mut applied = 0;
         loop {
             let du = DefUse::compute(program);
@@ -129,6 +137,20 @@ BH_SYNC x
         assert_eq!(p.count_op(Opcode::MatMul), 0);
         let text = p.to_text(PrintStyle::COMPACT);
         assert!(text.contains("BH_SOLVE x a b"), "{text}");
+    }
+
+    #[test]
+    fn all_registers_live_keeps_the_inverse() {
+        // Under observe-all, t's final value is host-observable: dropping
+        // the BH_INVERSE would hand the host a zero-filled t.
+        let mut p = parse_program(EQ2).unwrap();
+        let ctx = RewriteCtx {
+            live_at_exit: LiveAtExit::AllRegisters,
+            ..RewriteCtx::default()
+        };
+        assert_eq!(InverseSolveRewrite.apply(&mut p, &ctx), 0);
+        assert_eq!(p.count_op(Opcode::Inverse), 1);
+        assert_eq!(p.count_op(Opcode::MatMul), 1);
     }
 
     #[test]

@@ -55,8 +55,10 @@ fn match_power(program: &Program, idx: usize, ctx: &RewriteCtx) -> Option<Vec<In
     }
     let out = instr.out_view()?.clone();
     let base = instr.inputs()[0].as_view()?.clone();
-    let n = instr.inputs()[1].as_const()?.as_integral()?;
     let dtype = program.base(out.reg).dtype;
+    // The VM casts constants into the element dtype before the op, so the
+    // exponent must be read post-cast: `BH_POWER x 257` on u8 is x^1.
+    let n = instr.inputs()[1].as_const()?.cast(dtype).as_integral()?;
     if n < 0 {
         return None; // reciprocal powers stay with the intrinsic
     }
@@ -194,6 +196,13 @@ fn match_chain(program: &Program, idx: usize, ctx: &RewriteCtx) -> Option<(usize
         }
         len += 1;
     }
+    // The emitted constant is cast into the element dtype by the VM: an
+    // exponent the dtype cannot represent would silently wrap (257 → 1 in
+    // u8, turning x²⁵⁷ into x¹), so the chain must stay unrolled.
+    let encoded = i64::try_from(exponent).ok()?;
+    if Scalar::from_i64(encoded, dtype).as_integral() != Some(encoded) {
+        return None;
+    }
     // Strict improvement only (termination of the expand/re-roll pair).
     let optimal = optimal_multiplies(exponent)?;
     if len as u64 > optimal && optimal <= ctx.max_power_multiplies as u64 {
@@ -312,6 +321,38 @@ mod tests {
         )
         .unwrap();
         assert_eq!(PowerExpansion.apply(&mut p, &strict), 1);
+    }
+
+    #[test]
+    fn exponent_wider_than_dtype_expands_post_cast() {
+        // On u8 the VM casts 257 → 1, so `x^257` is really `x^1`: the
+        // expansion must emit the identity, not a 257-chain.
+        let p = expand(
+            ".base a0 u8[4]\n.base a1 u8[4]\n\
+             BH_IDENTITY a0 2\n\
+             BH_POWER a1 a0 257\n\
+             BH_SYNC a1\n",
+        );
+        assert_eq!(p.count_op(Opcode::Power), 0);
+        assert_eq!(p.count_op(Opcode::Multiply), 0);
+        assert_eq!(p.count_op(Opcode::Identity), 2);
+    }
+
+    #[test]
+    fn reroll_keeps_chains_whose_exponent_wraps_in_dtype() {
+        // A 256-long u8 multiply chain computes x^257; `BH_POWER a1 a0 257`
+        // would wrap the constant to 1 in the VM. The re-roll must decline.
+        let mut text = String::from(
+            ".base a0 u8[4]\n.base a1 u8[4]\n\
+             BH_IDENTITY a0 2\nBH_MULTIPLY a1 a0 a0\n",
+        );
+        for _ in 0..255 {
+            text.push_str("BH_MULTIPLY a1 a1 a0\n");
+        }
+        text.push_str("BH_SYNC a1\n");
+        let mut p = parse_program(&text).unwrap();
+        assert_eq!(MultiplyChainReroll.apply(&mut p, &RewriteCtx::default()), 0);
+        assert_eq!(p.count_op(Opcode::Power), 0);
     }
 
     #[test]

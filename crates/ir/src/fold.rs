@@ -4,7 +4,7 @@
 //! at transformation time, in the *target dtype's* arithmetic (wrapping
 //! u8 addition must wrap here exactly as it would in the VM).
 
-use bh_ir::Opcode;
+use crate::Opcode;
 use bh_tensor::{DType, Scalar};
 
 /// Evaluate `a ⊕ b` in `dtype` arithmetic, for the foldable op-codes.

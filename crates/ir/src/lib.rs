@@ -33,7 +33,10 @@
 
 pub mod analysis;
 mod digest;
+pub mod equiv;
+pub mod fold;
 mod instr;
+pub mod lint;
 mod opcode;
 mod operand;
 mod parse;
@@ -43,7 +46,10 @@ pub mod verify;
 
 pub use analysis::{is_full_write, rerun_safe, DefUse, Liveness};
 pub use digest::ProgramDigest;
+pub use equiv::{check_equiv, EquivCode, EquivError, EquivOptions, EquivWitness};
+pub use fold::const_eval;
 pub use instr::Instruction;
+pub use lint::{LintCode, LintWarning};
 pub use opcode::{OpKind, Opcode, OpcodeTypeError, ParseOpcodeError, TypeRule, ALL_OPCODES};
 pub use operand::{Operand, Reg, ViewRef};
 pub use parse::{parse_program, parse_program_with, ParseError, ParseOptions};

@@ -272,6 +272,10 @@ impl Opcode {
             | Opcode::LeftShift
             | Opcode::RightShift => Some(Scalar::zero(dtype)),
             Opcode::Multiply | Opcode::Divide | Opcode::Power => Some(Scalar::one(dtype)),
+            // All-ones mask: `x & !0 == x`. `-1` wraps to the full mask for
+            // every integer width and to `true` for bool; floats have no
+            // bitwise identity.
+            Opcode::BitwiseAnd if !dtype.is_float() => Some(Scalar::from_i64(-1, dtype)),
             Opcode::LogicalOr | Opcode::LogicalXor => Some(Scalar::Bool(false)),
             Opcode::LogicalAnd => Some(Scalar::Bool(true)),
             _ => None,

@@ -68,4 +68,4 @@ mod stats;
 pub use bh_observe::Tier;
 pub use cache::EvalPlan;
 pub use runtime::{EvalOutcome, Runtime, RuntimeBuilder, StatsSink, DEFAULT_PROMOTE_AFTER};
-pub use stats::{RuntimeStats, TierDecisions};
+pub use stats::{AuditCounters, RuntimeStats, TierDecisions};

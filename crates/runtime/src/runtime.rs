@@ -78,6 +78,7 @@ impl EvalOutcome {
 /// ```
 pub struct Runtime {
     options: OptOptions,
+    audit: bool,
     cache_capacity: usize,
     // Cache and stats sit behind `Arc` so a background promotion job can
     // outlive the borrow of `&self` that spawned it (the job holds its
@@ -155,6 +156,12 @@ impl Runtime {
     /// (meaningful only when [`Runtime::tiered`] is true).
     pub fn promote_after(&self) -> u64 {
         self.promote_after
+    }
+
+    /// True when every plan compile is audited by the translation
+    /// validator before entering the cache (see [`RuntimeBuilder::audit`]).
+    pub fn audit(&self) -> bool {
+        self.audit
     }
 
     /// Background promotions currently in flight (always 0 in synchronous
@@ -312,12 +319,41 @@ impl Runtime {
         } else {
             (options.clone(), Tier::Tier2)
         };
+        let equiv_options = self.audit.then(|| build_options.equiv_options());
+        let rollback_options = self.audit.then(|| tier0_options(&build_options));
         let mut optimised = program.clone();
         self.trace(TracePhase::Begin, "optimise", fingerprint);
         let opt_begun = Instant::now();
-        let report = Optimizer::new(build_options).run(&mut optimised);
+        let mut report = Optimizer::new(build_options).run(&mut optimised);
         let opt_elapsed = opt_begun.elapsed();
         self.trace(TracePhase::End, "optimise", fingerprint);
+        // Whole-plan translation validation: prove the optimised plan
+        // observationally equivalent to its source before it can enter
+        // the cache. One-sided — an unproven plan is not necessarily
+        // wrong, so the runtime degrades gracefully by serving the
+        // unoptimised source instead of failing the request.
+        if let Some(equiv) = equiv_options {
+            self.trace(TracePhase::Begin, "audit", fingerprint);
+            let proved = bh_ir::check_equiv(program, &optimised, &equiv).is_ok();
+            self.trace(TracePhase::End, "audit", fingerprint);
+            {
+                let mut stats = self.stats.lock();
+                if proved {
+                    stats.audits.passed += 1;
+                } else {
+                    stats.audits.failed += 1;
+                    stats.audits.rolled_back += 1;
+                }
+            }
+            if !proved {
+                optimised = program.clone();
+                // An O0 sweep over the fresh clone yields an honest
+                // report for the plan that will actually run (zero
+                // rewrites), instead of one describing discarded work.
+                report = Optimizer::new(rollback_options.expect("set alongside equiv_options"))
+                    .run(&mut optimised);
+            }
+        }
         // The promotion baseline: hits the digest already has *before*
         // this entry goes live. Non-zero means an earlier incarnation was
         // evicted — its hotness must not count towards promoting this one.
@@ -394,6 +430,7 @@ impl Runtime {
         {
             return None;
         }
+        let options = tier2_options(&key.options);
         let job = PromotionJob {
             cache: Arc::clone(&self.cache),
             stats: Arc::clone(&self.stats),
@@ -401,7 +438,8 @@ impl Runtime {
             tracer: self.tracer.clone(),
             key: key.clone(),
             program: program.clone(),
-            options: tier2_options(&key.options),
+            audit: self.audit.then(|| options.equiv_options()),
+            options,
         };
         if self.background_promotion {
             let pending = Arc::clone(&self.pending_promotions);
@@ -639,6 +677,9 @@ struct PromotionJob {
     tracer: Option<Arc<dyn TraceSink>>,
     key: CacheKey,
     program: Program,
+    /// Audit the re-optimised plan before the swap (`Some` mirrors the
+    /// runtime's [`RuntimeBuilder::audit`] knob).
+    audit: Option<bh_ir::EquivOptions>,
     /// Tier-2 build options (see [`tier2_options`]).
     options: OptOptions,
 }
@@ -654,12 +695,38 @@ impl PromotionJob {
     fn run(self) -> Option<Arc<EvalPlan>> {
         let fingerprint = self.key.digest.fingerprint();
         trace_to(&self.tracer, TracePhase::Begin, "promote", fingerprint);
+        let source = self.audit.map(|_| self.program.clone());
+        let rollback_options = self.audit.map(|_| tier0_options(&self.options));
         let mut optimised = self.program;
         trace_to(&self.tracer, TracePhase::Begin, "optimise", fingerprint);
         let opt_begun = Instant::now();
-        let report = Optimizer::new(self.options).run(&mut optimised);
+        let mut report = Optimizer::new(self.options).run(&mut optimised);
         let opt_elapsed = opt_begun.elapsed();
         trace_to(&self.tracer, TracePhase::End, "optimise", fingerprint);
+        // Same whole-plan audit as the miss path: the promoted plan gets
+        // exactly one audit per tier compile. An unproven tier-2 plan is
+        // rolled back to the source program — equivalent in content to
+        // the tier-0 plan it replaces, and the digest is never retried
+        // (the deterministic optimiser would produce the same plan).
+        if let (Some(equiv), Some(src)) = (&self.audit, &source) {
+            trace_to(&self.tracer, TracePhase::Begin, "audit", fingerprint);
+            let proved = bh_ir::check_equiv(src, &optimised, equiv).is_ok();
+            trace_to(&self.tracer, TracePhase::End, "audit", fingerprint);
+            {
+                let mut stats = self.stats.lock();
+                if proved {
+                    stats.audits.passed += 1;
+                } else {
+                    stats.audits.failed += 1;
+                    stats.audits.rolled_back += 1;
+                }
+            }
+            if !proved {
+                optimised = src.clone();
+                report = Optimizer::new(rollback_options.expect("set alongside audit"))
+                    .run(&mut optimised);
+            }
+        }
         {
             let mut stats = self.stats.lock();
             stats.verifications += 1;
@@ -747,6 +814,7 @@ pub struct RuntimeBuilder {
     tiered: bool,
     promote_after: u64,
     background_promotion: bool,
+    audit: bool,
 }
 
 impl Default for RuntimeBuilder {
@@ -763,6 +831,7 @@ impl Default for RuntimeBuilder {
             tiered: false,
             promote_after: DEFAULT_PROMOTE_AFTER,
             background_promotion: false,
+            audit: false,
         }
     }
 }
@@ -795,6 +864,7 @@ impl fmt::Debug for RuntimeBuilder {
             .field("tiered", &self.tiered)
             .field("promote_after", &self.promote_after)
             .field("background_promotion", &self.background_promotion)
+            .field("audit", &self.audit)
             .finish()
     }
 }
@@ -923,6 +993,28 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Audit every plan compile with the translation validator
+    /// ([`bh_ir::check_equiv`]) before the plan can enter the cache (off
+    /// by default).
+    ///
+    /// The audit proves the optimised plan observationally equivalent to
+    /// the recorded source under the configured rewrite policy (strict
+    /// math audits strictly; see DESIGN.md §15). It runs exactly once
+    /// per tier compile — once per cache miss, plus once more when a
+    /// tiered runtime promotes a hot digest — and **never** on the eval
+    /// path, so with auditing on the invariant
+    /// `stats.audits.total() == cache_misses + tiers.promotions` holds.
+    ///
+    /// The check is one-sided: it may fail to prove a sound rewrite, but
+    /// never blesses an unsound one. An unproven plan is not served —
+    /// the runtime rolls back to the unoptimised source program
+    /// ([`crate::AuditCounters::rolled_back`]) and the request succeeds
+    /// at reduced optimisation strength.
+    pub fn audit(mut self, enabled: bool) -> RuntimeBuilder {
+        self.audit = enabled;
+        self
+    }
+
     /// Build the runtime.
     pub fn build(self) -> Runtime {
         // Tiering consumes the ProfileTable's hotness signal, so a tiered
@@ -930,6 +1022,7 @@ impl RuntimeBuilder {
         let profiling = self.profiling || self.tiered;
         Runtime {
             options: self.options,
+            audit: self.audit,
             cache_capacity: self.cache_capacity,
             cache: Arc::new(Mutex::new(TransformCache::new(self.cache_capacity))),
             stats: Arc::new(Mutex::new(RuntimeStats::new())),
@@ -1407,6 +1500,85 @@ mod tests {
             .iter()
             .all(|e| e.fingerprint == plan.source_fingerprint));
         assert!(!sink.dump().is_empty());
+    }
+
+    #[test]
+    fn audit_runs_once_per_compile_never_per_eval() {
+        let rt = Runtime::builder().audit(true).build();
+        assert!(rt.audit());
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        for _ in 0..6 {
+            let (v, _) = rt.eval(&p, &[], reg).unwrap();
+            assert_eq!(v.to_f64_vec(), vec![3.0; 10]);
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.cache_misses, 1);
+        // The invariant: one audit per plan compile, zero per eval.
+        assert_eq!(
+            stats.audits.total(),
+            stats.cache_misses + stats.tiers.promotions
+        );
+        assert_eq!(stats.audits.passed, 1);
+        assert_eq!(stats.audits.failed, 0);
+        assert_eq!(stats.audits.rolled_back, 0);
+    }
+
+    #[test]
+    fn tiered_audit_covers_the_promotion_too() {
+        let rt = Runtime::builder()
+            .audit(true)
+            .tiered(true)
+            .promote_after(2)
+            .build();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        for _ in 0..8 {
+            let (v, _) = rt.eval(&p, &[], reg).unwrap();
+            assert_eq!(v.to_f64_vec(), vec![3.0; 10]);
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.tiers.promotions, 1);
+        // Tier-0 build + promotion: exactly two audits, like verifications.
+        assert_eq!(
+            stats.audits.total(),
+            stats.cache_misses + stats.tiers.promotions
+        );
+        assert_eq!(stats.audits.total(), 2);
+        assert_eq!(stats.audits.failed, 0);
+    }
+
+    #[test]
+    fn audit_traces_a_span_per_compile() {
+        use bh_observe::{RingTraceSink, TracePhase};
+        let sink = RingTraceSink::shared(64);
+        let rt = Runtime::builder()
+            .audit(true)
+            .trace_sink(sink.clone() as Arc<dyn bh_observe::TraceSink>)
+            .build();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        rt.eval(&p, &[], reg).unwrap(); // miss: audited
+        rt.eval(&p, &[], reg).unwrap(); // hit: no audit span
+        let events = sink.events();
+        let audits = |phase| {
+            events
+                .iter()
+                .filter(|e| e.stage == "audit" && e.phase == phase)
+                .count()
+        };
+        assert_eq!(audits(TracePhase::Begin), 1);
+        assert_eq!(audits(TracePhase::End), 1);
+    }
+
+    #[test]
+    fn disabled_audit_never_counts() {
+        let rt = Runtime::new();
+        let p = listing2();
+        let reg = p.reg_by_name("a0").unwrap();
+        rt.eval(&p, &[], reg).unwrap();
+        assert!(!rt.audit());
+        assert_eq!(rt.stats().audits, crate::AuditCounters::default());
     }
 
     #[test]

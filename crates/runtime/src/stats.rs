@@ -50,6 +50,50 @@ impl AddAssign for TierDecisions {
     }
 }
 
+/// Whole-plan translation-validation audits, counted. All zeros unless
+/// [`crate::RuntimeBuilder::audit`] is on; with auditing enabled the
+/// invariant `audits.total() == cache_misses + tiers.promotions` holds —
+/// exactly one audit per plan *compile*, never one per eval (DESIGN.md
+/// §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AuditCounters {
+    /// Plans proved observationally equivalent to their source by
+    /// [`bh_ir::check_equiv`] before entering the cache.
+    pub passed: u64,
+    /// Plans the auditor could not prove equivalent (one-sided: a
+    /// failure means "unproven", not necessarily "wrong").
+    pub failed: u64,
+    /// Failed audits that were served anyway — by rolling the plan back
+    /// to the unoptimised source program. Always equal to `failed` in
+    /// the current runtime: every unproven plan is discarded.
+    pub rolled_back: u64,
+}
+
+impl AuditCounters {
+    /// Audits run, passed or failed.
+    pub fn total(&self) -> u64 {
+        self.passed.saturating_add(self.failed)
+    }
+}
+
+impl Add for AuditCounters {
+    type Output = AuditCounters;
+
+    fn add(self, rhs: AuditCounters) -> AuditCounters {
+        AuditCounters {
+            passed: self.passed.saturating_add(rhs.passed),
+            failed: self.failed.saturating_add(rhs.failed),
+            rolled_back: self.rolled_back.saturating_add(rhs.rolled_back),
+        }
+    }
+}
+
+impl AddAssign for AuditCounters {
+    fn add_assign(&mut self, rhs: AuditCounters) {
+        *self = *self + rhs;
+    }
+}
+
 /// Snapshot of everything a [`crate::Runtime`] has done so far.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RuntimeStats {
@@ -84,6 +128,9 @@ pub struct RuntimeStats {
     /// Tiering-policy decision counters (all zero unless
     /// [`crate::RuntimeBuilder::tiered`] is on).
     pub tiers: TierDecisions,
+    /// Whole-plan audit counters (all zero unless
+    /// [`crate::RuntimeBuilder::audit`] is on).
+    pub audits: AuditCounters,
 }
 
 impl RuntimeStats {
@@ -140,6 +187,7 @@ impl Add for RuntimeStats {
             eval_nanos: self.eval_nanos.saturating_add(rhs.eval_nanos),
             exec: self.exec + rhs.exec,
             tiers: self.tiers + rhs.tiers,
+            audits: self.audits + rhs.audits,
         }
     }
 }
@@ -199,6 +247,21 @@ impl bh_observe::Collect for RuntimeStats {
         )
         .value(self.tiers.rebaselines);
         set.counter(
+            "bh_runtime_audit_passed_total",
+            "Optimised plans proved equivalent to their source before caching.",
+        )
+        .value(self.audits.passed);
+        set.counter(
+            "bh_runtime_audit_failed_total",
+            "Optimised plans the translation validator could not prove equivalent.",
+        )
+        .value(self.audits.failed);
+        set.counter(
+            "bh_runtime_audit_rolled_back_total",
+            "Unproven plans replaced by their unoptimised source program.",
+        )
+        .value(self.audits.rolled_back);
+        set.counter(
             "bh_runtime_rules_fired_total",
             "Rewrite-rule applications across all cache misses.",
         )
@@ -226,12 +289,13 @@ impl fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "evals={} hits={} misses={} hit-rate={:.0}% verifies={} rules={} t0={} promoted={} mean-eval={:?} [{}]",
+            "evals={} hits={} misses={} hit-rate={:.0}% verifies={} audits={} rules={} t0={} promoted={} mean-eval={:?} [{}]",
             self.evals,
             self.cache_hits,
             self.cache_misses,
             self.hit_rate() * 100.0,
             self.verifications,
+            self.audits.total(),
             self.rules_fired,
             self.tiers.tier0_builds,
             self.tiers.promotions,
@@ -317,6 +381,25 @@ mod tests {
         assert_eq!(c.tiers.promotions, 4);
         assert_eq!(c.tiers.failed_promotions, 2);
         assert_eq!(c.tiers.rebaselines, 1);
+    }
+
+    #[test]
+    fn audit_counters_add_fieldwise_and_saturate() {
+        let a = AuditCounters {
+            passed: 3,
+            failed: 1,
+            rolled_back: 1,
+        };
+        let b = AuditCounters {
+            passed: u64::MAX,
+            failed: 2,
+            rolled_back: 2,
+        };
+        let c = a + b;
+        assert_eq!(c.passed, u64::MAX);
+        assert_eq!(c.failed, 3);
+        assert_eq!(c.rolled_back, 3);
+        assert_eq!(a.total(), 4);
     }
 
     #[test]

@@ -718,3 +718,49 @@ fn submit_many_bounces_only_the_malformed_requests() {
     assert_eq!(server.stats().rejected, 1);
     assert_eq!(server.stats().completed, 2);
 }
+
+#[test]
+fn admission_lints_once_per_digest_and_never_rejects() {
+    let server = Server::builder(Runtime::builder().build_shared())
+        .workers(0)
+        .build();
+    // The first write is dead (overwritten before the sync): W100. The
+    // program is still perfectly valid byte-code and must be served.
+    let dusty = ProgramHandle::new(
+        parse_program(
+            "BH_IDENTITY a [0:4:1] 1\n\
+             BH_IDENTITY a [0:4:1] 2\n\
+             BH_SYNC a\n",
+        )
+        .unwrap(),
+    );
+    let reg = dusty.program().reg_by_name("a").unwrap();
+
+    let first = server
+        .submit(Request::with_handle("t", &dusty).read(reg))
+        .unwrap();
+    let warned = server.stats().lint_warnings;
+    assert!(warned > 0, "expected at least the W100 dead store");
+
+    // Repeat traffic on the admitted digest is not re-linted.
+    let second = server
+        .submit(Request::with_handle("t", &dusty).read(reg))
+        .unwrap();
+    assert_eq!(server.stats().lint_warnings, warned);
+
+    // Advisory only: both requests complete with the right value.
+    while server.service_once() {}
+    for t in [first, second] {
+        assert_eq!(t.wait().unwrap().value.unwrap().to_f64_vec(), vec![2.0; 4]);
+    }
+    assert_eq!(server.stats().rejected, 0);
+
+    // A clean program moves nothing.
+    let clean = chain(8, 1);
+    let t = server
+        .submit(Request::with_handle("t", &clean).read(clean.program().reg_by_name("a").unwrap()))
+        .unwrap();
+    while server.service_once() {}
+    t.wait().unwrap();
+    assert_eq!(server.stats().lint_warnings, warned);
+}

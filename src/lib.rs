@@ -110,9 +110,12 @@ pub mod testing {
         Ok(out)
     }
 
-    /// Maximum absolute difference between the synced outputs of two
-    /// programs under the same seeded inputs. `f64::INFINITY` when the
-    /// synced register sets disagree.
+    /// Maximum absolute difference between the *float-valued* synced
+    /// outputs of two programs under the same seeded inputs.
+    /// `f64::INFINITY` when the synced register sets disagree, or when an
+    /// integer/bool output differs at all — discrete dtypes have no
+    /// rounding to forgive, so any mismatch is a divergence regardless of
+    /// the caller's tolerance.
     ///
     /// # Panics
     ///
@@ -128,15 +131,22 @@ pub mod testing {
         for (name, ta) in &ra {
             match rb.get(name) {
                 None => return f64::INFINITY,
-                Some(tb) => worst = worst.max(ta.max_abs_diff(tb)),
+                Some(tb) if ta.dtype().is_float() && tb.dtype().is_float() => {
+                    worst = worst.max(ta.max_abs_diff(tb));
+                }
+                // Integer/bool outputs (or a float/non-float dtype skew)
+                // must match bit-exactly.
+                Some(tb) if ta != tb => return f64::INFINITY,
+                Some(_) => {}
             }
         }
         worst
     }
 
-    /// Assert two programs are semantically equivalent on seeded inputs,
-    /// within `tol` (use 0.0 for integer programs, a small epsilon for
-    /// float programs transformed under fast-math).
+    /// Assert two programs are semantically equivalent on seeded inputs.
+    /// `tol` forgives rounding on **float** outputs only (use a small
+    /// epsilon for programs transformed under fast-math); integer and
+    /// bool outputs are always compared bit-exactly, whatever `tol` says.
     ///
     /// # Panics
     ///
@@ -191,6 +201,17 @@ mod tests {
         let a = parse_program("BH_IDENTITY a0 [0:4:1] 1\nBH_SYNC a0\n").unwrap();
         let b = parse_program("BH_IDENTITY a0 [0:4:1] 2\nBH_SYNC a0\n").unwrap();
         assert_eq!(max_divergence(&a, &b, 0), 1.0);
+    }
+
+    #[test]
+    fn integer_outputs_ignore_the_float_tolerance() {
+        // A 1-off integer result is a real divergence; no float epsilon
+        // may forgive it.
+        let a = parse_program(".base n i32[4]\nBH_IDENTITY n 1\nBH_SYNC n\n").unwrap();
+        let b = parse_program(".base n i32[4]\nBH_IDENTITY n 2\nBH_SYNC n\n").unwrap();
+        assert_eq!(max_divergence(&a, &b, 0), f64::INFINITY);
+        // Equal integer outputs still pass at tol 0.
+        assert_equivalent(&a, &a, 0, 0.0);
     }
 
     #[test]

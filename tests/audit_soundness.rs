@@ -1,0 +1,336 @@
+//! Soundness tests for the static plan auditor (`bh_ir::check_equiv`,
+//! DESIGN.md §15), from both directions:
+//!
+//! * **No false rejections on real plans** — every program the standard
+//!   pipeline produces (any level, fast or strict math) must audit clean
+//!   against its source, or the runtime would silently serve unoptimised
+//!   plans.
+//! * **No false acceptances on broken plans** — a corpus of hand-built
+//!   mutants (swapped non-commutative operands, dropped instructions,
+//!   retargeted writes, changed constants, effect reorders, …) must each
+//!   be caught with its stable A-code, and together the corpus exercises
+//!   every code in [`EquivCode::ALL`].
+//!
+//! Plus the runtime-level contract: with [`RuntimeBuilder::audit`] on,
+//! audits run once per plan compile — `cache_misses + promotions` — and
+//! never on the cached eval path.
+
+use bohrium_repro::ir::{check_equiv, parse_program, EquivCode, EquivOptions, Opcode, Program};
+use bohrium_repro::opt::{AuditMode, OptLevel, OptOptions, Optimizer, RewriteCtx, RewriteRule};
+use bohrium_repro::runtime::Runtime;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy mirroring `tests/equivalence.rs`: random element-wise chains
+/// over three same-shape registers, as text.
+fn arb_program(dtype: &'static str, max_len: usize) -> impl Strategy<Value = String> {
+    let ops = prop_oneof![
+        Just("BH_ADD"),
+        Just("BH_SUBTRACT"),
+        Just("BH_MULTIPLY"),
+        Just("BH_MAXIMUM"),
+        Just("BH_MINIMUM"),
+    ];
+    let operand = prop_oneof![
+        Just("r0".to_owned()),
+        Just("r1".to_owned()),
+        Just("r2".to_owned()),
+        (0i64..4).prop_map(|c| c.to_string()),
+    ];
+    let instr = (ops, 0usize..3, operand.clone(), operand)
+        .prop_map(|(op, out, a, b)| format!("{op} r{out} {a} {b}"));
+    proptest::collection::vec(instr, 1..max_len).prop_map(move |body| {
+        let mut text = format!(
+            ".base r0 {dtype}[16] input\n.base r1 {dtype}[16]\n.base r2 {dtype}[16]\n\
+             BH_IDENTITY r1 2\nBH_IDENTITY r2 3\n"
+        );
+        for line in body {
+            text.push_str(&line);
+            text.push('\n');
+        }
+        text.push_str("BH_SYNC r0\nBH_SYNC r1\nBH_SYNC r2\n");
+        text
+    })
+}
+
+/// The standard pipeline at every level × math policy must audit clean
+/// under the matching [`EquivOptions`].
+fn assert_audits_clean(text: &str) {
+    let reference: Program = parse_program(text).expect("generated text parses");
+    for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        for strict in [false, true] {
+            let mut options = OptOptions::level(level);
+            if strict {
+                options.ctx.fast_math = false;
+            }
+            let mut transformed = reference.clone();
+            Optimizer::new(options.clone()).run(&mut transformed);
+            if let Err(errors) = check_equiv(&reference, &transformed, &options.equiv_options()) {
+                panic!(
+                    "level {level:?} strict={strict} rejected a standard-pipeline plan:\n\
+                     {errors:?}\n--- before ---\n{reference}\n--- after ---\n{transformed}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn integer_pipeline_plans_audit_clean(text in arb_program("i64", 12)) {
+        assert_audits_clean(&text);
+    }
+
+    #[test]
+    fn float_pipeline_plans_audit_clean(text in arb_program("f64", 12)) {
+        assert_audits_clean(&text);
+    }
+
+    #[test]
+    fn bool_pipeline_plans_audit_clean(text in arb_program("bool", 8)) {
+        assert_audits_clean(&text);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutant corpus: every kind of unsound transformation is caught, with the
+// documented stable code.
+// ---------------------------------------------------------------------------
+
+/// The corpus base: a non-commutative op feeding a product, two syncs in
+/// a fixed order, and a release effect.
+const BASE: &str = "\
+.base x f64[8] input
+.base t f64[8]
+.base y f64[8]
+BH_SUBTRACT t x 3
+BH_MULTIPLY y t x
+BH_SYNC t
+BH_SYNC y
+BH_FREE t
+";
+
+/// Parse `BASE`, apply `mutate`, and return the codes `check_equiv`
+/// reports (empty = falsely accepted).
+fn codes_after(mutate: impl FnOnce(&mut Program)) -> Vec<EquivCode> {
+    let before = parse_program(BASE).unwrap();
+    let mut after = before.clone();
+    mutate(&mut after);
+    match check_equiv(&before, &after, &EquivOptions::default()) {
+        Ok(_) => Vec::new(),
+        Err(errors) => errors.into_iter().map(|e| e.code).collect(),
+    }
+}
+
+#[test]
+fn mutant_corpus_catches_every_code() {
+    let mut exercised: BTreeSet<EquivCode> = BTreeSet::new();
+    let mut run = |label: &str, expect: EquivCode, mutate: &mut dyn FnMut(&mut Program)| {
+        let before = parse_program(BASE).unwrap();
+        let mut after = before.clone();
+        mutate(&mut after);
+        let codes = match check_equiv(&before, &after, &EquivOptions::default()) {
+            Ok(_) => panic!("mutant `{label}` was falsely accepted:\n{after}"),
+            Err(errors) => errors.into_iter().map(|e| e.code).collect::<Vec<_>>(),
+        };
+        assert!(
+            codes.contains(&expect),
+            "mutant `{label}` expected {expect}, got {codes:?}"
+        );
+        exercised.extend(codes);
+    };
+
+    // A100 — swapped non-commutative operands: t = 3 - x instead of x - 3.
+    run(
+        "swapped-subtract-operands",
+        EquivCode::ValueMismatch,
+        &mut |p| {
+            p.instrs_mut()[0].operands.swap(1, 2);
+        },
+    );
+    // A100 — changed constant.
+    run("changed-constant", EquivCode::ValueMismatch, &mut |p| {
+        p.instrs_mut()[0].operands[2] = bohrium_repro::tensor::Scalar::F64(4.0).into();
+    });
+    // A100 — dropped instruction: y is synced still holding its zero fill.
+    run("dropped-multiply", EquivCode::ValueMismatch, &mut |p| {
+        p.instrs_mut()[1] = bohrium_repro::ir::Instruction::noop();
+        p.compact();
+    });
+    // A100 — retargeted write: the multiply lands in t instead of y.
+    run("retargeted-output", EquivCode::ValueMismatch, &mut |p| {
+        let t = p.reg_by_name("t").unwrap();
+        let out = p.instrs_mut()[1].operands[0]
+            .as_view()
+            .cloned()
+            .map(|mut v| {
+                v.reg = t;
+                v
+            })
+            .unwrap();
+        p.instrs_mut()[1].operands[0] = out.into();
+    });
+    // A101 — a sync dropped: t is no longer observable.
+    run("dropped-sync", EquivCode::MissingObservable, &mut |p| {
+        p.instrs_mut()[2] = bohrium_repro::ir::Instruction::noop();
+        p.compact();
+    });
+    // A102 — a sync added: x becomes observable out of nowhere.
+    run("added-sync", EquivCode::ExtraObservable, &mut |p| {
+        let x = p.reg_by_name("x").unwrap();
+        let sync = bohrium_repro::ir::Instruction {
+            op: Opcode::Sync,
+            operands: vec![bohrium_repro::ir::ViewRef {
+                reg: x,
+                slices: None,
+            }
+            .into()],
+        };
+        p.instrs_mut().push(sync);
+    });
+    // A300 — sync effects reordered (same per-register streams).
+    run("reordered-syncs", EquivCode::EffectReorder, &mut |p| {
+        p.instrs_mut().swap(2, 3);
+    });
+    // A301 — the release effect dropped.
+    run("dropped-free", EquivCode::FreeDivergence, &mut |p| {
+        p.instrs_mut()[4] = bohrium_repro::ir::Instruction::noop();
+        p.compact();
+    });
+    // A302 — a malformed operand pattern: the auditor refuses to model an
+    // elementwise op whose output slot holds a constant.
+    run("malformed-output", EquivCode::Unsupported, &mut |p| {
+        p.instrs_mut()[1].operands[0] = bohrium_repro::tensor::Scalar::F64(0.0).into();
+    });
+    // A200/A201 — declaration divergence needs its own before/after pair
+    // (mutating a parsed decl in place).
+    {
+        let before = parse_program(BASE).unwrap();
+        let reshaped = parse_program(&BASE.replace(".base y f64[8]", ".base y f64[4]")).unwrap();
+        let retyped = parse_program(&BASE.replace(".base y f64[8]", ".base y f32[8]")).unwrap();
+        let shape_codes: Vec<_> = check_equiv(&before, &reshaped, &EquivOptions::default())
+            .unwrap_err()
+            .into_iter()
+            .map(|e| e.code)
+            .collect();
+        assert!(
+            shape_codes.contains(&EquivCode::ShapeDivergence),
+            "{shape_codes:?}"
+        );
+        exercised.extend(shape_codes);
+        let dtype_codes: Vec<_> = check_equiv(&before, &retyped, &EquivOptions::default())
+            .unwrap_err()
+            .into_iter()
+            .map(|e| e.code)
+            .collect();
+        assert!(
+            dtype_codes.contains(&EquivCode::DTypeDivergence),
+            "{dtype_codes:?}"
+        );
+        exercised.extend(dtype_codes);
+    }
+
+    // Completeness: the corpus exercises the full stable-code catalogue.
+    let all: BTreeSet<EquivCode> = EquivCode::ALL.into_iter().collect();
+    assert_eq!(
+        exercised, all,
+        "mutant corpus no longer covers every EquivCode"
+    );
+}
+
+#[test]
+fn identity_mutation_is_not_flagged() {
+    // Control for the corpus: the no-op mutation audits clean.
+    assert!(codes_after(|_| {}).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule audit: an unsound rule in the schedule is rolled back and the
+// pipeline continues.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct SwapsSubtractOperands;
+
+impl RewriteRule for SwapsSubtractOperands {
+    fn name(&self) -> &'static str {
+        "swaps-subtract-operands"
+    }
+
+    fn apply(&self, program: &mut Program, _ctx: &RewriteCtx) -> usize {
+        let mut n = 0;
+        for instr in program.instrs_mut() {
+            if instr.op == Opcode::Subtract {
+                instr.operands.swap(1, 2);
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[test]
+fn per_rule_audit_rolls_back_the_unsound_rule() {
+    let before = parse_program(BASE).unwrap();
+    let mut program = before.clone();
+    let options = OptOptions::default().audit(AuditMode::PerRule);
+    let report =
+        Optimizer::with_rules(options, vec![Box::new(SwapsSubtractOperands)]).run(&mut program);
+    assert!(report.audit_rollbacks >= 1, "{report}");
+    // The rolled-back program still proves equivalent to its source.
+    check_equiv(&before, &program, &EquivOptions::default())
+        .expect("rollback must restore an equivalent program");
+}
+
+// ---------------------------------------------------------------------------
+// Runtime contract: one audit per plan compile, zero on the eval path.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn runtime_audit_invariant_holds_across_tiers() {
+    let rt = Runtime::builder()
+        .audit(true)
+        .tiered(true)
+        .promote_after(2)
+        .build();
+    let p = parse_program(BASE).unwrap();
+    let y = p.reg_by_name("y").unwrap();
+    let input = bohrium_repro::tensor::Tensor::from_vec(vec![5.0f64; 8]);
+    let x = p.reg_by_name("x").unwrap();
+    for _ in 0..8 {
+        let (v, _) = rt.eval(&p, &[(x, input.clone())], y).unwrap();
+        assert_eq!(v.to_f64_vec(), vec![10.0; 8]);
+    }
+    let stats = rt.stats();
+    // One audit per compile: the tier-0 build plus the promotion.
+    assert_eq!(
+        stats.audits.total(),
+        stats.cache_misses + stats.tiers.promotions
+    );
+    assert_eq!(stats.audits.total(), 2);
+    assert_eq!(stats.audits.failed, 0);
+    assert_eq!(stats.audits.rolled_back, 0);
+    // Eight evals, two audits: the cached path never audits.
+    assert_eq!(stats.evals, 8);
+}
+
+#[test]
+fn prepared_hot_path_never_audits() {
+    let rt = Runtime::builder().audit(true).build();
+    let p = parse_program(BASE).unwrap();
+    let x = p.reg_by_name("x").unwrap();
+    let y = p.reg_by_name("y").unwrap();
+    let (plan, hit) = rt.prepare(&p).unwrap();
+    assert!(!hit);
+    assert_eq!(rt.stats().audits.total(), 1);
+    let mut vm = rt.lease_vm();
+    for i in 0..5 {
+        let input = bohrium_repro::tensor::Tensor::from_vec(vec![i as f64; 8]);
+        rt.eval_prepared(&plan, &mut vm, &[(x, input)], Some(y), true)
+            .unwrap();
+    }
+    // Five prepared evals later the counter has not moved.
+    assert_eq!(rt.stats().audits.total(), 1);
+}

@@ -19,7 +19,7 @@
 
 use bohrium_repro::ir::{parse_program, Opcode};
 use bohrium_repro::observe::{EvalSample, MetricSet, ProfileTable, Tier};
-use bohrium_repro::runtime::{Runtime, RuntimeStats, TierDecisions};
+use bohrium_repro::runtime::{AuditCounters, Runtime, RuntimeStats, TierDecisions};
 use bohrium_repro::serve::ServeStats;
 use bohrium_repro::testing::test_threads;
 use bohrium_repro::vm::ExecStats;
@@ -82,6 +82,11 @@ fn synthetic_metrics() -> MetricSet {
             failed_promotions: 0,
             rebaselines: 1,
         },
+        audits: AuditCounters {
+            passed: 2,
+            failed: 1,
+            rolled_back: 1,
+        },
     };
 
     let mut serve = ServeStats {
@@ -89,6 +94,7 @@ fn synthetic_metrics() -> MetricSet {
         rejected: 2,
         completed: 10,
         batches: 4,
+        lint_warnings: 3,
         peak_queue_depth: 6,
         ..ServeStats::default()
     };
