@@ -1,0 +1,168 @@
+//! `bh-netload` — closed-loop load generator for the TCP front door.
+//!
+//! Spins a full in-process stack (runtime → batching server → TCP
+//! listener on loopback), then drives it with concurrent protocol
+//! clients the way a fleet of remote callers would: each connection
+//! binds its tenant, pipelines a burst of container-framed submissions,
+//! and reads its responses back, asserting exactly-once delivery and
+//! correct values end to end. Writes `BENCH_net.json` with the
+//! client-observed throughput and latency percentiles.
+//!
+//! Run directly (`cargo run -p bh-bench --bin bh-netload`) or as the CI
+//! netload smoke step.
+
+use bh_net::{NetClient, NetEvent, NetServer};
+use bh_runtime::Runtime;
+use bh_serve::Server;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CONNECTIONS: usize = 8;
+const REQUESTS_PER_CONN: usize = 100;
+const PIPELINE_DEPTH: usize = 8;
+const WORKERS: usize = 2;
+const CHAIN: usize = 24;
+
+/// One program per tenant (distinct digests, comparable work), same
+/// shape as the serve_load churn generator.
+fn tenant_program(tenant: usize) -> bh_ir::Program {
+    let n = 48 + tenant;
+    let mut text = format!("BH_IDENTITY a [0:{n}:1] 0\n");
+    for _ in 0..CHAIN {
+        text.push_str("BH_ADD a a 1\n");
+    }
+    text.push_str("BH_SYNC a\n");
+    bh_ir::parse_program(&text).expect("generated program parses")
+}
+
+struct ClientRun {
+    latencies: Vec<Duration>,
+    results: usize,
+}
+
+/// One connection's closed-loop run: keep `PIPELINE_DEPTH` submissions
+/// in flight, reading an event per submission slot freed.
+fn run_client(addr: std::net::SocketAddr, tenant: usize) -> ClientRun {
+    let program = tenant_program(tenant);
+    let reg = program.reg_by_name("a").expect("result register");
+    let expect = CHAIN as f64;
+    let mut client =
+        NetClient::connect(addr, &format!("tenant-{tenant}")).expect("connect loopback");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("socket option");
+
+    let mut in_flight: Vec<(u64, Instant)> = Vec::with_capacity(PIPELINE_DEPTH);
+    let mut latencies = Vec::with_capacity(REQUESTS_PER_CONN);
+    let mut results = 0usize;
+    let mut submitted = 0usize;
+    while submitted < REQUESTS_PER_CONN || !in_flight.is_empty() {
+        while submitted < REQUESTS_PER_CONN && in_flight.len() < PIPELINE_DEPTH {
+            let id = client
+                .submit(&program, Some(reg), None)
+                .expect("submit over loopback");
+            in_flight.push((id, Instant::now()));
+            submitted += 1;
+        }
+        let event = client.read_event().expect("response frame");
+        let idx = in_flight
+            .iter()
+            .position(|(id, _)| *id == event.request_id())
+            .expect("every event answers exactly one in-flight submission");
+        let (_, begun) = in_flight.swap_remove(idx);
+        match event {
+            NetEvent::Result(r) => {
+                assert_eq!(
+                    r.value.as_ref().and_then(|v| v.first()).copied(),
+                    Some(expect),
+                    "remote eval must match the local semantics"
+                );
+                latencies.push(begun.elapsed());
+                results += 1;
+            }
+            NetEvent::Rejected(r) => {
+                panic!("unexpected rejection {} ({})", r.code, r.detail)
+            }
+        }
+    }
+    ClientRun { latencies, results }
+}
+
+fn main() {
+    let server = Arc::new(
+        Server::builder(Runtime::builder().build_shared())
+            .workers(WORKERS)
+            .queue_capacity(CONNECTIONS * PIPELINE_DEPTH * 2)
+            .build(),
+    );
+    let door = NetServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("bind loopback");
+    let addr = door.local_addr();
+    eprintln!(
+        "bh-netload: {CONNECTIONS} connections x {REQUESTS_PER_CONN} requests \
+         (pipeline {PIPELINE_DEPTH}) against {addr}"
+    );
+
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CONNECTIONS)
+        .map(|tenant| std::thread::spawn(move || run_client(addr, tenant)))
+        .collect();
+    let runs: Vec<ClientRun> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    let elapsed = start.elapsed();
+
+    door.close();
+    server.shutdown();
+
+    let total: usize = runs.iter().map(|r| r.results).sum();
+    assert_eq!(
+        total,
+        CONNECTIONS * REQUESTS_PER_CONN,
+        "every submission must resolve exactly once with a result"
+    );
+    let net = door.stats();
+    assert_eq!(net.connections, CONNECTIONS as u64);
+    assert_eq!(net.results_sent, total as u64);
+    assert_eq!(net.errors_sent, 0, "clean run sends no error frames");
+    let stats = server.stats();
+    assert_eq!(stats.completed, total as u64);
+
+    let mut latencies: Vec<Duration> = runs.into_iter().flat_map(|r| r.latencies).collect();
+    latencies.sort();
+    let pick =
+        |q: f64| latencies[((q * (latencies.len() - 1) as f64) as usize).min(latencies.len() - 1)];
+    let rps = total as f64 / elapsed.as_secs_f64();
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    eprintln!(
+        "bh-netload: {total} requests in {:.2}s — {rps:.0} req/s over TCP, \
+         p50 {:.0}us p95 {:.0}us p99 {:.0}us, mean batch {:.2}",
+        elapsed.as_secs_f64(),
+        us(pick(0.50)),
+        us(pick(0.95)),
+        us(pick(0.99)),
+        stats.mean_batch_size(),
+    );
+
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "  \"config\": {{\n    \"connections\": {CONNECTIONS},\n    \
+         \"requests_per_connection\": {REQUESTS_PER_CONN},\n    \
+         \"pipeline_depth\": {PIPELINE_DEPTH},\n    \"workers\": {WORKERS}\n  }},\n  \
+         \"requests\": {total},\n  \"rps\": {rps:.1},\n  \
+         \"p50_us\": {:.1},\n  \"p95_us\": {:.1},\n  \"p99_us\": {:.1},\n  \
+         \"mean_batch\": {:.2},\n  \"frames\": {{ \"received\": {}, \"results\": {}, \
+         \"errors\": {} }}\n}}\n",
+        us(pick(0.50)),
+        us(pick(0.95)),
+        us(pick(0.99)),
+        stats.mean_batch_size(),
+        net.frames_received,
+        net.results_sent,
+        net.errors_sent,
+    );
+    std::fs::write("BENCH_net.json", &out).expect("write BENCH_net.json");
+    eprintln!("wrote BENCH_net.json");
+}

@@ -1,0 +1,152 @@
+//! A process-stable, platform-stable 64-bit fingerprint for `Hash` types.
+//!
+//! `std::collections::hash_map::DefaultHasher` is explicitly not stable
+//! across releases or processes, so it can never back a persisted field.
+//! [`StableHasher`] is FNV-1a with every integer write pinned to
+//! little-endian and `usize` widened to 64 bits, making the digest a pure
+//! function of the value's `Hash` impl — suitable for the
+//! options-fingerprint field of a plan section, where a restarted server
+//! must reproduce the exact value its predecessor wrote.
+
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a offset basis (the same constants `bh_ir::ProgramDigest`'s
+/// fingerprint uses).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A [`Hasher`] whose output depends only on the byte sequence fed to it,
+/// never on platform endianness, pointer width, or std internals.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV_OFFSET }
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        // Widen so 32- and 64-bit builds agree.
+        self.write_u64(i as u64);
+    }
+
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        self.write_u64(i as i64 as u64);
+    }
+}
+
+/// The stable 64-bit fingerprint of any `Hash` value.
+///
+/// Used for the plan section's options fingerprint: the runtime hashes
+/// its `OptOptions` through this on both the write and the load side, so
+/// a plan optimised under different settings is rejected by value, not
+/// by trust.
+///
+/// # Examples
+///
+/// ```
+/// let a = bh_container::stable_fingerprint(&("O2", 12usize));
+/// let b = bh_container::stable_fingerprint(&("O2", 12usize));
+/// let c = bh_container::stable_fingerprint(&("O2", 13usize));
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn stable_fingerprint<T: Hash>(value: &T) -> u64 {
+    let mut h = StableHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_pins_the_algorithm() {
+        // FNV-1a of [0x61, 0xff]: `Hash for str` feeds the bytes plus a
+        // 0xff terminator. Pin the exact value so an accidental algorithm
+        // change fails loudly rather than silently orphaning snapshots.
+        let got = stable_fingerprint(&"a");
+        assert_eq!(got, 0x089b_c907_b544_c769, "{got:#x}");
+    }
+
+    #[test]
+    fn distinct_values_distinct_fingerprints() {
+        let a = stable_fingerprint(&(1u64, true));
+        let b = stable_fingerprint(&(1u64, false));
+        let c = stable_fingerprint(&(2u64, true));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn usize_matches_u64() {
+        assert_eq!(
+            stable_fingerprint(&42usize),
+            stable_fingerprint(&42u64),
+            "usize must widen to u64"
+        );
+    }
+}

@@ -25,7 +25,7 @@ use bh_ir::{Instruction, Opcode, PrintStyle, Program, Reg, ViewRef};
 use bh_opt::OptOptions;
 use bh_runtime::{EvalOutcome, Runtime};
 use bh_tensor::{DType, Scalar, Shape, Tensor};
-use bh_vm::{Engine, VmError};
+use bh_vm::VmError;
 use parking_lot::Mutex;
 use std::sync::{Arc, Weak};
 
@@ -185,53 +185,6 @@ impl Context {
     /// The runtime this context records for.
     pub fn runtime(&self) -> Arc<Runtime> {
         Arc::clone(&self.inner.lock().runtime)
-    }
-
-    /// Replace this context's runtime by a rebuilt one with a different
-    /// engine. The old runtime's cache/stats no longer apply to this
-    /// context.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a Runtime with the engine you want and use Context::with_runtime"
-    )]
-    pub fn set_engine(&self, engine: Engine) {
-        self.rebuild_runtime(|builder| builder.engine(engine));
-    }
-
-    /// Replace this context's runtime by a rebuilt one with a different
-    /// worker-thread count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure threads on Runtime::builder and use Context::with_runtime"
-    )]
-    pub fn set_threads(&self, threads: usize) {
-        self.rebuild_runtime(|builder| builder.threads(threads));
-    }
-
-    /// Replace this context's runtime by a rebuilt one with different
-    /// optimisation options.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure options on Runtime::builder and use Context::with_runtime"
-    )]
-    pub fn set_options(&self, options: OptOptions) {
-        self.rebuild_runtime(|builder| builder.options(options));
-    }
-
-    fn rebuild_runtime(
-        &self,
-        tweak: impl FnOnce(bh_runtime::RuntimeBuilder) -> bh_runtime::RuntimeBuilder,
-    ) {
-        let mut inner = self.inner.lock();
-        let mut builder = Runtime::builder()
-            .options(inner.runtime.options().clone())
-            .engine(inner.runtime.engine())
-            .threads(inner.runtime.threads())
-            .cache_capacity(inner.runtime.cache_capacity());
-        if let Some(sink) = inner.runtime.stats_sink() {
-            builder = builder.stats_sink_shared(sink);
-        }
-        inner.runtime = tweak(builder).build_shared();
     }
 
     pub(crate) fn make_array(&self, dtype: DType, shape: Shape) -> crate::BhArray {
@@ -407,23 +360,5 @@ impl Context {
             .last_outcome
             .as_ref()
             .map(|(_, o)| o.clone())
-    }
-
-    /// The optimisation report of the most recent flush.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use BhArray::eval_outcome / Context::last_outcome; the report is outcome.report()"
-    )]
-    pub fn last_report(&self) -> Option<bh_opt::OptReport> {
-        self.last_outcome().map(|o| o.report().clone())
-    }
-
-    /// The execution statistics of the most recent flush.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use BhArray::eval_outcome / Context::last_outcome; per-run counters are outcome.exec"
-    )]
-    pub fn last_stats(&self) -> Option<bh_vm::ExecStats> {
-        self.last_outcome().map(|o| o.exec)
     }
 }

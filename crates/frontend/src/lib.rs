@@ -50,6 +50,39 @@ pub use context::Context;
 // The runtime types a front-end user configures and inspects.
 pub use bh_runtime::{EvalOutcome, EvalPlan, Runtime, RuntimeBuilder, RuntimeStats};
 
+/// One-line import surface for front-end users.
+///
+/// `use bh_frontend::prelude::*;` brings in everything a typical
+/// recording session touches: the [`Context`]/[`BhArray`] pair, the
+/// runtime types you configure and inspect ([`Runtime`],
+/// [`RuntimeBuilder`], [`EvalOutcome`], [`RuntimeStats`]), the digest
+/// type that keys the transformation cache
+/// ([`ProgramDigest`](bh_ir::ProgramDigest)), and the tensor
+/// vocabulary (`DType`, `Shape`, `Scalar`, `Tensor`).
+///
+/// ```
+/// use bh_frontend::prelude::*;
+///
+/// let rt = Runtime::builder().build_shared();
+/// let ctx = Context::with_runtime(rt.clone());
+/// let mut a = ctx.zeros(DType::Float64, Shape::vector(4));
+/// a += 2.0;
+/// let (t, outcome): (Tensor, EvalOutcome) = a.eval_outcome()?;
+/// assert_eq!(t.to_f64_vec(), vec![2.0; 4]);
+/// // The structural digest of the optimised plan that executed; the
+/// // cache key is the *source* digest, fingerprinted on the outcome.
+/// let digest: ProgramDigest = outcome.plan.program.structural_digest();
+/// println!("plan {digest} served source {:016x}", outcome.plan.source_fingerprint);
+/// assert_eq!(rt.stats().evals, 1);
+/// # Ok::<(), bh_vm::VmError>(())
+/// ```
+pub mod prelude {
+    pub use crate::{BhArray, Context};
+    pub use bh_ir::ProgramDigest;
+    pub use bh_runtime::{EvalOutcome, EvalPlan, Runtime, RuntimeBuilder, RuntimeStats};
+    pub use bh_tensor::{DType, Scalar, Shape, Tensor};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,28 +347,27 @@ BH_ADD a0 [0:10:1] a0 [0:10:1] 1.0
     }
 
     #[test]
-    #[allow(deprecated)] // coverage for the shims themselves, nothing else
-    fn deprecated_config_shims_rebuild_the_runtime() {
+    fn runtime_first_configuration_round_trips() {
+        // The graduated configuration surface: everything the old
+        // `set_engine`/`set_threads`/`set_options` shims mutated is now
+        // fixed at `Runtime::builder()` time and visible via accessors.
         let rt = Runtime::builder()
+            .engine(bh_vm::Engine::Fusing { block: 64 })
+            .threads(2)
             .cache_capacity(7)
             .stats_sink(|_| {})
             .build_shared();
         let ctx = Context::with_runtime(rt);
-        ctx.set_engine(bh_vm::Engine::Fusing { block: 64 });
-        ctx.set_threads(2);
-        // The rebuild shims must round-trip the full configuration, not
-        // just options/engine/threads.
         assert_eq!(ctx.runtime().engine(), bh_vm::Engine::Fusing { block: 64 });
         assert_eq!(ctx.runtime().threads(), 2);
         assert_eq!(ctx.runtime().cache_capacity(), 7);
         assert!(ctx.runtime().stats_sink().is_some());
         let x = ctx.arange(DType::Float64, 16);
         assert_eq!(f64s(&(&x + 1.0).eval().unwrap())[0], 1.0);
-        // The accessor shims still surface the latest outcome's data.
-        let report = ctx.last_report().expect("an eval happened");
-        assert!(report.total_applications() < 100);
-        let stats = ctx.last_stats().expect("an eval happened");
-        assert!(stats.kernels >= 1, "{stats}");
+        // Report and exec counters read off the outcome, not the context.
+        let outcome = ctx.last_outcome().expect("an eval happened");
+        assert!(outcome.report().total_applications() < 100);
+        assert!(outcome.exec.kernels >= 1, "{}", outcome.exec);
     }
 
     #[test]

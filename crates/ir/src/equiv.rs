@@ -140,7 +140,11 @@ impl fmt::Display for EquivCode {
 
 /// One audit failure: a stable code, the register it concerns (when one
 /// can be named) and a human-readable detail.
+///
+/// `#[non_exhaustive]` so fields can grow without breaking downstream
+/// constructors — build one with [`EquivError::new`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct EquivError {
     /// The stable code.
     pub code: EquivCode,
@@ -148,6 +152,23 @@ pub struct EquivError {
     pub register: Option<String>,
     /// Human-readable specifics.
     pub detail: String,
+}
+
+impl EquivError {
+    /// A failure for `code`, optionally attributed to a register.
+    pub fn new(code: EquivCode, register: Option<String>, detail: impl Into<String>) -> EquivError {
+        EquivError {
+            code,
+            register,
+            detail: detail.into(),
+        }
+    }
+
+    /// The stable machine code (`"A100"`…), for wire protocols and logs
+    /// that must not match on `Display` text.
+    pub fn code(&self) -> &'static str {
+        self.code.as_str()
+    }
 }
 
 impl fmt::Display for EquivError {

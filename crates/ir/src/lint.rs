@@ -60,7 +60,11 @@ impl fmt::Display for LintCode {
 }
 
 /// One advisory finding, anchored to an instruction index.
+///
+/// `#[non_exhaustive]` so fields can grow without breaking downstream
+/// constructors — build one with [`LintWarning::new`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct LintWarning {
     /// The stable code.
     pub code: LintCode,
@@ -68,6 +72,23 @@ pub struct LintWarning {
     pub instr: usize,
     /// Human-readable specifics.
     pub detail: String,
+}
+
+impl LintWarning {
+    /// A finding for `code` at instruction `instr`.
+    pub fn new(code: LintCode, instr: usize, detail: impl Into<String>) -> LintWarning {
+        LintWarning {
+            code,
+            instr,
+            detail: detail.into(),
+        }
+    }
+
+    /// The stable machine code (`"W100"`…), for wire protocols and logs
+    /// that must not match on `Display` text.
+    pub fn code(&self) -> &'static str {
+        self.code.as_str()
+    }
 }
 
 impl fmt::Display for LintWarning {
@@ -79,6 +100,10 @@ impl fmt::Display for LintWarning {
         )
     }
 }
+
+// Advisory, but still an error type for uniform reporting chains
+// (serving layers box findings behind one `dyn Error` surface).
+impl std::error::Error for LintWarning {}
 
 impl Program {
     /// Run the advisory lint catalogue over this program.

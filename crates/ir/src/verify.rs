@@ -169,7 +169,11 @@ impl fmt::Display for VerifyCode {
 }
 
 /// One verifier finding: which rule fired, where, and why.
+///
+/// `#[non_exhaustive]` so fields can grow without breaking downstream
+/// constructors — build one with [`VerifyError::new`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct VerifyError {
     /// Which rule fired.
     pub code: VerifyCode,
@@ -177,6 +181,23 @@ pub struct VerifyError {
     pub instr: usize,
     /// Human-readable detail for the specific violation.
     pub detail: String,
+}
+
+impl VerifyError {
+    /// A finding for `code` at instruction `instr`.
+    pub fn new(code: VerifyCode, instr: usize, detail: impl Into<String>) -> VerifyError {
+        VerifyError {
+            code,
+            instr,
+            detail: detail.into(),
+        }
+    }
+
+    /// The stable machine code (`"V100"`…), for wire protocols and logs
+    /// that must not match on `Display` text.
+    pub fn code(&self) -> &'static str {
+        self.code.as_str()
+    }
 }
 
 impl fmt::Display for VerifyError {
@@ -289,7 +310,9 @@ pub fn verify_owned(program: Program) -> Result<Verified, (Program, Vec<VerifyEr
 /// first-error-only `validate_instr`.
 pub fn verify_instr(program: &Program, instr: &Instruction) -> Vec<VerifyError> {
     let mut errors = Vec::new();
-    check_instruction(program, 0, instr, &mut errors);
+    if regs_in_range(program, 0, instr, &mut errors) {
+        check_instruction(program, 0, instr, &mut errors);
+    }
     errors
 }
 
@@ -316,10 +339,46 @@ fn collect_errors(program: &Program) -> Vec<VerifyError> {
         if instr.is_noop() {
             continue;
         }
+        if !regs_in_range(program, i, instr, &mut errors) {
+            // Every later rule (and the register state vector) indexes
+            // `bases` by register, so nothing else can run safely.
+            continue;
+        }
         check_instruction(program, i, instr, &mut errors);
         check_flow(program, i, instr, &mut state, &mut errors);
     }
     errors
+}
+
+/// Registers must name declared bases before any other rule can run:
+/// the rule checks (and the digest encoder) index `bases` by register,
+/// and untrusted programs — e.g. decoded from a wire container — can
+/// name any register they like. A dangling register is a `V103` finding,
+/// never a panic.
+fn regs_in_range(
+    program: &Program,
+    index: usize,
+    instr: &Instruction,
+    errors: &mut Vec<VerifyError>,
+) -> bool {
+    let nbases = program.bases().len();
+    let mut ok = true;
+    for o in &instr.operands {
+        if let Some(r) = o.reg() {
+            if r.index() >= nbases {
+                errors.push(VerifyError::new(
+                    VerifyCode::BadView,
+                    index,
+                    format!(
+                        "register index {} out of range ({nbases} bases declared)",
+                        r.index()
+                    ),
+                ));
+                ok = false;
+            }
+        }
+    }
+    ok
 }
 
 /// Data-flow rules: def-before-use and use-after-free, updating the
@@ -1115,5 +1174,30 @@ mod tests {
             codes(".base x f64[4] input\nBH_SYNC x[0:1:1,0:1:1]\n"),
             vec![VerifyCode::BadView]
         );
+    }
+
+    #[test]
+    fn dangling_register_is_v103_not_a_panic() {
+        // The parser can't produce one, but a decoded wire container
+        // can: an instruction naming a register no base declares.
+        use crate::operand::{Operand, Reg};
+        let mut p = Program::default();
+        p.push(crate::Instruction::new(
+            Opcode::Add,
+            vec![
+                Operand::full(Reg(7)),
+                Operand::full(Reg(7)),
+                Operand::full(Reg(7)),
+            ],
+        ));
+        let errors = verify(&p).unwrap_err();
+        assert!(!errors.is_empty());
+        assert!(
+            errors.iter().all(|e| e.code == VerifyCode::BadView),
+            "{errors:?}"
+        );
+        assert!(verify_instr(&p, &p.instrs()[0])
+            .iter()
+            .all(|e| e.code == VerifyCode::BadView));
     }
 }

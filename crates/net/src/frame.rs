@@ -1,0 +1,526 @@
+//! The wire frame codec.
+//!
+//! Every message on a connection is one frame:
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────┐
+//! │ body length   u32 LE   (≤ MAX_FRAME_LEN)       │
+//! │ frame type    u8                               │
+//! │ body          length − 1 bytes, per-type layout│
+//! └────────────────────────────────────────────────┘
+//! ```
+//!
+//! Like the container format, the codec is explicit little-endian with
+//! no reflection; decoding is fail-closed (structured [`NetError`],
+//! never a panic) and never allocates more than the declared — and
+//! capped — frame length.
+
+use crate::error::NetError;
+use std::io::{Read, Write};
+
+/// The protocol version spoken by this crate; carried in
+/// [`Frame::Hello`] / [`Frame::HelloAck`] and checked at handshake.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on one frame's body, bounding what a hostile length
+/// prefix can make the reader allocate. Large enough for any realistic
+/// container (the biggest payload a frame carries).
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+const TYPE_HELLO: u8 = 0x01;
+const TYPE_HELLO_ACK: u8 = 0x02;
+const TYPE_SUBMIT: u8 = 0x03;
+const TYPE_RESULT: u8 = 0x04;
+const TYPE_ERROR: u8 = 0x05;
+
+/// Submit-flags bit: a read-back register follows.
+const FLAG_READ: u8 = 0b0000_0001;
+/// Submit-flags bit: a deadline follows.
+const FLAG_DEADLINE: u8 = 0b0000_0010;
+/// Result-flags bit: a value vector follows.
+const FLAG_VALUE: u8 = 0b0000_0001;
+
+/// One decoded protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server, first frame on a connection: binds every
+    /// subsequent submission on this connection to `tenant`.
+    Hello {
+        /// The protocol version the client speaks.
+        version: u16,
+        /// The tenant all of this connection's requests run under.
+        tenant: String,
+    },
+    /// Server → client: the handshake succeeded.
+    HelloAck {
+        /// The protocol version the server speaks.
+        version: u16,
+    },
+    /// Client → server: run the program in `container`.
+    Submit {
+        /// Client-chosen correlation id; echoed on the response frame.
+        /// Exactly one [`Frame::Result`] or [`Frame::Error`] answers it.
+        request_id: u64,
+        /// Register to read back after execution, if any.
+        read: Option<u32>,
+        /// Deadline in milliseconds from submission, if any.
+        deadline_ms: Option<u64>,
+        /// An encoded [`bh_container::Container`] carrying the program.
+        container: Vec<u8>,
+    },
+    /// Server → client: the submission completed.
+    Result {
+        /// The id from the [`Frame::Submit`] this resolves.
+        request_id: u64,
+        /// How many requests shared the micro-batch.
+        batch_size: u32,
+        /// Time the request spent queued, in nanoseconds.
+        queue_wait_nanos: u64,
+        /// Submission-to-completion time, in nanoseconds.
+        turnaround_nanos: u64,
+        /// The read-back value as f64s, when a read was requested.
+        value: Option<Vec<f64>>,
+    },
+    /// Server → client: the submission (or the connection) failed.
+    Error {
+        /// The id from the [`Frame::Submit`] this resolves, or 0 for
+        /// connection-level errors not tied to a submission.
+        request_id: u64,
+        /// A stable machine code (see [`crate::codes`]).
+        code: String,
+        /// Human-readable context; never required for dispatch.
+        detail: String,
+    },
+}
+
+/// Byte-slice cursor mirroring the container crate's decoder style.
+struct Rd<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], NetError> {
+        if self.rest.len() < n {
+            return Err(NetError::BadFrame {
+                detail: format!("truncated {what}"),
+            });
+        }
+        let (head, rest) = self.rest.split_at(n);
+        self.rest = rest;
+        Ok(head)
+    }
+
+    fn u8_(&mut self, what: &str) -> Result<u8, NetError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16_(&mut self, what: &str) -> Result<u16, NetError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32_(&mut self, what: &str) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64_(&mut self, what: &str) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str_(&mut self, what: &str) -> Result<String, NetError> {
+        let len = self.u16_(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| NetError::BadFrame {
+            detail: format!("{what} is not UTF-8"),
+        })
+    }
+
+    fn drained(&self, what: &str) -> Result<(), NetError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(NetError::BadFrame {
+                detail: format!("{what} has {} trailing bytes", self.rest.len()),
+            })
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    // Strings are advisory (tenant names, error details); truncate on a
+    // char boundary rather than fail when one exceeds the u16 length.
+    let mut bytes = s.as_bytes();
+    if bytes.len() > u16::MAX as usize {
+        let mut end = u16::MAX as usize;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        bytes = &bytes[..end];
+    }
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+impl Frame {
+    /// Encode the frame body (type byte + payload, no length prefix).
+    fn body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello { version, tenant } => {
+                out.push(TYPE_HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+                put_str(&mut out, tenant);
+            }
+            Frame::HelloAck { version } => {
+                out.push(TYPE_HELLO_ACK);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Frame::Submit {
+                request_id,
+                read,
+                deadline_ms,
+                container,
+            } => {
+                out.push(TYPE_SUBMIT);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                let mut flags = 0u8;
+                if read.is_some() {
+                    flags |= FLAG_READ;
+                }
+                if deadline_ms.is_some() {
+                    flags |= FLAG_DEADLINE;
+                }
+                out.push(flags);
+                if let Some(reg) = read {
+                    out.extend_from_slice(&reg.to_le_bytes());
+                }
+                if let Some(ms) = deadline_ms {
+                    out.extend_from_slice(&ms.to_le_bytes());
+                }
+                out.extend_from_slice(container);
+            }
+            Frame::Result {
+                request_id,
+                batch_size,
+                queue_wait_nanos,
+                turnaround_nanos,
+                value,
+            } => {
+                out.push(TYPE_RESULT);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out.extend_from_slice(&batch_size.to_le_bytes());
+                out.extend_from_slice(&queue_wait_nanos.to_le_bytes());
+                out.extend_from_slice(&turnaround_nanos.to_le_bytes());
+                match value {
+                    None => out.push(0),
+                    Some(v) => {
+                        out.push(FLAG_VALUE);
+                        out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+                        for x in v {
+                            out.extend_from_slice(&x.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Frame::Error {
+                request_id,
+                code,
+                detail,
+            } => {
+                out.push(TYPE_ERROR);
+                out.extend_from_slice(&request_id.to_le_bytes());
+                put_str(&mut out, code);
+                put_str(&mut out, detail);
+            }
+        }
+        out
+    }
+
+    /// Write the frame (length prefix + body) to `w` and flush.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on write failure; [`NetError::FrameTooLarge`] if
+    /// the body exceeds [`MAX_FRAME_LEN`] (e.g. an oversized container).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), NetError> {
+        let body = self.body();
+        let len = u32::try_from(body.len())
+            .ok()
+            .filter(|&l| l <= MAX_FRAME_LEN)
+            .ok_or(NetError::FrameTooLarge {
+                len: body.len() as u64,
+            })?;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&body)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Read one frame from `r`, fail-closed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] on clean EOF at a frame boundary,
+    /// [`NetError::Io`] on transport failure, [`NetError::FrameTooLarge`]
+    /// for a hostile length prefix, [`NetError::BadFrame`] for anything
+    /// structurally wrong with the body.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, NetError> {
+        let mut len4 = [0u8; 4];
+        if let Err(e) = r.read_exact(&mut len4) {
+            return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                NetError::Disconnected
+            } else {
+                NetError::Io(e)
+            });
+        }
+        let len = u32::from_le_bytes(len4);
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::FrameTooLarge { len: len as u64 });
+        }
+        if len == 0 {
+            return Err(NetError::BadFrame {
+                detail: "empty frame".into(),
+            });
+        }
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body)?;
+        Frame::decode_body(&body)
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Frame, NetError> {
+        let mut rd = Rd { rest: body };
+        let ty = rd.u8_("frame type")?;
+        let frame = match ty {
+            TYPE_HELLO => Frame::Hello {
+                version: rd.u16_("hello version")?,
+                tenant: rd.str_("hello tenant")?,
+            },
+            TYPE_HELLO_ACK => Frame::HelloAck {
+                version: rd.u16_("ack version")?,
+            },
+            TYPE_SUBMIT => {
+                let request_id = rd.u64_("submit request id")?;
+                let flags = rd.u8_("submit flags")?;
+                if flags & !(FLAG_READ | FLAG_DEADLINE) != 0 {
+                    return Err(NetError::BadFrame {
+                        detail: format!("unknown submit flags {flags:#04x}"),
+                    });
+                }
+                let read = (flags & FLAG_READ != 0)
+                    .then(|| rd.u32_("submit read register"))
+                    .transpose()?;
+                let deadline_ms = (flags & FLAG_DEADLINE != 0)
+                    .then(|| rd.u64_("submit deadline"))
+                    .transpose()?;
+                let container = rd.rest.to_vec();
+                rd.rest = &[];
+                Frame::Submit {
+                    request_id,
+                    read,
+                    deadline_ms,
+                    container,
+                }
+            }
+            TYPE_RESULT => {
+                let request_id = rd.u64_("result request id")?;
+                let batch_size = rd.u32_("result batch size")?;
+                let queue_wait_nanos = rd.u64_("result queue wait")?;
+                let turnaround_nanos = rd.u64_("result turnaround")?;
+                let flags = rd.u8_("result flags")?;
+                let value = match flags {
+                    0 => None,
+                    FLAG_VALUE => {
+                        let n = rd.u64_("value length")?;
+                        // The remaining bytes bound the claimed length, so a
+                        // hostile count cannot drive allocation.
+                        let n = usize::try_from(n)
+                            .ok()
+                            .filter(|&n| n.checked_mul(8) == Some(rd.rest.len()))
+                            .ok_or_else(|| NetError::BadFrame {
+                                detail: "value length disagrees with frame length".into(),
+                            })?;
+                        let mut v = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            v.push(f64::from_le_bytes(
+                                rd.take(8, "value element")?.try_into().expect("8 bytes"),
+                            ));
+                        }
+                        Some(v)
+                    }
+                    other => {
+                        return Err(NetError::BadFrame {
+                            detail: format!("unknown result flags {other:#04x}"),
+                        })
+                    }
+                };
+                Frame::Result {
+                    request_id,
+                    batch_size,
+                    queue_wait_nanos,
+                    turnaround_nanos,
+                    value,
+                }
+            }
+            TYPE_ERROR => Frame::Error {
+                request_id: rd.u64_("error request id")?,
+                code: rd.str_("error code")?,
+                detail: rd.str_("error detail")?,
+            },
+            other => {
+                return Err(NetError::BadFrame {
+                    detail: format!("unknown frame type {other:#04x}"),
+                })
+            }
+        };
+        rd.drained("frame body")?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        let back = Frame::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn every_frame_type_round_trips() {
+        round_trip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+            tenant: "tenant-α".into(),
+        });
+        round_trip(Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+        });
+        round_trip(Frame::Submit {
+            request_id: 7,
+            read: Some(3),
+            deadline_ms: Some(250),
+            container: vec![1, 2, 3, 4],
+        });
+        round_trip(Frame::Submit {
+            request_id: u64::MAX,
+            read: None,
+            deadline_ms: None,
+            container: Vec::new(),
+        });
+        round_trip(Frame::Result {
+            request_id: 7,
+            batch_size: 4,
+            queue_wait_nanos: 123,
+            turnaround_nanos: 456,
+            value: Some(vec![1.5, -0.0, f64::INFINITY]),
+        });
+        round_trip(Frame::Result {
+            request_id: 8,
+            batch_size: 1,
+            queue_wait_nanos: 0,
+            turnaround_nanos: 1,
+            value: None,
+        });
+        round_trip(Frame::Error {
+            request_id: 9,
+            code: "queue_full".into(),
+            detail: "submission queue full (capacity 8)".into(),
+        });
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        bytes.push(TYPE_HELLO);
+        assert!(matches!(
+            Frame::read_from(&mut bytes.as_slice()),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_malformed_bodies_fail_closed() {
+        // Clean EOF at a frame boundary is a disconnect, not an error.
+        assert!(matches!(
+            Frame::read_from(&mut [].as_slice()),
+            Err(NetError::Disconnected)
+        ));
+        // EOF mid-frame is a transport error.
+        let mut buf = Vec::new();
+        Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+        }
+        .write_to(&mut buf)
+        .unwrap();
+        assert!(matches!(
+            Frame::read_from(&mut buf[..buf.len() - 1].as_ref()),
+            Err(NetError::Io(_))
+        ));
+        // Unknown type byte.
+        let msg = [1u8, 0, 0, 0, 0x7f];
+        assert!(matches!(
+            Frame::read_from(&mut msg.as_slice()),
+            Err(NetError::BadFrame { .. })
+        ));
+        // Result value length disagreeing with the frame length.
+        let mut body = vec![TYPE_RESULT];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.push(FLAG_VALUE);
+        body.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut msg = (body.len() as u32).to_le_bytes().to_vec();
+        msg.extend_from_slice(&body);
+        assert!(matches!(
+            Frame::read_from(&mut msg.as_slice()),
+            Err(NetError::BadFrame { .. })
+        ));
+        // Trailing garbage after a well-formed body.
+        let mut body = vec![TYPE_HELLO_ACK];
+        body.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        body.push(0xee);
+        let mut msg = (body.len() as u32).to_le_bytes().to_vec();
+        msg.extend_from_slice(&body);
+        assert!(matches!(
+            Frame::read_from(&mut msg.as_slice()),
+            Err(NetError::BadFrame { .. })
+        ));
+        // Non-UTF-8 tenant.
+        let mut body = vec![TYPE_HELLO];
+        body.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        body.extend_from_slice(&2u16.to_le_bytes());
+        body.extend_from_slice(&[0xff, 0xfe]);
+        let mut msg = (body.len() as u32).to_le_bytes().to_vec();
+        msg.extend_from_slice(&body);
+        assert!(matches!(
+            Frame::read_from(&mut msg.as_slice()),
+            Err(NetError::BadFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_strings_truncate_on_a_char_boundary() {
+        let long = "é".repeat(40_000); // 80k bytes > u16::MAX
+        let mut buf = Vec::new();
+        Frame::Error {
+            request_id: 1,
+            code: "x".into(),
+            detail: long,
+        }
+        .write_to(&mut buf)
+        .unwrap();
+        let Frame::Error { detail, .. } = Frame::read_from(&mut buf.as_slice()).unwrap() else {
+            panic!("error frame expected");
+        };
+        assert!(detail.len() <= u16::MAX as usize);
+        assert!(detail.chars().all(|c| c == 'é'));
+    }
+}

@@ -44,6 +44,12 @@ pub struct EvalPlan {
     /// build [`Tier::Tier2`] plans directly; a tiered runtime builds
     /// [`Tier::Tier0`] plans on misses and promotes hot digests.
     pub tier: Tier,
+    /// The source program the plan was transformed from, exactly as it
+    /// entered the optimiser. Kept so the plan can be persisted as a
+    /// self-contained container (source + plan) and re-audited with
+    /// `bh_ir::check_equiv` on load — a plan without its source could
+    /// never be re-proven against anything.
+    pub source: Arc<Program>,
 }
 
 /// Count a program's instructions by op-code (sorted by op-code,
@@ -59,7 +65,7 @@ pub(crate) fn opcode_census(program: &Program) -> Vec<(Opcode, u64)> {
     counts.into_iter().collect()
 }
 
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CacheKey {
     pub digest: ProgramDigest,
     // The full options value, not a hand-rolled fingerprint: a field
@@ -187,6 +193,16 @@ impl TransformCache {
         true
     }
 
+    /// Every live entry, for persistence snapshots. Order is
+    /// unspecified; callers re-key on load anyway (the digest is
+    /// recomputed from the decoded source, never trusted from disk).
+    pub fn entries(&self) -> Vec<(CacheKey, Arc<EvalPlan>)> {
+        self.map
+            .iter()
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.plan)))
+            .collect()
+    }
+
     /// Atomically swap a promoted plan into `key`'s entry. Only lands on
     /// the same entry incarnation whose promotion was claimed
     /// (`promoting == true`); if the entry was evicted — or evicted and
@@ -230,6 +246,7 @@ mod tests {
                 source_fingerprint: fp,
                 opcode_census: opcode_census(&program),
                 tier: Tier::Tier0,
+                source: Arc::new(source),
             }),
         )
     }
@@ -241,6 +258,7 @@ mod tests {
             source_fingerprint: plan.source_fingerprint,
             opcode_census: plan.opcode_census.clone(),
             tier,
+            source: Arc::clone(&plan.source),
         })
     }
 

@@ -62,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod persist;
 mod runtime;
 mod stats;
 

@@ -131,6 +131,18 @@ pub struct RuntimeStats {
     /// Whole-plan audit counters (all zero unless
     /// [`crate::RuntimeBuilder::audit`] is on).
     pub audits: AuditCounters,
+    /// Plans restored from a persisted snapshot at build time
+    /// ([`crate::RuntimeBuilder::persist_path`]). Each one was decoded,
+    /// re-verified and re-audited before insertion — a warm-started
+    /// runtime serves these digests with zero re-optimisation, which is
+    /// exactly what this counter proves on a dashboard.
+    pub warm_loads: u64,
+    /// Snapshot entries that failed re-validation on load (bad container,
+    /// digest mismatch, failed verification or equivalence audit, or a
+    /// tier the runtime won't serve) and were discarded. Non-zero after a
+    /// restart means the snapshot was stale or tampered with — never that
+    /// anything unsound was served.
+    pub warm_rejects: u64,
 }
 
 impl RuntimeStats {
@@ -188,6 +200,8 @@ impl Add for RuntimeStats {
             exec: self.exec + rhs.exec,
             tiers: self.tiers + rhs.tiers,
             audits: self.audits + rhs.audits,
+            warm_loads: self.warm_loads.saturating_add(rhs.warm_loads),
+            warm_rejects: self.warm_rejects.saturating_add(rhs.warm_rejects),
         }
     }
 }
@@ -262,6 +276,16 @@ impl bh_observe::Collect for RuntimeStats {
         )
         .value(self.audits.rolled_back);
         set.counter(
+            "bh_runtime_warm_loads_total",
+            "Plans restored (re-verified and re-audited) from a persisted snapshot.",
+        )
+        .value(self.warm_loads);
+        set.counter(
+            "bh_runtime_warm_rejects_total",
+            "Snapshot entries discarded on load after failing re-validation.",
+        )
+        .value(self.warm_rejects);
+        set.counter(
             "bh_runtime_rules_fired_total",
             "Rewrite-rule applications across all cache misses.",
         )
@@ -289,7 +313,7 @@ impl fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "evals={} hits={} misses={} hit-rate={:.0}% verifies={} audits={} rules={} t0={} promoted={} mean-eval={:?} [{}]",
+            "evals={} hits={} misses={} hit-rate={:.0}% verifies={} audits={} rules={} t0={} promoted={} warm={}/{} mean-eval={:?} [{}]",
             self.evals,
             self.cache_hits,
             self.cache_misses,
@@ -299,6 +323,8 @@ impl fmt::Display for RuntimeStats {
             self.rules_fired,
             self.tiers.tier0_builds,
             self.tiers.promotions,
+            self.warm_loads,
+            self.warm_rejects,
             self.mean_eval_time(),
             self.exec
         )

@@ -6,7 +6,12 @@ use std::fmt;
 use std::time::Duration;
 
 /// Why a request was rejected, expired or failed.
+///
+/// `#[non_exhaustive]`: serving policies grow (rate limits, quotas, …),
+/// so downstream matches must keep a wildcard arm. Wire protocols
+/// should dispatch on [`ServeError::code`] rather than `Display` text.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ServeError {
     /// The submission queue was at capacity (backpressure): the request
     /// was rejected *at submit time* and never enqueued. Retry later or
@@ -31,6 +36,24 @@ pub enum ServeError {
     Shutdown,
     /// Preparation or execution of the request's program failed.
     Eval(VmError),
+}
+
+impl ServeError {
+    /// The stable machine code for this rejection class.
+    ///
+    /// These strings are wire-protocol surface (`bh-net` sends them in
+    /// error frames) and never change once shipped:
+    /// `"queue_full"`, `"malformed"`, `"deadline_exceeded"`,
+    /// `"shutdown"`, `"eval_failed"`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::QueueFull { .. } => "queue_full",
+            ServeError::Malformed(_) => "malformed",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::Shutdown => "shutdown",
+            ServeError::Eval(_) => "eval_failed",
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -63,6 +86,11 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Eval(e) => Some(e),
+            // The first finding stands in for the batch; the full list
+            // stays reachable through the variant itself.
+            ServeError::Malformed(errors) => errors
+                .first()
+                .map(|e| e as &(dyn std::error::Error + 'static)),
             _ => None,
         }
     }
@@ -71,6 +99,12 @@ impl std::error::Error for ServeError {
 impl From<VmError> for ServeError {
     fn from(e: VmError) -> ServeError {
         ServeError::Eval(e)
+    }
+}
+
+impl From<Vec<VerifyError>> for ServeError {
+    fn from(errors: Vec<VerifyError>) -> ServeError {
+        ServeError::Malformed(errors)
     }
 }
 
@@ -93,13 +127,42 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("evaluation failed"));
-        let e = ServeError::Malformed(vec![VerifyError {
-            code: bh_ir::VerifyCode::UseAfterFree,
-            instr: 1,
-            detail: "register `a` used after BH_FREE".into(),
-        }]);
+        let e = ServeError::Malformed(vec![VerifyError::new(
+            bh_ir::VerifyCode::UseAfterFree,
+            1,
+            "register `a` used after BH_FREE",
+        )]);
         let s = e.to_string();
         assert!(s.contains("admission"), "{s}");
         assert!(s.contains("V201"), "{s}");
+    }
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        use std::error::Error;
+        let finding = VerifyError::new(bh_ir::VerifyCode::UseAfterFree, 1, "used after BH_FREE");
+        let samples = [
+            ServeError::QueueFull { capacity: 8 },
+            ServeError::Malformed(vec![finding.clone()]),
+            ServeError::DeadlineExceeded {
+                missed_by: Duration::from_millis(5),
+            },
+            ServeError::Shutdown,
+            ServeError::Eval(VmError::Register {
+                reason: "r0".into(),
+            }),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in &samples {
+            assert!(seen.insert(e.code()), "duplicate {}", e.code());
+        }
+        // Malformed chains to its first finding, whose own stable code
+        // survives the downcast — no string matching required.
+        let source = samples[1].source().expect("malformed has a source");
+        let v = source.downcast_ref::<VerifyError>().expect("VerifyError");
+        assert_eq!(v.code(), "V201");
+        // `submit()?`-style composition: Vec<VerifyError> converts.
+        let e: ServeError = vec![finding].into();
+        assert_eq!(e.code(), "malformed");
     }
 }

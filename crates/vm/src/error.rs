@@ -24,6 +24,19 @@ pub enum VmError {
     },
 }
 
+impl VmError {
+    /// The stable machine code for this failure class: `"invalid"`,
+    /// `"tensor"`, `"linalg"`, `"register"`. Never changes once shipped.
+    pub fn code(&self) -> &'static str {
+        match self {
+            VmError::Invalid(_) => "invalid",
+            VmError::Tensor(_) => "tensor",
+            VmError::Linalg(_) => "linalg",
+            VmError::Register { .. } => "register",
+        }
+    }
+}
+
 impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -83,11 +96,11 @@ mod tests {
 
     #[test]
     fn invalid_display_surfaces_the_first_code() {
-        let e = VmError::Invalid(vec![VerifyError {
-            code: bh_ir::VerifyCode::ReadBeforeWrite,
-            instr: 3,
-            detail: "register `a` read before any write".into(),
-        }]);
+        let e = VmError::Invalid(vec![VerifyError::new(
+            bh_ir::VerifyCode::ReadBeforeWrite,
+            3,
+            "register `a` read before any write",
+        )]);
         let s = e.to_string();
         assert!(s.contains("V200"), "{s}");
         assert!(s.contains("1 error(s)"), "{s}");
